@@ -1,0 +1,297 @@
+package birch
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section 6), plus the DESIGN.md ablations. Each benchmark regenerates
+// its experiment via internal/bench and reports the paper's headline
+// quantities as custom metrics so `go test -bench=. -benchmem` produces a
+// machine-readable rendition of the evaluation. The same experiments are
+// available with full printed tables via `go run ./cmd/experiments`.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"birch/internal/bench"
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+)
+
+// BenchmarkTable3Datasets measures base-workload generation (Table 3) and
+// reports the ground-truth quality baseline.
+func BenchmarkTable3Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable3()
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		b.ReportMetric(rows[0].ActualD, "DS1-actual-D̄")
+	}
+}
+
+// BenchmarkTable4BaseWorkload is the paper's Table 4: BIRCH over DS1–DS3
+// and their randomized-order twins, reporting time and weighted average
+// diameter.
+func BenchmarkTable4BaseWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			if ratio := r.D / r.ActualD; ratio > worst {
+				worst = ratio
+			}
+		}
+		b.ReportMetric(rows[0].D, "DS1-D̄")
+		b.ReportMetric(worst, "worst-D̄/actual")
+	}
+}
+
+// BenchmarkTable5CLARANS is the paper's Table 5: CLARANS vs BIRCH
+// (subsampled; see EXPERIMENTS.md for the scaling rationale).
+func BenchmarkTable5CLARANS(b *testing.B) {
+	opts := bench.DefaultTable5Options()
+	opts.SampleN = 5000
+	opts.MaxNeighbor = 500
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sumRatio float64
+		for _, r := range rows {
+			sumRatio += r.TimeRatio
+		}
+		b.ReportMetric(sumRatio/float64(len(rows)), "avg-time-ratio")
+	}
+}
+
+// BenchmarkFig4ScalabilityN is Figure 4: time vs N with growing points
+// per cluster (reduced ladder so a bench iteration stays bounded; the
+// full ladder runs via cmd/experiments -fig 4).
+func BenchmarkFig4ScalabilityN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RunFig4([]int{250, 500, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the grid pattern's time growth vs its size growth: ≈1
+		// means linear scale-up.
+		first, last := pts[0], pts[2]
+		growth := (float64(last.Time14) / float64(first.Time14)) /
+			(float64(last.N) / float64(first.N))
+		b.ReportMetric(growth, "time-growth/N-growth")
+	}
+}
+
+// BenchmarkFig5ScalabilityK is Figure 5: time vs N with growing K.
+func BenchmarkFig5ScalabilityK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RunFig5([]int{25, 50, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := pts[0], pts[2]
+		growth := (float64(last.Time14) / float64(first.Time14)) /
+			(float64(last.N) / float64(first.N))
+		b.ReportMetric(growth, "time-growth/N-growth")
+	}
+}
+
+// BenchmarkFig6ActualClusters is Figure 6: rendering the ground-truth DS1
+// clusters.
+func BenchmarkFig6ActualClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.PlotFig6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7BirchClusters is Figure 7: the full DS1 pipeline plus
+// rendering of the found clusters.
+func BenchmarkFig7BirchClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.PlotFig7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ClaransClusters is Figure 8: CLARANS on (subsampled) DS1
+// plus rendering.
+func BenchmarkFig8ClaransClusters(b *testing.B) {
+	opts := bench.DefaultTable5Options()
+	opts.SampleN = 3000
+	opts.MaxNeighbor = 300
+	for i := 0; i < b.N; i++ {
+		if err := bench.PlotFig8(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9And10Image is the Section 6.8 application (Figures 9–10):
+// the synthetic NIR/VIS scene and the two-pass filtering.
+func BenchmarkFig9And10Image(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunImage(512, 256, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BranchShadowSeparation, "branch/shadow-sep")
+		b.ReportMetric(res.Pass1Purity, "pass1-purity")
+	}
+}
+
+// BenchmarkSensitivityThreshold is the §6.5 initial-threshold study.
+func BenchmarkSensitivityThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSensitivityThreshold([]float64{0, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivityPageSize is the §6.5 page-size study.
+func BenchmarkSensitivityPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSensitivityPageSize([]int{512, 2048}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivityMemory is the §6.5 memory study.
+func BenchmarkSensitivityMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSensitivityMemory([]int{40 * 1024, 160 * 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivityOptions is the §6.5 outlier/delay-split options
+// study on noisy data.
+func BenchmarkSensitivityOptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSensitivityOptions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMetric compares Phase 1 metrics D0–D4.
+func BenchmarkAblationMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationMetric(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThresholdKind compares diameter vs radius thresholds.
+func BenchmarkAblationThresholdKind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationThresholdKind(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMergeRefine toggles the merging refinement.
+func BenchmarkAblationMergeRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationMergeRefine(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGlobal compares Phase 3 HC vs weighted k-means.
+func BenchmarkAblationGlobal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationGlobal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThresholdHeuristic contrasts threshold escalation
+// starting points.
+func BenchmarkAblationThresholdHeuristic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationThresholdHeuristic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionDimScaling measures BIRCH across data
+// dimensionalities (the paper evaluates d=2 only; the algorithm is
+// dimension-agnostic).
+func BenchmarkExtensionDimScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDimScaling([]int{2, 8, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].Matched), "matched-at-d32")
+	}
+}
+
+// BenchmarkExtensionParallel measures the data-parallel Phase 1 speedup
+// (the paper's §7 future work).
+func BenchmarkExtensionParallel(b *testing.B) {
+	ds := dataset.DS1()
+	cfg := bench.BirchConfig(100)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunParallel(ds.Points, cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(quality.WeightedAvgDiameter(res.Clusters), "D̄")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineDS1 is the end-to-end single-dataset number most
+// comparable to the paper's "BIRCH took < 50 seconds per 100k dataset".
+func BenchmarkPipelineDS1(b *testing.B) {
+	ds := dataset.DS1()
+	actual := quality.WeightedAvgDiameter(bench.ActualClusters(ds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.RunBirch(ds, bench.BirchConfig(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(quality.WeightedAvgDiameter(res.Clusters), "D̄")
+		b.ReportMetric(actual, "actual-D̄")
+	}
+}
+
+// BenchmarkPhase1InsertThroughput isolates Phase 1: points per second
+// into the CF tree under the default budget.
+func BenchmarkPhase1InsertThroughput(b *testing.B) {
+	ds := dataset.DS1()
+	cfg := bench.BirchConfig(100)
+	cfg.Refine = false
+	cfg.Phase2 = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.RunBirch(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Phase1.LeafEntries), "leaf-entries")
+	}
+	b.SetBytes(int64(ds.N() * 16)) // 2 float64 per point
+}

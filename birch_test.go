@@ -1,0 +1,344 @@
+package birch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/cf"
+	"birch/internal/quality"
+)
+
+// blobPoints generates k separated Gaussian blobs of n points each.
+func blobPoints(seed int64, k, n int, sep, sd float64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	pts := make([]Point, 0, k*n)
+	for c := 0; c < k; c++ {
+		cx := float64(c%side) * sep
+		cy := float64(c/side) * sep
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{cx + r.NormFloat64()*sd, cy + r.NormFloat64()*sd})
+		}
+	}
+	return pts
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	pts := blobPoints(1, 4, 500, 40, 1)
+	res, err := Cluster(pts, DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 || len(res.Centroids) != 4 {
+		t.Fatalf("clusters/centroids = %d/%d", len(res.Clusters), len(res.Centroids))
+	}
+	if len(res.Labels) != len(pts) {
+		t.Fatalf("labels = %d", len(res.Labels))
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != int64(len(pts)) {
+		t.Fatalf("cluster mass %d != %d points", total, len(pts))
+	}
+}
+
+func TestStreamingMatchesBatchShape(t *testing.T) {
+	pts := blobPoints(2, 3, 400, 50, 1)
+
+	batch, err := Cluster(pts, DefaultConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(DefaultConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(stream.Clusters) != len(batch.Clusters) {
+		t.Fatalf("stream found %d clusters, batch %d", len(stream.Clusters), len(batch.Clusters))
+	}
+	if len(stream.Labels) != len(pts) {
+		t.Fatalf("stream labels = %d", len(stream.Labels))
+	}
+}
+
+func TestStreamingWithoutRefine(t *testing.T) {
+	cfg := DefaultConfig(2, 3)
+	cfg.Refine = false
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(3, 3, 200, 50, 1) {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels != nil {
+		t.Fatal("labels without refinement")
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestInsertAfterFinish(t *testing.T) {
+	c, err := New(DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(4, 2, 50, 50, 1) {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Point{1, 2}); err == nil {
+		t.Fatal("Insert after Finish accepted")
+	}
+	if _, err := c.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+func TestInsertCFRequiresNoRefine(t *testing.T) {
+	c, err := New(DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cf.FromPoint(Point{1, 2})
+	if err := c.InsertCF(sub); err == nil {
+		t.Fatal("InsertCF with Refine=true accepted")
+	}
+
+	cfg := DefaultConfig(2, 2)
+	cfg.Refine = false
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.InsertCF(sub); err != nil {
+		t.Fatalf("InsertCF rejected: %v", err)
+	}
+	// Need at least 2 far-apart subclusters to find 2 clusters.
+	far := cf.FromPoint(Point{100, 100})
+	if err := c2.InsertCF(far); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestSubclustersVisibleMidStream(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Point{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	subs := c.Subclusters()
+	if len(subs) != 2 {
+		t.Fatalf("subclusters = %d, want 2", len(subs))
+	}
+}
+
+func TestMergingTwoRunsViaCF(t *testing.T) {
+	// Cluster two halves separately without refinement, then feed the
+	// resulting summaries into a third run — the CF additivity use case.
+	half1 := blobPoints(5, 2, 300, 80, 1)
+	half2 := blobPoints(6, 2, 300, 80, 1) // same centers (same layout)
+
+	cfgNoRefine := DefaultConfig(2, 2)
+	cfgNoRefine.Refine = false
+	r1, err := Cluster(half1, cfgNoRefine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cluster(half2, cfgNoRefine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := New(cfgNoRefine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range append(r1.Clusters, r2.Clusters...) {
+		if err := merged.InsertCF(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := merged.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != int64(len(half1)+len(half2)) {
+		t.Fatalf("merged mass %d, want %d", total, len(half1)+len(half2))
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("merged clusters = %d, want 2", len(res.Clusters))
+	}
+}
+
+func TestMetricConstantsWired(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		cfg.Metric = m
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("metric %v rejected: %v", m, err)
+		}
+	}
+	cfg = DefaultConfig(2, 2)
+	cfg.ThresholdKind = ThresholdRadius
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("radius threshold rejected: %v", err)
+	}
+	cfg.GlobalAlgorithm = GlobalKMeans
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("kmeans global rejected: %v", err)
+	}
+	_ = ThresholdDiameter
+	_ = GlobalHC
+}
+
+func TestInsertWeighted(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	cfg.Refine = false
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertWeighted(Point{0, 0}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertWeighted(Point{50, 50}, 200); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != 300 {
+		t.Fatalf("total weight = %d, want 300", total)
+	}
+	// Weighted insert with Refine on must be rejected like InsertCF.
+	c2, err := New(DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.InsertWeighted(Point{1, 1}, 5); err == nil {
+		t.Fatal("InsertWeighted with Refine=true accepted")
+	}
+}
+
+func TestClustererStats(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	cfg.Refine = false
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Points != 0 || st.Subclusters != 0 || st.TreeHeight != 1 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	for _, p := range blobPoints(51, 2, 500, 50, 1) {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.Stats()
+	if st.Points != 1000 {
+		t.Fatalf("points = %d", st.Points)
+	}
+	if st.Subclusters == 0 || st.TreeNodes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultClassifyViaPublicAPI(t *testing.T) {
+	pts := blobPoints(52, 3, 300, 60, 1)
+	res, err := Cluster(pts, DefaultConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, dist := res.Classify(Point{0, 0})
+	if cl < 0 || cl >= 3 {
+		t.Fatalf("classified into %d", cl)
+	}
+	if dist > 3 {
+		t.Fatalf("distance to own-blob centroid = %g", dist)
+	}
+	if res.IsOutlier(Point{1e6, 1e6}, 3) != true {
+		t.Fatal("distant point not an outlier")
+	}
+}
+
+// TestQuickEndToEndRecovery is the whole-pipeline property test: for
+// random well-separated Gaussian mixtures, BIRCH's labeling agrees with
+// the generating labels at ARI > 0.9.
+func TestQuickEndToEndRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(6)
+		n := 150 + r.Intn(250)
+		sep := 40 + r.Float64()*40
+		side := int(math.Ceil(math.Sqrt(float64(k))))
+		var pts []Point
+		var truth []int
+		for c := 0; c < k; c++ {
+			cx := float64(c%side) * sep
+			cy := float64(c/side) * sep
+			for i := 0; i < n; i++ {
+				pts = append(pts, Point{cx + r.NormFloat64(), cy + r.NormFloat64()})
+				truth = append(truth, c)
+			}
+		}
+		res, err := Cluster(pts, DefaultConfig(2, k))
+		if err != nil {
+			return false
+		}
+		return quality.AdjustedRandIndex(res.Labels, truth) > 0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+// Command birch clusters delimiter-separated numeric data from a file or
+// stdin with the BIRCH pipeline and writes per-point cluster labels.
+//
+// Usage:
+//
+//	birch -k 10 [-input data.csv] [-output labels.csv] [flags]
+//
+// Input: one point per line, comma- or whitespace-separated floats; lines
+// beginning with '#' are skipped. Output: the input line number, the
+// cluster label (-1 for discarded outliers), one pair per line; with
+// -centroids the cluster centers are printed to stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"birch"
+	"birch/internal/dataset"
+)
+
+func main() {
+	var (
+		inputPath  = flag.String("input", "-", "input file ('-' = stdin)")
+		outputPath = flag.String("output", "-", "label output file ('-' = stdout)")
+		k          = flag.Int("k", 0, "number of clusters (required unless -max-diameter)")
+		maxDiam    = flag.Float64("max-diameter", 0, "stop merging at this cluster diameter instead of a count")
+		memory     = flag.Int("memory", 80*1024, "CF-tree memory budget in bytes (paper default 80KB)")
+		pageSize   = flag.Int("page", 1024, "page size in bytes")
+		metricName = flag.String("metric", "D2", "phase-1 distance metric (D0..D4)")
+		threshold  = flag.Float64("t0", 0, "initial threshold T0")
+		noRefine   = flag.Bool("no-refine", false, "skip phase 4 (no per-point labels)")
+		noOutliers = flag.Bool("no-outliers", false, "disable outlier handling")
+		discard    = flag.Bool("discard-outliers", false, "drop far points in phase 4 (label -1)")
+		global     = flag.String("global", "hc", "phase-3 algorithm: hc, kmeans or clarans")
+		stream     = flag.Bool("stream", false, "stream the input through the CF tree without buffering points (implies -no-refine; no per-point labels)")
+		centroids  = flag.Bool("centroids", false, "print cluster centroids to stderr")
+		quiet      = flag.Bool("quiet", false, "suppress the run summary")
+	)
+	flag.Parse()
+
+	if err := run(*inputPath, *outputPath, options{
+		k: *k, maxDiam: *maxDiam, memory: *memory, pageSize: *pageSize,
+		metric: *metricName, t0: *threshold, noRefine: *noRefine,
+		noOutliers: *noOutliers, discard: *discard, global: *global,
+		centroids: *centroids, quiet: *quiet, stream: *stream,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "birch:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	k          int
+	maxDiam    float64
+	memory     int
+	pageSize   int
+	metric     string
+	t0         float64
+	noRefine   bool
+	noOutliers bool
+	discard    bool
+	global     string
+	centroids  bool
+	quiet      bool
+	stream     bool
+}
+
+func run(inputPath, outputPath string, opt options) error {
+	if opt.stream {
+		return runStream(inputPath, opt)
+	}
+	points, err := readPoints(inputPath)
+	if err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("no points in input")
+	}
+	dim := points[0].Dim()
+
+	cfg := birch.DefaultConfig(dim, opt.k)
+	cfg.Memory = opt.memory
+	cfg.PageSize = opt.pageSize
+	cfg.InitialThreshold = opt.t0
+	cfg.MaxDiameter = opt.maxDiam
+	cfg.Refine = !opt.noRefine
+	cfg.OutlierHandling = !opt.noOutliers
+	cfg.DelaySplit = !opt.noOutliers
+	cfg.RefineDiscardOutliers = opt.discard
+	m, err := parseMetricFlag(opt.metric)
+	if err != nil {
+		return err
+	}
+	cfg.Metric = m
+	switch opt.global {
+	case "hc":
+		cfg.GlobalAlgorithm = birch.GlobalHC
+	case "kmeans":
+		cfg.GlobalAlgorithm = birch.GlobalKMeans
+	case "clarans":
+		cfg.GlobalAlgorithm = birch.GlobalCLARANS
+	default:
+		return fmt.Errorf("unknown -global %q (want hc, kmeans or clarans)", opt.global)
+	}
+
+	start := time.Now()
+	res, err := birch.Cluster(points, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	out := os.Stdout
+	if outputPath != "-" {
+		f, err := os.Create(outputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	if res.Labels != nil {
+		for i, l := range res.Labels {
+			fmt.Fprintf(w, "%d,%d\n", i, l)
+		}
+	} else {
+		fmt.Fprintf(w, "# no labels: phase 4 disabled; clusters summarized on stderr\n")
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if opt.centroids || res.Labels == nil {
+		for i, c := range res.Centroids {
+			fmt.Fprintf(os.Stderr, "cluster %d: n=%d centroid=%v radius=%.4f\n",
+				i, res.Clusters[i].N, c, res.Clusters[i].Radius())
+		}
+	}
+	if !opt.quiet {
+		fmt.Fprintf(os.Stderr,
+			"birch: %d points (%d-d) -> %d clusters, %d outliers in %s "+
+				"(phase1 rebuilds=%d, leaf entries=%d)\n",
+			len(points), dim, len(res.Clusters), res.Outliers, elapsed.Round(time.Millisecond),
+			res.Stats.Phase1.Rebuilds, res.Stats.Phase1.LeafEntries)
+	}
+	return nil
+}
+
+// runStream clusters the input one line at a time through the streaming
+// Clusterer: the data is never held in memory, so inputs far larger than
+// RAM work. Phase 4 (per-point labels) requires a re-scan and is
+// therefore unavailable; cluster summaries go to stderr.
+func runStream(inputPath string, opt options) error {
+	var r io.Reader = os.Stdin
+	if inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var c *birch.Clusterer
+	var dim int
+	start := time.Now()
+	n := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '	' || r == ';'
+		})
+		p := make(birch.Point, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: %q is not a number", lineNo, f)
+			}
+			p = append(p, v)
+		}
+		if c == nil {
+			dim = len(p)
+			cfg := birch.DefaultConfig(dim, opt.k)
+			cfg.Memory = opt.memory
+			cfg.PageSize = opt.pageSize
+			cfg.InitialThreshold = opt.t0
+			cfg.MaxDiameter = opt.maxDiam
+			cfg.Refine = false
+			cfg.OutlierHandling = !opt.noOutliers
+			cfg.DelaySplit = !opt.noOutliers
+			m, err := parseMetricFlag(opt.metric)
+			if err != nil {
+				return err
+			}
+			cfg.Metric = m
+			cc, err := birch.New(cfg)
+			if err != nil {
+				return err
+			}
+			c = cc
+		}
+		if len(p) != dim {
+			return fmt.Errorf("line %d: dimension %d, expected %d", lineNo, len(p), dim)
+		}
+		if err := c.Insert(p); err != nil {
+			return err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if c == nil {
+		return fmt.Errorf("no points in input")
+	}
+
+	res, err := c.Finish()
+	if err != nil {
+		return err
+	}
+	for i, cent := range res.Centroids {
+		fmt.Fprintf(os.Stderr, "cluster %d: n=%d centroid=%v radius=%.4f\n",
+			i, res.Clusters[i].N, cent, res.Clusters[i].Radius())
+	}
+	if !opt.quiet {
+		fmt.Fprintf(os.Stderr,
+			"birch: streamed %d points (%d-d) -> %d clusters in %s "+
+				"(phase1 rebuilds=%d, leaf entries=%d, memory %d KB)\n",
+			n, dim, len(res.Clusters), time.Since(start).Round(time.Millisecond),
+			res.Stats.Phase1.Rebuilds, res.Stats.Phase1.LeafEntries, opt.memory/1024)
+	}
+	return nil
+}
+
+// parseMetricFlag maps a -metric flag value to a Metric.
+func parseMetricFlag(s string) (birch.Metric, error) {
+	switch strings.ToUpper(s) {
+	case "D0":
+		return birch.D0, nil
+	case "D1":
+		return birch.D1, nil
+	case "D2":
+		return birch.D2, nil
+	case "D3":
+		return birch.D3, nil
+	case "D4":
+		return birch.D4, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (want D0..D4)", s)
+}
+
+// readPoints parses one point per line, comma- or whitespace-separated,
+// delegating to the shared dataset CSV reader.
+func readPoints(path string) ([]birch.Point, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := dataset.ReadCSV(r, false)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Points, nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"birch"
+)
+
+func TestParseMetricFlag(t *testing.T) {
+	cases := map[string]birch.Metric{
+		"D0": birch.D0, "d1": birch.D1, "D2": birch.D2, "d3": birch.D3, "D4": birch.D4,
+	}
+	for in, want := range cases {
+		got, err := parseMetricFlag(in)
+		if err != nil || got != want {
+			t.Errorf("parseMetricFlag(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMetricFlag("D9"); err == nil {
+		t.Error("D9 accepted")
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "points.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadPoints(t *testing.T) {
+	path := writeTemp(t, "# comment\n1,2\n3.5, 4.5\n\n5\t6\n")
+	pts, err := readPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1][0] != 3.5 || pts[1][1] != 4.5 {
+		t.Fatalf("point 1 = %v", pts[1])
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	if _, err := readPoints(writeTemp(t, "1,2\nx,3\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := readPoints(writeTemp(t, "1,2\n1,2,3\n")); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+	if _, err := readPoints(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		x := float64(i%2) * 50
+		b.WriteString(strings.Join([]string{
+			formatF(x + float64(i%7)/10),
+			formatF(x + float64(i%5)/10),
+		}, ",") + "\n")
+	}
+	in := writeTemp(t, b.String())
+	out := filepath.Join(t.TempDir(), "labels.csv")
+	err := run(in, out, options{
+		k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("output lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], ",") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	in := writeTemp(t, "1,2\n3,4\n")
+	if err := run(in, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "bogus", global: "hc", quiet: true}); err == nil {
+		t.Error("bogus metric accepted")
+	}
+	if err := run(in, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "bogus", quiet: true}); err == nil {
+		t.Error("bogus global accepted")
+	}
+	empty := writeTemp(t, "# nothing\n")
+	if err := run(empty, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func TestRunStream(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		x := float64(i%4) * 50
+		b.WriteString(formatF(x+float64(i%7)/10) + "," + formatF(x+float64(i%5)/10) + "\n")
+	}
+	in := writeTemp(t, b.String())
+	err := run(in, "-", options{
+		k: 4, memory: 8 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true, stream: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	empty := writeTemp(t, "# only comments\n")
+	if err := run(empty, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true, stream: true}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := writeTemp(t, "1,2\nbogus,3\n")
+	if err := run(bad, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true, stream: true}); err == nil {
+		t.Error("non-numeric stream accepted")
+	}
+	ragged := writeTemp(t, "1,2\n1,2,3\n")
+	if err := run(ragged, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "hc", quiet: true, stream: true}); err == nil {
+		t.Error("ragged stream accepted")
+	}
+	in := writeTemp(t, "1,2\n3,4\n")
+	if err := run(in, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "nope", global: "hc", quiet: true, stream: true}); err == nil {
+		t.Error("bad metric accepted in stream mode")
+	}
+}
+
+func TestRunClaransGlobalFlag(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		x := float64(i%2) * 40
+		b.WriteString(formatF(x+float64(i%5)/10) + "," + formatF(x+float64(i%3)/10) + "\n")
+	}
+	in := writeTemp(t, b.String())
+	if err := run(in, "-", options{k: 2, memory: 80 * 1024, pageSize: 1024,
+		metric: "D2", global: "clarans", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"birch/internal/dataset"
+)
+
+func TestBuildNamedDatasets(t *testing.T) {
+	for _, name := range []string{"DS1", "ds2", "DS3", "DS1o", "ds2O", "DS3O"} {
+		ds, err := build(name, "", 0, 0, -1, -1, 0, 0, 0, 0, "", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.N() == 0 {
+			t.Fatalf("%s: empty dataset", name)
+		}
+	}
+	if _, err := build("DS9", "", 0, 0, -1, -1, 0, 0, 0, 0, "", 0); err == nil {
+		t.Error("DS9 accepted")
+	}
+}
+
+func TestBuildCustom(t *testing.T) {
+	ds, err := build("", "sine", 10, 50, -1, -1, 1.5, 4, 4, 0, "ordered", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 500 {
+		t.Fatalf("N = %d, want 500", ds.N())
+	}
+	if ds.Params.Pattern != dataset.Sine || ds.Params.Order != dataset.Ordered {
+		t.Fatalf("params = %+v", ds.Params)
+	}
+}
+
+func TestBuildCustomOverrides(t *testing.T) {
+	ds, err := build("", "grid", 5, 100, 10, 20, 1, 4, 4, 0, "randomized", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Params.NLow != 10 || ds.Params.NHigh != 20 {
+		t.Fatalf("n bounds = [%d, %d]", ds.Params.NLow, ds.Params.NHigh)
+	}
+	if ds.Params.Order != dataset.Randomized {
+		t.Fatal("order override ignored")
+	}
+}
+
+func TestBuildCustomErrors(t *testing.T) {
+	if _, err := build("", "hexagon", 5, 100, -1, -1, 1, 4, 4, 0, "ordered", 1); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := build("", "grid", 5, 100, -1, -1, 1, 4, 4, 0, "sideways", 1); err == nil {
+		t.Error("bad order accepted")
+	}
+	if _, err := build("", "grid", 0, 100, -1, -1, 1, 4, 4, 0, "ordered", 1); err == nil {
+		t.Error("K=0 accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section 6, the sensitivity studies of Section 6.5, the image
+// application of Section 6.8, and the DESIGN.md ablations.
+//
+//	experiments -all                 # everything (minutes)
+//	experiments -table 4             # one table (3, 4, 5)
+//	experiments -fig 7               # one figure (4..10)
+//	experiments -sensitivity         # §6.5 sweeps
+//	experiments -ablations           # design-choice ablations
+//	experiments -fig 9 -out imgdir   # also dumps PGM images for figs 9/10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"birch/internal/bench"
+	"birch/internal/cf"
+	"birch/internal/viz"
+)
+
+func main() {
+	var (
+		all         = flag.Bool("all", false, "run everything")
+		table       = flag.Int("table", 0, "regenerate one table (3, 4, 5)")
+		fig         = flag.Int("fig", 0, "regenerate one figure (4..10)")
+		sensitivity = flag.Bool("sensitivity", false, "run the §6.5 sensitivity studies")
+		ablations   = flag.Bool("ablations", false, "run the design ablations")
+		dims        = flag.Bool("dims", false, "run the dimension-scaling extension")
+		outDir      = flag.String("out", "", "directory for PGM/SVG output of figures 6-10")
+		sampleN     = flag.Int("clarans-sample", 10000, "CLARANS subsample size (table 5, fig 8)")
+		maxNeighbor = flag.Int("clarans-maxneighbor", 1500, "CLARANS max neighbors")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultTable5Options()
+	opts.SampleN = *sampleN
+	opts.MaxNeighbor = *maxNeighbor
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 3 {
+		ran = true
+		bench.PrintTable3(os.Stdout, bench.RunTable3())
+		fmt.Println()
+	}
+	if *all || *table == 4 {
+		ran = true
+		rows, err := bench.RunTable4()
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintTable4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *table == 5 {
+		ran = true
+		rows, err := bench.RunTable5(opts)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintTable5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *fig == 4 {
+		ran = true
+		pts, err := bench.RunFig4(nil)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintScalability(os.Stdout, "Figure 4: time vs N (growing n per cluster, K=100)", pts)
+		fmt.Println()
+	}
+	if *all || *fig == 5 {
+		ran = true
+		pts, err := bench.RunFig5(nil)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintScalability(os.Stdout, "Figure 5: time vs N (growing K, n=1000)", pts)
+		fmt.Println()
+	}
+	if *all || *fig == 6 {
+		ran = true
+		if err := bench.PlotFig6(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			if err := svgFig(*outDir, "fig6_actual.svg", bench.Fig6Clusters); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 7 {
+		ran = true
+		if err := bench.PlotFig7(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			if err := svgFig(*outDir, "fig7_birch.svg", bench.Fig7Clusters); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 8 {
+		ran = true
+		if err := bench.PlotFig8(os.Stdout, opts); err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			if err := svgFig(*outDir, "fig8_clarans.svg", func() ([]cf.CF, error) {
+				return bench.Fig8Clusters(opts)
+			}); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 9 || *fig == 10 {
+		ran = true
+		res, err := bench.RunImage(512, 1024, 42)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintImage(os.Stdout, res)
+		if *outDir != "" {
+			if err := dumpImages(*outDir, res); err != nil {
+				fail(err)
+			}
+			fmt.Printf("PGM images written to %s\n", *outDir)
+		}
+		fmt.Println()
+	}
+	if *all || *sensitivity {
+		ran = true
+		runs := []struct {
+			title string
+			fn    func() ([]bench.SensitivityRow, error)
+		}{
+			{"Sensitivity: initial threshold T0 (§6.5)", func() ([]bench.SensitivityRow, error) { return bench.RunSensitivityThreshold(nil) }},
+			{"Sensitivity: page size P (§6.5)", func() ([]bench.SensitivityRow, error) { return bench.RunSensitivityPageSize(nil) }},
+			{"Sensitivity: memory M (§6.5)", func() ([]bench.SensitivityRow, error) { return bench.RunSensitivityMemory(nil) }},
+			{"Sensitivity: outlier options on noisy data (§6.5)", bench.RunSensitivityOptions},
+		}
+		for _, r := range runs {
+			rows, err := r.fn()
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintSensitivity(os.Stdout, r.title, rows)
+			fmt.Println()
+		}
+	}
+	if *all || *ablations {
+		ran = true
+		runs := []struct {
+			title string
+			fn    func() ([]bench.AblationRow, error)
+		}{
+			{"Ablation: phase-1 metric D0–D4", bench.RunAblationMetric},
+			{"Ablation: threshold kind (diameter vs radius)", bench.RunAblationThresholdKind},
+			{"Ablation: merging refinement", bench.RunAblationMergeRefine},
+			{"Ablation: phase-3 global algorithm", bench.RunAblationGlobal},
+			{"Ablation: initial threshold prior", bench.RunAblationThresholdHeuristic},
+		}
+		for _, r := range runs {
+			rows, err := r.fn()
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintAblation(os.Stdout, r.title, rows)
+			fmt.Println()
+		}
+	}
+
+	if *all || *dims {
+		ran = true
+		rows, err := bench.RunDimScaling(nil)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintDimScaling(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// svgFig renders one cluster set to an SVG file in dir.
+func svgFig(dir, name string, clusters func() ([]cf.CF, error)) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cs, err := clusters()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := viz.WriteClustersSVG(f, cs, 900, 900); err != nil {
+		return err
+	}
+	fmt.Printf("SVG written to %s\n", filepath.Join(dir, name))
+	return nil
+}
+
+// dumpImages writes the Figure 9 inputs (NIR, VIS) and Figure 10 outputs
+// (pass-1 segmentation, final segmentation with branches/shadows split)
+// as PGM files.
+func dumpImages(dir string, res *bench.ImageResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	s := res.Scene
+	if err := write("fig9_nir.pgm", func(f *os.File) error {
+		return viz.WritePGM(f, s.NIR, s.Width, s.Height)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig9_vis.pgm", func(f *os.File) error {
+		return viz.WritePGM(f, s.VIS, s.Width, s.Height)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig10_pass1.pgm", func(f *os.File) error {
+		return viz.LabelImage(f, res.Pass1Labels, s.Width, s.Height, 5)
+	}); err != nil {
+		return err
+	}
+	seg := res.SegmentationLabels()
+	return write("fig10_final.pgm", func(f *os.File) error {
+		return viz.LabelImage(f, seg, s.Width, s.Height, 7)
+	})
+}

@@ -1,0 +1,58 @@
+package birch_test
+
+import (
+	"fmt"
+
+	"birch"
+)
+
+// ExampleCluster demonstrates the one-call batch API on a tiny dataset.
+func ExampleCluster() {
+	points := []birch.Point{
+		{0, 0}, {0.2, 0.1}, {0.1, 0.3}, // cluster around the origin
+		{10, 10}, {10.1, 9.8}, {9.9, 10.2}, // cluster around (10, 10)
+	}
+	cfg := birch.DefaultConfig(2, 2)
+	cfg.Seed = 1
+	res, err := birch.Cluster(points, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters))
+	fmt.Println("sizes:", res.Clusters[0].N, res.Clusters[1].N)
+	fmt.Println("same label for first two points:", res.Labels[0] == res.Labels[1])
+	fmt.Println("labels differ across clusters:", res.Labels[0] != res.Labels[3])
+	// Output:
+	// clusters: 2
+	// sizes: 3 3
+	// same label for first two points: true
+	// labels differ across clusters: true
+}
+
+// ExampleClusterer demonstrates the streaming API: points enter one at a
+// time and the data is never buffered (Refine off).
+func ExampleClusterer() {
+	cfg := birch.DefaultConfig(2, 2)
+	cfg.Refine = false
+	c, err := birch.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	stream := []birch.Point{
+		{0, 0}, {100, 100}, {0.1, 0}, {99.8, 100.1}, {0, 0.2},
+	}
+	for _, p := range stream {
+		if err := c.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters))
+	fmt.Println("points summarized:", res.Clusters[0].N+res.Clusters[1].N)
+	// Output:
+	// clusters: 2
+	// points summarized: 5
+}

@@ -1,0 +1,101 @@
+// Anomaly: use BIRCH as an online anomaly detector over sensor-style
+// telemetry — one of the data-mining uses the paper's introduction
+// motivates ("identify the crowded or sparse places, and hence discover
+// the overall distribution patterns ... data points that should be
+// considered noise").
+//
+// A baseline clustering is learned from a training window, then new
+// readings are classified against it: points far from every learned
+// cluster (relative to that cluster's radius) are flagged as anomalies.
+//
+//	go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"birch"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(17))
+
+	// Normal operating regimes of an imaginary machine: three stable
+	// (temperature, vibration) modes.
+	modes := []struct{ temp, vib, sdT, sdV float64 }{
+		{temp: 40, vib: 1.0, sdT: 1.5, sdV: 0.08}, // idle
+		{temp: 62, vib: 2.5, sdT: 2.0, sdV: 0.12}, // load
+		{temp: 75, vib: 4.0, sdT: 2.5, sdV: 0.20}, // peak
+	}
+	sample := func(m int) birch.Point {
+		return birch.Point{
+			modes[m].temp + r.NormFloat64()*modes[m].sdT,
+			modes[m].vib + r.NormFloat64()*modes[m].sdV,
+		}
+	}
+
+	// 1. Learn the baseline from a training window.
+	var training []birch.Point
+	for i := 0; i < 30000; i++ {
+		training = append(training, sample(i%3))
+	}
+	cfg := birch.DefaultConfig(2, 3)
+	baseline, err := birch.Cluster(training, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned operating modes:")
+	for i := range baseline.Clusters {
+		fmt.Printf("  mode %d: n=%-6d center=(%.1f°C, %.2fg) radius=%.2f\n",
+			i, baseline.Clusters[i].N,
+			baseline.Centroids[i][0], baseline.Centroids[i][1],
+			baseline.Clusters[i].Radius())
+	}
+
+	// 2. Score a live stream: mostly normal readings with injected
+	// faults (overheating, bearing failure vibration).
+	const factor = 4.0 // anomaly = farther than 4× cluster radius
+	type event struct {
+		point  birch.Point
+		isBad  bool
+		reason string
+	}
+	var stream []event
+	for i := 0; i < 5000; i++ {
+		stream = append(stream, event{point: sample(i % 3)})
+	}
+	faults := []event{
+		{point: birch.Point{95, 2.0}, isBad: true, reason: "overheat"},
+		{point: birch.Point{60, 12.0}, isBad: true, reason: "vibration spike"},
+		{point: birch.Point{20, 0.1}, isBad: true, reason: "sensor dropout"},
+		{point: birch.Point{85, 7.0}, isBad: true, reason: "overheat+vibration"},
+	}
+	for i, f := range faults {
+		// Interleave the faults into the stream.
+		at := (i + 1) * len(stream) / (len(faults) + 1)
+		stream = append(stream[:at], append([]event{f}, stream[at:]...)...)
+	}
+
+	var flagged, falsePos, caught int
+	for _, e := range stream {
+		anomalous := baseline.IsOutlier(e.point, factor)
+		if anomalous {
+			flagged++
+			if e.isBad {
+				caught++
+				mode, dist := baseline.Classify(e.point)
+				fmt.Printf("ALERT %-18s reading=(%.1f°C, %.2fg) nearest mode %d at distance %.1f\n",
+					e.reason, e.point[0], e.point[1], mode, dist)
+			} else {
+				falsePos++
+			}
+		}
+	}
+
+	fmt.Printf("\nstream: %d readings, %d injected faults\n", len(stream), len(faults))
+	fmt.Printf("flagged %d, caught %d/%d faults, %d false positives (%.3f%%)\n",
+		flagged, caught, len(faults), falsePos,
+		100*float64(falsePos)/float64(len(stream)-len(faults)))
+}

@@ -1,0 +1,54 @@
+// Quickstart: cluster a small 2-d dataset with the default BIRCH pipeline
+// and inspect every part of the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"birch"
+)
+
+func main() {
+	// Three Gaussian blobs of 1000 points each, deliberately fed in a
+	// shuffled order — BIRCH's result barely depends on input order.
+	r := rand.New(rand.NewSource(7))
+	centers := []birch.Point{{0, 0}, {25, 5}, {10, 30}}
+	var points []birch.Point
+	for _, c := range centers {
+		for i := 0; i < 1000; i++ {
+			points = append(points, birch.Point{
+				c[0] + r.NormFloat64(),
+				c[1] + r.NormFloat64(),
+			})
+		}
+	}
+	r.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+
+	// Table 2 defaults: 80 KB of tree memory, 1 KB pages, D2 metric,
+	// outlier handling on, HC globally, one refinement pass.
+	cfg := birch.DefaultConfig(2, 3)
+	res, err := birch.Cluster(points, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters over %d points\n\n", len(res.Clusters), len(points))
+	for i := range res.Clusters {
+		c := &res.Clusters[i]
+		fmt.Printf("cluster %d: n=%-5d centroid=%v radius=%.3f diameter=%.3f\n",
+			i, c.N, res.Centroids[i], c.Radius(), c.Diameter())
+	}
+
+	fmt.Printf("\nfirst five labels: %v\n", res.Labels[:5])
+	fmt.Printf("phase 1: %d leaf entries, %d rebuilds, threshold %.4f\n",
+		res.Stats.Phase1.LeafEntries, res.Stats.Phase1.Rebuilds,
+		res.Stats.Phase1.FinalThreshold)
+	fmt.Printf("phase 3: clustered %d subcluster summaries (not %d raw points)\n",
+		res.Stats.Phase3.Inputs, len(points))
+	fmt.Printf("total: %s across %d dataset scans\n",
+		res.Stats.Total.Round(1000), res.Stats.IO.DatasetScans)
+}

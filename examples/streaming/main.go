@@ -1,0 +1,68 @@
+// Streaming: cluster an unbounded-style stream one point at a time under
+// a hard memory budget, inspecting the evolving subcluster summaries as
+// data flows — the scenario BIRCH's Phase 1 was designed for ("incremental
+// method that does not require the whole dataset in advance, and only
+// scans the dataset once").
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"birch"
+)
+
+func main() {
+	cfg := birch.DefaultConfig(2, 8)
+	cfg.Memory = 16 * 1024 // a deliberately tight budget: 16 pages
+	cfg.Refine = false     // pure streaming: never re-scan the data
+
+	c, err := birch.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "stream": 8 drifting sources emitting interleaved readings.
+	r := rand.New(rand.NewSource(42))
+	type source struct{ x, y, dx, dy float64 }
+	sources := make([]source, 8)
+	for i := range sources {
+		sources[i] = source{
+			x: r.Float64() * 100, y: r.Float64() * 100,
+			dx: r.NormFloat64() * 0.001, dy: r.NormFloat64() * 0.001,
+		}
+	}
+
+	const total = 200000
+	for i := 0; i < total; i++ {
+		s := &sources[i%len(sources)]
+		s.x += s.dx
+		s.y += s.dy
+		p := birch.Point{s.x + r.NormFloat64()*0.8, s.y + r.NormFloat64()*0.8}
+		if err := c.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%50000 == 0 {
+			subs := c.Subclusters()
+			fmt.Printf("after %6d points: %3d subcluster summaries in memory\n",
+				i+1, len(subs))
+		}
+	}
+
+	res, err := c.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d points streamed through a %d KB tree -> %d clusters\n",
+		total, cfg.Memory/1024, len(res.Clusters))
+	for i := range res.Clusters {
+		fmt.Printf("cluster %d: n=%-6d centroid=%v\n",
+			i, res.Clusters[i].N, res.Centroids[i])
+	}
+	fmt.Printf("\nphase 1 rebuilt the tree %d times; final threshold %.4f\n",
+		res.Stats.Phase1.Rebuilds, res.Stats.Phase1.FinalThreshold)
+	fmt.Printf("the stream was scanned exactly %d time(s)\n", res.Stats.IO.DatasetScans)
+}

@@ -1,0 +1,3 @@
+module birch
+
+go 1.22

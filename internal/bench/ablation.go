@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+)
+
+// AblationRow is one design-choice variant measured on one dataset.
+type AblationRow struct {
+	Dataset  string
+	Variant  string
+	Time     time.Duration
+	D        float64
+	Clusters int
+	Rebuilds int
+	Entries  int // Phase 3 inputs
+}
+
+// ablationDataset is a medium-size workload so the full ablation matrix
+// runs quickly; the knobs under study act identically at this scale.
+func ablationDataset(p dataset.Pattern) *dataset.Dataset {
+	params := dataset.Params{
+		Pattern: p,
+		K:       100,
+		NLow:    300,
+		NHigh:   300,
+		RLow:    1.4142135623730951,
+		RHigh:   1.4142135623730951,
+		KG:      4,
+		NC:      4,
+		Order:   dataset.Randomized,
+		Seed:    31415,
+	}
+	ds, err := dataset.Generate(params)
+	if err != nil {
+		panic(err)
+	}
+	ds.Name = map[dataset.Pattern]string{
+		dataset.Grid: "DS1a", dataset.Sine: "DS2a", dataset.Random: "DS3a",
+	}[p]
+	return ds
+}
+
+func ablate(ds *dataset.Dataset, variant string, mutate func(*core.Config)) (AblationRow, error) {
+	cfg := BirchConfig(100)
+	mutate(&cfg)
+	res, dur, err := RunBirch(ds, cfg)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("ablation %s %s: %w", ds.Name, variant, err)
+	}
+	return AblationRow{
+		Dataset:  ds.Name,
+		Variant:  variant,
+		Time:     dur,
+		D:        quality.WeightedAvgDiameter(res.Clusters),
+		Clusters: len(res.Clusters),
+		Rebuilds: res.Stats.Phase1.Rebuilds,
+		Entries:  res.Stats.Phase3.Inputs,
+	}, nil
+}
+
+// RunAblationMetric compares the Phase 1 closest-entry metric D0–D4
+// (DESIGN.md ablation "Phase-1 distance metric").
+func RunAblationMetric() ([]AblationRow, error) {
+	ds := ablationDataset(dataset.Grid)
+	var rows []AblationRow
+	for _, m := range []cf.Metric{cf.D0, cf.D1, cf.D2, cf.D3, cf.D4} {
+		m := m
+		row, err := ablate(ds, "metric="+m.String(), func(c *core.Config) { c.Metric = m })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunAblationThresholdKind compares the diameter vs radius threshold
+// condition.
+func RunAblationThresholdKind() ([]AblationRow, error) {
+	ds := ablationDataset(dataset.Sine)
+	var rows []AblationRow
+	for _, k := range []cf.ThresholdKind{cf.ThresholdDiameter, cf.ThresholdRadius} {
+		k := k
+		row, err := ablate(ds, "threshold="+k.String(), func(c *core.Config) { c.ThresholdKind = k })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunAblationMergeRefine toggles the Section 4.3 merging refinement.
+func RunAblationMergeRefine() ([]AblationRow, error) {
+	ds := ablationDataset(dataset.Random)
+	var rows []AblationRow
+	for _, on := range []bool{true, false} {
+		on := on
+		row, err := ablate(ds, fmt.Sprintf("mergeRefine=%t", on),
+			func(c *core.Config) { c.MergingRefinement = on })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunAblationGlobal compares the Phase 3 algorithm: adapted HC vs weighted
+// k-means.
+func RunAblationGlobal() ([]AblationRow, error) {
+	ds := ablationDataset(dataset.Grid)
+	var rows []AblationRow
+	for _, alg := range []core.GlobalAlg{core.GlobalHC, core.GlobalKMeans, core.GlobalCLARANS} {
+		alg := alg
+		row, err := ablate(ds, "global="+alg.String(),
+			func(c *core.Config) { c.GlobalAlgorithm = alg; c.Seed = 5 })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunAblationThresholdHeuristic compares the paper's multi-estimate
+// threshold escalation against naive forced expansion only, by disabling
+// the knowledge of total N (which powers the volume extrapolation) and
+// starting from a high vs zero threshold. The interesting contrast is
+// rebuild count.
+func RunAblationThresholdHeuristic() ([]AblationRow, error) {
+	ds := ablationDataset(dataset.Sine)
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"T0=0 (heuristic from scratch)", func(c *core.Config) { c.InitialThreshold = 0; c.Memory = 32 * 1024 }},
+		{"T0=1.0 (good prior)", func(c *core.Config) { c.InitialThreshold = 1.0; c.Memory = 32 * 1024 }},
+		{"T0=8.0 (too coarse)", func(c *core.Config) { c.InitialThreshold = 8.0; c.Memory = 32 * 1024 }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		row, err := ablate(ds, v.name, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintAblation renders ablation rows.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-6s %-30s %12s %8s %9s %9s %8s\n",
+		"name", "variant", "time", "D̄", "clusters", "rebuilds", "entries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-30s %12s %8.3f %9d %9d %8d\n",
+			r.Dataset, r.Variant, r.Time.Round(time.Millisecond), r.D, r.Clusters, r.Rebuilds, r.Entries)
+	}
+}

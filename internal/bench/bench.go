@@ -1,0 +1,69 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) as structured rows plus
+// plain-text printers. cmd/experiments is a thin CLI over this package,
+// and the root bench_test.go wraps each experiment in a testing.B target.
+//
+// Absolute times differ from the paper's 1996 HP 9000/720; what the
+// harness preserves — and what its printers make easy to eyeball — is the
+// paper's shape: near-linear BIRCH scale-up, BIRCH ≫ CLARANS in both time
+// and quality, order insensitivity, and the sensitivity trends of
+// Section 6.5.
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+	"birch/internal/vec"
+)
+
+// BirchConfig returns the experiment-standard BIRCH configuration for the
+// synthetic workloads: Table 2 defaults for 2-d data and k target
+// clusters.
+func BirchConfig(k int) core.Config {
+	return core.DefaultConfig(2, k)
+}
+
+// RunBirch executes the full pipeline on ds and returns the result with
+// its wall-clock duration.
+func RunBirch(ds *dataset.Dataset, cfg core.Config) (*core.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := core.Run(ds.Points, cfg)
+	return res, time.Since(start), err
+}
+
+// ActualClusters returns the ground-truth cluster summaries of ds
+// (noise excluded).
+func ActualClusters(ds *dataset.Dataset) []cf.CF {
+	return quality.FromLabels(ds.Points, ds.Labels, len(ds.Centers))
+}
+
+// Subsample returns a deterministic uniform sample of n points (with
+// matching ground-truth labels) from ds, used to scale the CLARANS
+// comparison down to a size the O(N²)-ish baseline can handle. When
+// n ≥ len(ds.Points) the dataset is returned unchanged.
+func Subsample(ds *dataset.Dataset, n int, seed int64) *dataset.Dataset {
+	if n >= len(ds.Points) {
+		return ds
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(ds.Points))[:n]
+	out := &dataset.Dataset{
+		Name:    ds.Name + "/sample",
+		Points:  make([]vec.Vector, n),
+		Labels:  make([]int, n),
+		Centers: ds.Centers,
+		Radii:   ds.Radii,
+		Sizes:   ds.Sizes,
+		Params:  ds.Params,
+	}
+	for i, j := range idx {
+		out.Points[i] = ds.Points[j]
+		out.Labels[i] = ds.Labels[j]
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"birch/internal/dataset"
+)
+
+func TestSubsample(t *testing.T) {
+	ds := dataset.DS1()
+	sub := Subsample(ds, 1000, 1)
+	if sub.N() != 1000 {
+		t.Fatalf("subsample N = %d", sub.N())
+	}
+	if sub.Name != "DS1/sample" {
+		t.Errorf("name = %q", sub.Name)
+	}
+	// Oversized request returns the original.
+	same := Subsample(ds, ds.N()+1, 1)
+	if same != ds {
+		t.Error("oversized subsample should return the input")
+	}
+	// Deterministic.
+	sub2 := Subsample(ds, 1000, 1)
+	for i := range sub.Points {
+		if sub.Points[i][0] != sub2.Points[i][0] {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	rows := RunTable3()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	if rows[0].Name != "DS1" || rows[0].N != 100000 || rows[0].K != 100 {
+		t.Fatalf("DS1 row = %+v", rows[0])
+	}
+	// Actual D̄ of DS1 is ≈2 (r=√2 clusters have diameter ≈ 2r).
+	if rows[0].ActualD < 1.8 || rows[0].ActualD > 2.2 {
+		t.Fatalf("DS1 actual D̄ = %g, expected ≈2", rows[0].ActualD)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "DS3o") {
+		t.Error("print missing DS3o")
+	}
+}
+
+// TestRunTable4Shape is the core reproduction check for Table 4: BIRCH
+// finds 100 clusters on each of the six datasets with quality close to
+// the actual clustering, insensitive to input order.
+func TestRunTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 6×100k-point workload")
+	}
+	rows, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Clusters != 100 {
+			t.Errorf("%s: %d clusters, want 100", r.Dataset, r.Clusters)
+		}
+		// Paper: found D̄ within ~5% of actual.
+		if r.D > r.ActualD*1.10 {
+			t.Errorf("%s: D̄ %g vs actual %g (> 10%% worse)", r.Dataset, r.D, r.ActualD)
+		}
+	}
+	// Order insensitivity: DS1 vs DS1o quality within 10%.
+	for i := 0; i < 3; i++ {
+		o, ro := rows[i], rows[i+3]
+		rel := (ro.D - o.D) / o.D
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.10 {
+			t.Errorf("order sensitivity on %s: %g vs %g", o.Dataset, o.D, ro.D)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 4") {
+		t.Error("print missing title")
+	}
+}
+
+// TestRunTable5Shape checks the CLARANS comparison's shape: BIRCH faster
+// and at least as good on every dataset.
+func TestRunTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLARANS comparison is slow")
+	}
+	opts := DefaultTable5Options()
+	opts.SampleN = 4000
+	opts.MaxNeighbor = 400
+	rows, err := RunTable5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimeRatio < 1 {
+			t.Errorf("%s: CLARANS faster than BIRCH (ratio %g)", r.Dataset, r.TimeRatio)
+		}
+		// The paper's quality contrast (CLARANS D̄ well above actual,
+		// BIRCH ≈ actual) holds for the separated grid/sine patterns;
+		// the overlapping random clusters of DS3 admit no clean
+		// direction for a medoid method, so only DS1/DS2 are asserted.
+		if strings.HasPrefix(r.Dataset, "DS1") || strings.HasPrefix(r.Dataset, "DS2") {
+			if r.ClaransD < r.BirchD*0.95 {
+				t.Errorf("%s: CLARANS quality better than BIRCH (%g vs %g)",
+					r.Dataset, r.ClaransD, r.BirchD)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 5") {
+		t.Error("print missing title")
+	}
+}
+
+// TestRunFig4Linear checks the scalability shape on a reduced ladder:
+// time grows sub-quadratically in N (the paper's claim is near-linear).
+func TestRunFig4Linear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep")
+	}
+	pts, err := RunFig4([]int{250, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // 3 patterns × 2 sizes
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 0; i < len(pts); i += 2 {
+		small, large := pts[i], pts[i+1]
+		nRatio := float64(large.N) / float64(small.N)
+		tRatio := float64(large.Time14) / float64(small.Time14)
+		if tRatio > nRatio*nRatio {
+			t.Errorf("%s: time ratio %.1f vs N ratio %.1f (superquadratic)",
+				large.Dataset, tRatio, nRatio)
+		}
+	}
+	var buf bytes.Buffer
+	PrintScalability(&buf, "fig4", pts)
+	if !strings.Contains(buf.String(), "DS1 1-4") {
+		t.Error("chart legend missing")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep")
+	}
+	pts, err := RunFig5([]int{25, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.N == 0 || p.Time14 <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestPlotFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plots run the full DS1 pipeline")
+	}
+	var buf bytes.Buffer
+	if err := PlotFig6(&buf); err != nil {
+		t.Fatalf("fig 6: %v", err)
+	}
+	if err := PlotFig7(&buf); err != nil {
+		t.Fatalf("fig 7: %v", err)
+	}
+	opts := DefaultTable5Options()
+	opts.SampleN = 3000
+	opts.MaxNeighbor = 200
+	if err := PlotFig8(&buf, opts); err != nil {
+		t.Fatalf("fig 8: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "100 clusters"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSensitivitySweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweeps")
+	}
+	rows, err := RunSensitivityThreshold([]float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("threshold rows = %d", len(rows))
+	}
+	prows, err := RunSensitivityPageSize([]int{512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prows) != 6 {
+		t.Fatalf("page rows = %d", len(prows))
+	}
+	mrows, err := RunSensitivityMemory([]int{40 * 1024, 160 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More memory should not need meaningfully more rebuilds. (The count
+	// is not strictly monotone — escalation dynamics differ per run — so
+	// allow slack of 2.)
+	for i := 0; i < len(mrows); i += 2 {
+		if mrows[i+1].Rebuilds > mrows[i].Rebuilds+2 {
+			t.Errorf("%s: more memory caused many more rebuilds (%d vs %d)",
+				mrows[i].Dataset, mrows[i+1].Rebuilds, mrows[i].Rebuilds)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSensitivity(&buf, "sweep", rows)
+	if !strings.Contains(buf.String(), "T0") {
+		t.Error("print missing knob")
+	}
+}
+
+func TestSensitivityOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("options study")
+	}
+	rows, err := RunSensitivityOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 datasets × 3 option sets
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestRunImage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image experiment")
+	}
+	res, err := RunImage(256, 192, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass1Purity < 0.6 {
+		t.Errorf("pass 1 purity %g too low", res.Pass1Purity)
+	}
+	// The headline of Section 6.8: the second pass separates branches
+	// from shadows.
+	if res.BranchShadowSeparation < 0.85 {
+		t.Errorf("branch/shadow separation %g < 0.85", res.BranchShadowSeparation)
+	}
+	seg := res.SegmentationLabels()
+	if len(seg) != 256*192 {
+		t.Fatalf("segmentation labels = %d", len(seg))
+	}
+	var buf bytes.Buffer
+	PrintImage(&buf, res)
+	if !strings.Contains(buf.String(), "separation") {
+		t.Error("print missing separation")
+	}
+}
+
+func TestDimScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dimension sweep")
+	}
+	rows, err := RunDimScaling([]int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Clusters != 25 || r.Matched != 25 {
+			t.Errorf("d=%d: %d clusters, %d matched (want 25/25)", r.Dim, r.Clusters, r.Matched)
+		}
+		// With well-separated clusters the recovered quality equals the
+		// ground truth at every dimension.
+		if r.D > r.ActualD*1.05 {
+			t.Errorf("d=%d: D̄ %g vs actual %g", r.Dim, r.D, r.ActualD)
+		}
+	}
+	var buf bytes.Buffer
+	PrintDimScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "dimension scaling") {
+		t.Error("print missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation matrix")
+	}
+	for _, run := range []struct {
+		name string
+		fn   func() ([]AblationRow, error)
+		want int
+	}{
+		{"metric", RunAblationMetric, 5},
+		{"thresholdKind", RunAblationThresholdKind, 2},
+		{"mergeRefine", RunAblationMergeRefine, 2},
+		{"global", RunAblationGlobal, 3},
+		{"thresholdHeuristic", RunAblationThresholdHeuristic, 3},
+	} {
+		rows, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if len(rows) != run.want {
+			t.Fatalf("%s: %d rows, want %d", run.name, len(rows), run.want)
+		}
+		for _, r := range rows {
+			if r.Clusters == 0 || r.D <= 0 {
+				t.Errorf("%s %s: degenerate row %+v", run.name, r.Variant, r)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	rows, _ := RunAblationThresholdKind()
+	PrintAblation(&buf, "ablation", rows)
+	if !strings.Contains(buf.String(), "threshold=") {
+		t.Error("print missing variant")
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+)
+
+// DimRow is one sample of the dimension-scaling extension experiment.
+type DimRow struct {
+	Dim       int
+	N         int
+	Time      time.Duration
+	Clusters  int
+	Matched   int // found clusters matched to a true cluster within sep/4
+	D         float64
+	ActualD   float64
+	TreeB     int // branching factor at this dimension (page-derived)
+	TreeLeafL int
+}
+
+// RunDimScaling measures BIRCH across dimensionalities. The paper's cost
+// analysis (§6.1) has d as a multiplicative factor in CPU cost and a
+// divisor in the fan-outs B, L ∝ P/d — so higher d means flatter, wider
+// entries and proportionally more distance arithmetic. This experiment
+// verifies both the cost trend and that cluster recovery holds in higher
+// dimensions.
+func RunDimScaling(dims []int) ([]DimRow, error) {
+	if dims == nil {
+		dims = []int{2, 4, 8, 16, 32}
+	}
+	const (
+		k    = 25
+		nPer = 1000
+		sep  = 12
+		sd   = 1.0
+	)
+	var rows []DimRow
+	for _, d := range dims {
+		ds := dataset.GaussianMixture(d, k, nPer, sep, sd, 4242)
+		cfg := core.DefaultConfig(d, k)
+		// A CF entry is O(d) bytes, so a fixed byte budget holds d/2×
+		// fewer subclusters than at d=2; scale M so the experiment
+		// compares dimensionality, not entry starvation.
+		cfg.Memory = 80 * 1024 * d / 2
+		res, dur, err := RunBirch(ds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dim scaling d=%d: %w", d, err)
+		}
+		truth := quality.FromLabels(ds.Points, ds.Labels, k)
+		match := quality.MatchClusters(res.Clusters, truth)
+		matched := 0
+		for _, p := range match.Pairs {
+			if p.CentroidDist < sep/4 {
+				matched++
+			}
+		}
+		rows = append(rows, DimRow{
+			Dim:       d,
+			N:         ds.N(),
+			Time:      dur,
+			Clusters:  len(res.Clusters),
+			Matched:   matched,
+			D:         quality.WeightedAvgDiameter(res.Clusters),
+			ActualD:   quality.WeightedAvgDiameter(truth),
+			TreeB:     res.Stats.Phase1.TreeNodes, // context; fan-outs below
+			TreeLeafL: res.Stats.Phase1.LeafEntries,
+		})
+	}
+	return rows, nil
+}
+
+// PrintDimScaling renders the extension experiment.
+func PrintDimScaling(w io.Writer, rows []DimRow) {
+	fmt.Fprintf(w, "Extension: dimension scaling (K=25, n=1000 per cluster)\n")
+	fmt.Fprintf(w, "%4s %8s %12s %9s %8s %8s %10s\n",
+		"d", "N", "time", "clusters", "matched", "D̄", "actual D̄")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %8d %12s %9d %8d %8.3f %10.3f\n",
+			r.Dim, r.N, r.Time.Round(time.Millisecond), r.Clusters, r.Matched, r.D, r.ActualD)
+	}
+}

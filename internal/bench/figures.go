@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/clarans"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+	"birch/internal/viz"
+)
+
+// ScalePoint is one sample of a scalability curve: dataset size vs time,
+// reported separately for phases 1–3 and 1–4 as the paper's Figures 4–5
+// plot both.
+type ScalePoint struct {
+	Dataset string
+	N       int
+	Time13  time.Duration // phases 1–3
+	Time14  time.Duration // phases 1–4
+	D       float64
+}
+
+// RunFig4 sweeps the per-cluster point count n (K fixed at 100) over all
+// three patterns — Figure 4, "scalability wrt increasing N, growing n".
+// The paper's sweep is nl = nh ∈ {250..2500}; pass nil to use a default
+// ladder of {250, 500, 1000, 1500, 2000, 2500}.
+func RunFig4(ns []int) ([]ScalePoint, error) {
+	if ns == nil {
+		ns = []int{250, 500, 1000, 1500, 2000, 2500}
+	}
+	var pts []ScalePoint
+	for _, pat := range []dataset.Pattern{dataset.Grid, dataset.Sine, dataset.Random} {
+		for _, n := range ns {
+			ds := dataset.ScaledN(pat, n)
+			p, err := scaleSample(ds)
+			if err != nil {
+				return nil, fmt.Errorf("fig 4 %s: %w", ds.Name, err)
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+// RunFig5 sweeps the cluster count K (n fixed at 1000) — Figure 5,
+// "scalability wrt increasing N, growing K". Default ladder
+// {25, 50, 100, 150, 200, 250}.
+func RunFig5(ks []int) ([]ScalePoint, error) {
+	if ks == nil {
+		ks = []int{25, 50, 100, 150, 200, 250}
+	}
+	var pts []ScalePoint
+	for _, pat := range []dataset.Pattern{dataset.Grid, dataset.Sine, dataset.Random} {
+		for _, k := range ks {
+			ds := dataset.ScaledK(pat, k)
+			p, err := scaleSampleK(ds, k)
+			if err != nil {
+				return nil, fmt.Errorf("fig 5 %s: %w", ds.Name, err)
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+func scaleSample(ds *dataset.Dataset) (ScalePoint, error) {
+	return scaleSampleK(ds, 100)
+}
+
+func scaleSampleK(ds *dataset.Dataset, k int) (ScalePoint, error) {
+	cfg := BirchConfig(k)
+	res, dur, err := RunBirch(ds, cfg)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	return ScalePoint{
+		Dataset: ds.Name,
+		N:       ds.N(),
+		Time13:  dur - res.Stats.Phase4.Duration,
+		Time14:  dur,
+		D:       quality.WeightedAvgDiameter(res.Clusters),
+	}, nil
+}
+
+// PrintScalability renders the points as a table plus an ASCII chart in
+// the spirit of Figures 4–5.
+func PrintScalability(w io.Writer, title string, pts []ScalePoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s %9s %12s %12s %8s\n", "dataset", "N", "time(1-3)", "time(1-4)", "D̄")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-14s %9d %12s %12s %8.3f\n",
+			p.Dataset, p.N, p.Time13.Round(time.Millisecond), p.Time14.Round(time.Millisecond), p.D)
+	}
+	// Group points into one chart series per base dataset and phase span.
+	bySeries := map[string]*viz.Series{}
+	var order []string
+	for _, p := range pts {
+		base := p.Dataset
+		if i := strings.IndexByte(base, '/'); i >= 0 {
+			base = base[:i]
+		}
+		for _, span := range []struct {
+			suffix string
+			t      time.Duration
+		}{{" 1-3", p.Time13}, {" 1-4", p.Time14}} {
+			key := base + span.suffix
+			s, ok := bySeries[key]
+			if !ok {
+				s = &viz.Series{Name: key}
+				bySeries[key] = s
+				order = append(order, key)
+			}
+			s.X = append(s.X, float64(p.N))
+			s.Y = append(s.Y, span.t.Seconds())
+		}
+	}
+	series := make([]viz.Series, 0, len(order))
+	for _, key := range order {
+		series = append(series, *bySeries[key])
+	}
+	fmt.Fprintln(w)
+	if err := viz.LineChart(w, series, 64, 16); err != nil {
+		fmt.Fprintf(w, "(chart unavailable: %v)\n", err)
+	}
+}
+
+// Fig6Clusters returns the ground-truth DS1 clusters (Figure 6's data).
+func Fig6Clusters() ([]cf.CF, error) {
+	return ActualClusters(dataset.DS1()), nil
+}
+
+// Fig7Clusters runs BIRCH on DS1 and returns the found clusters
+// (Figure 7's data).
+func Fig7Clusters() ([]cf.CF, error) {
+	res, _, err := RunBirch(dataset.DS1(), BirchConfig(100))
+	if err != nil {
+		return nil, err
+	}
+	return res.Clusters, nil
+}
+
+// Fig8Clusters runs CLARANS on (subsampled) DS1 and returns its clusters
+// (Figure 8's data).
+func Fig8Clusters(opts Table5Options) ([]cf.CF, error) {
+	ds := Subsample(dataset.DS1(), opts.SampleN, opts.Seed)
+	res, err := clarans.Cluster(ds.Points, clarans.Options{
+		K:           100,
+		NumLocal:    opts.NumLocal,
+		MaxNeighbor: opts.MaxNeighbor,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Clusters, nil
+}
+
+// PlotFig6 draws the actual clusters of DS1 (Figure 6).
+func PlotFig6(w io.Writer) error {
+	ds := dataset.DS1()
+	fmt.Fprintln(w, "Figure 6: actual clusters of DS1")
+	return viz.PlotClusters(w, ActualClusters(ds), 100, 34)
+}
+
+// PlotFig7 draws the clusters BIRCH finds on DS1 (Figure 7).
+func PlotFig7(w io.Writer) error {
+	ds := dataset.DS1()
+	res, _, err := RunBirch(ds, BirchConfig(100))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7: BIRCH clusters of DS1")
+	return viz.PlotClusters(w, res.Clusters, 100, 34)
+}
+
+// PlotFig8 draws the clusters CLARANS finds on (a subsample of) DS1
+// (Figure 8).
+func PlotFig8(w io.Writer, opts Table5Options) error {
+	ds := Subsample(dataset.DS1(), opts.SampleN, opts.Seed)
+	res, err := clarans.Cluster(ds.Points, clarans.Options{
+		K:           100,
+		NumLocal:    opts.NumLocal,
+		MaxNeighbor: opts.MaxNeighbor,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 8: CLARANS clusters of DS1 (subsampled)")
+	return viz.PlotClusters(w, res.Clusters, 100, 34)
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+)
+
+// SensitivityRow is one parameter setting of the Section 6.5 study.
+type SensitivityRow struct {
+	Dataset  string
+	Knob     string // which parameter varied
+	Value    string // its setting
+	Time     time.Duration
+	D        float64
+	Clusters int
+	Rebuilds int
+}
+
+// RunSensitivityThreshold sweeps the initial threshold T0 on the base
+// workload. The paper's finding: performance is stable as long as T0 is
+// not excessively large; a good small T0 is rewarded with less rebuilding
+// and so less time.
+func RunSensitivityThreshold(t0s []float64) ([]SensitivityRow, error) {
+	if t0s == nil {
+		t0s = []float64{0, 0.5, 1.0, 2.0, 4.0}
+	}
+	var rows []SensitivityRow
+	for _, ds := range dataset.BaseWorkload() {
+		for _, t0 := range t0s {
+			cfg := BirchConfig(100)
+			cfg.InitialThreshold = t0
+			r, err := sensitivityRun(ds, cfg, "T0", fmt.Sprintf("%.2f", t0))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// RunSensitivityPageSize sweeps the page size P. The paper's finding
+// (§6.5): smaller pages give finer granularity but slower Phase 1–3 runs;
+// with Phase 4 on, the final qualities are almost the same across P.
+func RunSensitivityPageSize(ps []int) ([]SensitivityRow, error) {
+	if ps == nil {
+		ps = []int{256, 1024, 4096}
+	}
+	var rows []SensitivityRow
+	for _, ds := range dataset.BaseWorkload() {
+		for _, p := range ps {
+			cfg := BirchConfig(100)
+			cfg.PageSize = p
+			r, err := sensitivityRun(ds, cfg, "P", fmt.Sprintf("%d", p))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// RunSensitivityMemory sweeps the memory budget M. The paper's finding:
+// more memory means fewer rebuilds and finer subclusters, and Phase 4
+// largely compensates for less memory — a memory-vs-time tradeoff.
+func RunSensitivityMemory(ms []int) ([]SensitivityRow, error) {
+	if ms == nil {
+		ms = []int{20 * 1024, 40 * 1024, 80 * 1024, 160 * 1024}
+	}
+	var rows []SensitivityRow
+	for _, ds := range dataset.BaseWorkload() {
+		for _, m := range ms {
+			cfg := BirchConfig(100)
+			cfg.Memory = m
+			r, err := sensitivityRun(ds, cfg, "M", fmt.Sprintf("%dKB", m/1024))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// RunSensitivityOptions toggles the outlier-handling and delay-split
+// options on the noisy variant of the base workload (the paper studies
+// the options' effect with rn = 10% noise added).
+func RunSensitivityOptions() ([]SensitivityRow, error) {
+	var rows []SensitivityRow
+	for _, base := range []dataset.Pattern{dataset.Grid, dataset.Sine, dataset.Random} {
+		ds := noisyDataset(base)
+		for _, opt := range []struct {
+			name                 string
+			outliers, delaySplit bool
+		}{
+			{"none", false, false},
+			{"outlier", true, false},
+			{"outlier+delay", true, true},
+		} {
+			cfg := BirchConfig(100)
+			cfg.OutlierHandling = opt.outliers
+			cfg.DelaySplit = opt.delaySplit
+			r, err := sensitivityRun(ds, cfg, "options", opt.name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// noisyDataset builds the rn=10% variant of a base pattern at reduced
+// scale (the options study doesn't need 100k points to show its effect).
+func noisyDataset(p dataset.Pattern) *dataset.Dataset {
+	params := dataset.Params{
+		Pattern:  p,
+		K:        100,
+		NLow:     400,
+		NHigh:    400,
+		RLow:     1.4142135623730951,
+		RHigh:    1.4142135623730951,
+		KG:       4,
+		NC:       4,
+		NoisePct: 10,
+		Order:    dataset.Randomized,
+		Seed:     777,
+	}
+	if p == dataset.Random {
+		params.NLow, params.NHigh = 0, 800
+		params.RLow, params.RHigh = 0, 4
+	}
+	ds, err := dataset.Generate(params)
+	if err != nil {
+		panic(err)
+	}
+	ds.Name = map[dataset.Pattern]string{
+		dataset.Grid: "DS1n", dataset.Sine: "DS2n", dataset.Random: "DS3n",
+	}[p]
+	return ds
+}
+
+func sensitivityRun(ds *dataset.Dataset, cfg core.Config, knob, value string) (SensitivityRow, error) {
+	res, dur, err := RunBirch(ds, cfg)
+	if err != nil {
+		return SensitivityRow{}, fmt.Errorf("sensitivity %s %s=%s: %w", ds.Name, knob, value, err)
+	}
+	return SensitivityRow{
+		Dataset:  ds.Name,
+		Knob:     knob,
+		Value:    value,
+		Time:     dur,
+		D:        quality.WeightedAvgDiameter(res.Clusters),
+		Clusters: len(res.Clusters),
+		Rebuilds: res.Stats.Phase1.Rebuilds,
+	}, nil
+}
+
+// PrintSensitivity renders sensitivity rows.
+func PrintSensitivity(w io.Writer, title string, rows []SensitivityRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-6s %-8s %-14s %12s %8s %9s %9s\n",
+		"name", "knob", "value", "time", "D̄", "clusters", "rebuilds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-8s %-14s %12s %8.3f %9d %9d\n",
+			r.Dataset, r.Knob, r.Value, r.Time.Round(time.Millisecond), r.D, r.Clusters, r.Rebuilds)
+	}
+}

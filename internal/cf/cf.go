@@ -1,0 +1,244 @@
+// Package cf implements BIRCH's Clustering Feature: the (N, LS, SS) triple
+// that summarizes a cluster of d-dimensional points, together with the
+// cluster properties (centroid X0, radius R, diameter D) and the five
+// inter-cluster distance definitions D0–D4 from Section 3 of the paper.
+//
+// The CF Additivity Theorem (Section 4.1) — CF1 + CF2 of two disjoint
+// clusters is (N1+N2, LS1+LS2, SS1+SS2) — is what makes the whole algorithm
+// work: every quantity BIRCH needs can be computed from CF triples alone,
+// incrementally and exactly, without storing the member points.
+package cf
+
+import (
+	"fmt"
+	"math"
+
+	"birch/internal/vec"
+)
+
+// CF is a Clustering Feature: a summary of a set of points sufficient to
+// compute centroid, radius, diameter and the D0–D4 distances exactly.
+//
+//	N  — number of points in the cluster
+//	LS — linear sum  Σ Xi            (a d-dimensional vector)
+//	SS — square sum  Σ ‖Xi‖²         (a scalar)
+//
+// The zero CF (N==0) represents the empty cluster and is a valid identity
+// element for Merge.
+type CF struct {
+	N  int64
+	LS vec.Vector
+	SS float64
+}
+
+// New returns an empty CF of dimension d.
+func New(d int) CF {
+	return CF{N: 0, LS: vec.New(d), SS: 0}
+}
+
+// FromPoint returns the CF of the single point p.
+func FromPoint(p vec.Vector) CF {
+	return CF{N: 1, LS: p.Clone(), SS: p.SqNorm()}
+}
+
+// FromPoints returns the CF summarizing all the given points.
+// It panics if points is empty (use New for an empty CF of known dimension).
+func FromPoints(points []vec.Vector) CF {
+	if len(points) == 0 {
+		panic("cf: FromPoints with no points")
+	}
+	c := New(points[0].Dim())
+	for _, p := range points {
+		c.AddPoint(p)
+	}
+	return c
+}
+
+// Dim returns the dimensionality of the feature, or 0 for an
+// uninitialized CF.
+func (c *CF) Dim() int { return len(c.LS) }
+
+// IsEmpty reports whether the CF summarizes no points.
+func (c *CF) IsEmpty() bool { return c.N == 0 }
+
+// Clone returns an independent deep copy of c.
+func (c *CF) Clone() CF {
+	return CF{N: c.N, LS: c.LS.Clone(), SS: c.SS}
+}
+
+// Reset empties the CF in place, preserving dimensionality.
+func (c *CF) Reset() {
+	c.N = 0
+	for i := range c.LS {
+		c.LS[i] = 0
+	}
+	c.SS = 0
+}
+
+// AddPoint folds the point p into the feature (CF Additivity with a
+// singleton cluster).
+func (c *CF) AddPoint(p vec.Vector) {
+	if c.N == 0 && len(c.LS) == 0 {
+		c.LS = vec.New(p.Dim())
+	}
+	c.N++
+	c.LS.AddInPlace(p)
+	c.SS += p.SqNorm()
+}
+
+// AddWeightedPoint folds w identical copies of point p into the feature.
+// Phase 3's adapted global algorithms treat each leaf entry's centroid as a
+// point with weight N; this is the primitive they rely on.
+func (c *CF) AddWeightedPoint(p vec.Vector, w int64) {
+	if w <= 0 {
+		panic("cf: non-positive weight")
+	}
+	if c.N == 0 && len(c.LS) == 0 {
+		c.LS = vec.New(p.Dim())
+	}
+	c.N += w
+	for i := range c.LS {
+		c.LS[i] += float64(w) * p[i]
+	}
+	c.SS += float64(w) * p.SqNorm()
+}
+
+// Merge folds other into c (the CF Additivity Theorem).
+func (c *CF) Merge(other *CF) {
+	if other.N == 0 {
+		return
+	}
+	if c.N == 0 && len(c.LS) == 0 {
+		c.LS = vec.New(other.Dim())
+	}
+	c.N += other.N
+	c.LS.AddInPlace(other.LS)
+	c.SS += other.SS
+}
+
+// Unmerge removes other from c, the inverse of Merge. It is used when an
+// insertion is tentatively applied and must be undone (e.g. threshold test
+// failure after a trial merge). The caller must guarantee other was
+// previously merged into c; otherwise the result is meaningless.
+func (c *CF) Unmerge(other *CF) {
+	if other.N == 0 {
+		return
+	}
+	if c.N < other.N {
+		panic("cf: Unmerge would produce negative N")
+	}
+	c.N -= other.N
+	c.LS.SubInPlace(other.LS)
+	c.SS -= other.SS
+}
+
+// Sum returns a new CF equal to a + b without modifying either.
+func Sum(a, b *CF) CF {
+	out := a.Clone()
+	out.Merge(b)
+	return out
+}
+
+// Centroid returns X0 = LS/N. It panics on an empty CF.
+func (c *CF) Centroid() vec.Vector {
+	if c.N == 0 {
+		panic("cf: centroid of empty CF")
+	}
+	return vec.Scale(c.LS, 1/float64(c.N))
+}
+
+// CentroidInto writes X0 into dst (which must have the right dimension)
+// and returns it, avoiding an allocation in hot paths.
+func (c *CF) CentroidInto(dst vec.Vector) vec.Vector {
+	if c.N == 0 {
+		panic("cf: centroid of empty CF")
+	}
+	inv := 1 / float64(c.N)
+	for i := range dst {
+		dst[i] = c.LS[i] * inv
+	}
+	return dst
+}
+
+// RadiusSq returns R², the average squared distance from member points to
+// the centroid (paper eq. 2, squared):
+//
+//	R² = SS/N − ‖LS‖²/N²
+//
+// Floating-point cancellation can produce a tiny negative value for
+// near-degenerate clusters; it is clamped to 0.
+func (c *CF) RadiusSq() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	n := float64(c.N)
+	r2 := c.SS/n - c.LS.SqNorm()/(n*n)
+	if r2 < 0 {
+		return 0
+	}
+	return r2
+}
+
+// Radius returns R (paper eq. 2). For a singleton cluster R is 0.
+func (c *CF) Radius() float64 { return math.Sqrt(c.RadiusSq()) }
+
+// DiameterSq returns D², the average squared pairwise distance between
+// member points (paper eq. 3, squared):
+//
+//	D² = (2·N·SS − 2·‖LS‖²) / (N·(N−1))
+//
+// For N < 2 the diameter is 0 by convention.
+func (c *CF) DiameterSq() float64 {
+	if c.N < 2 {
+		return 0
+	}
+	n := float64(c.N)
+	d2 := (2*n*c.SS - 2*c.LS.SqNorm()) / (n * (n - 1))
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// Diameter returns D (paper eq. 3).
+func (c *CF) Diameter() float64 { return math.Sqrt(c.DiameterSq()) }
+
+// SSE returns the within-cluster sum of squared errors,
+// Σ ‖Xi − X0‖² = SS − ‖LS‖²/N. It is the quantity whose increase under a
+// merge defines D4. Returns 0 for an empty CF.
+func (c *CF) SSE() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	sse := c.SS - c.LS.SqNorm()/float64(c.N)
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}
+
+// Validate checks internal consistency (finite values, N ≥ 0, and the
+// Cauchy–Schwarz lower bound N·SS ≥ ‖LS‖² up to rounding slack). It is used
+// by tests and by tree invariant checks.
+func (c *CF) Validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("cf: negative N=%d", c.N)
+	}
+	if !c.LS.IsFinite() || math.IsNaN(c.SS) || math.IsInf(c.SS, 0) {
+		return fmt.Errorf("cf: non-finite components")
+	}
+	if c.N > 0 {
+		lhs := float64(c.N) * c.SS
+		rhs := c.LS.SqNorm()
+		slack := 1e-6 * (math.Abs(lhs) + math.Abs(rhs) + 1)
+		if lhs+slack < rhs {
+			return fmt.Errorf("cf: N·SS=%g < ‖LS‖²=%g violates Cauchy–Schwarz", lhs, rhs)
+		}
+	}
+	return nil
+}
+
+// String renders the triple compactly for debugging.
+func (c *CF) String() string {
+	return fmt.Sprintf("CF{N=%d LS=%v SS=%g}", c.N, c.LS, c.SS)
+}

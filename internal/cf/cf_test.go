@@ -1,0 +1,312 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, d int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = r.NormFloat64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestFromPoint(t *testing.T) {
+	p := vec.Of(3, 4)
+	c := FromPoint(p)
+	if c.N != 1 {
+		t.Errorf("N = %d, want 1", c.N)
+	}
+	if !vec.Equal(c.LS, p) {
+		t.Errorf("LS = %v, want %v", c.LS, p)
+	}
+	if c.SS != 25 {
+		t.Errorf("SS = %g, want 25", c.SS)
+	}
+	p[0] = 99
+	if c.LS[0] != 3 {
+		t.Error("FromPoint aliases the input point")
+	}
+}
+
+func TestFromPointsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromPoints(nil) did not panic")
+		}
+	}()
+	FromPoints(nil)
+}
+
+func TestCentroid(t *testing.T) {
+	c := FromPoints([]vec.Vector{vec.Of(0, 0), vec.Of(2, 4)})
+	if got := c.Centroid(); !vec.Equal(got, vec.Of(1, 2)) {
+		t.Errorf("Centroid = %v, want (1, 2)", got)
+	}
+	dst := vec.New(2)
+	if got := c.CentroidInto(dst); !vec.Equal(got, vec.Of(1, 2)) {
+		t.Errorf("CentroidInto = %v", got)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	c := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Centroid of empty CF did not panic")
+		}
+	}()
+	c.Centroid()
+}
+
+// TestRadiusMatchesDefinition checks R against the paper's eq. 2 computed
+// directly from points.
+func TestRadiusMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pts := randPoints(r, 2+r.Intn(40), 1+r.Intn(5))
+		c := FromPoints(pts)
+		x0 := c.Centroid()
+		var sum float64
+		for _, p := range pts {
+			sum += vec.SqDist(p, x0)
+		}
+		want := math.Sqrt(sum / float64(len(pts)))
+		if got := c.Radius(); math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("Radius = %g, want %g (n=%d)", got, want, len(pts))
+		}
+	}
+}
+
+// TestDiameterMatchesDefinition checks D against the paper's eq. 3 computed
+// over all pairs.
+func TestDiameterMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(r, 2+r.Intn(25), 1+r.Intn(5))
+		c := FromPoints(pts)
+		var sum float64
+		for i := range pts {
+			for j := range pts {
+				sum += vec.SqDist(pts[i], pts[j])
+			}
+		}
+		n := float64(len(pts))
+		want := math.Sqrt(sum / (n * (n - 1)))
+		if got := c.Diameter(); math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("Diameter = %g, want %g", got, want)
+		}
+	}
+}
+
+func TestSingletonRadiusDiameterZero(t *testing.T) {
+	c := FromPoint(vec.Of(5, -3))
+	if c.Radius() != 0 {
+		t.Errorf("singleton radius = %g", c.Radius())
+	}
+	if c.Diameter() != 0 {
+		t.Errorf("singleton diameter = %g", c.Diameter())
+	}
+}
+
+// TestAdditivityTheorem is the core theorem of the paper: CF(S1 ∪ S2) =
+// CF(S1) + CF(S2) for disjoint S1, S2.
+func TestAdditivityTheorem(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + r.Intn(6)
+		s1 := randPoints(r, 1+r.Intn(20), d)
+		s2 := randPoints(r, 1+r.Intn(20), d)
+		c1, c2 := FromPoints(s1), FromPoints(s2)
+		merged := Sum(&c1, &c2)
+		direct := FromPoints(append(append([]vec.Vector{}, s1...), s2...))
+		if merged.N != direct.N {
+			t.Fatalf("N: %d vs %d", merged.N, direct.N)
+		}
+		if !vec.ApproxEqual(merged.LS, direct.LS, 1e-9) {
+			t.Fatalf("LS: %v vs %v", merged.LS, direct.LS)
+		}
+		if math.Abs(merged.SS-direct.SS) > 1e-7*(1+direct.SS) {
+			t.Fatalf("SS: %g vs %g", merged.SS, direct.SS)
+		}
+	}
+}
+
+func TestMergeEmptyIdentity(t *testing.T) {
+	c := FromPoints([]vec.Vector{vec.Of(1, 2), vec.Of(3, 4)})
+	before := c.Clone()
+	empty := New(2)
+	c.Merge(&empty)
+	if c.N != before.N || !vec.Equal(c.LS, before.LS) || c.SS != before.SS {
+		t.Error("merging an empty CF changed the receiver")
+	}
+	// Merging into an empty CF yields the other operand.
+	e := New(2)
+	e.Merge(&before)
+	if e.N != before.N || !vec.Equal(e.LS, before.LS) {
+		t.Error("merging into empty CF lost data")
+	}
+}
+
+func TestUnmergeInvertsMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a := FromPoints(randPoints(r, 10, 3))
+	b := FromPoints(randPoints(r, 7, 3))
+	orig := a.Clone()
+	a.Merge(&b)
+	a.Unmerge(&b)
+	if a.N != orig.N || !vec.ApproxEqual(a.LS, orig.LS, 1e-9) ||
+		math.Abs(a.SS-orig.SS) > 1e-7*(1+orig.SS) {
+		t.Errorf("Unmerge did not invert Merge: %v vs %v", a.String(), orig.String())
+	}
+}
+
+func TestUnmergeNegativePanics(t *testing.T) {
+	a := FromPoint(vec.Of(1))
+	b := FromPoints([]vec.Vector{vec.Of(1), vec.Of(2)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unmerge producing negative N did not panic")
+		}
+	}()
+	a.Unmerge(&b)
+}
+
+func TestAddWeightedPoint(t *testing.T) {
+	var c CF
+	c.AddWeightedPoint(vec.Of(2, 0), 3)
+	want := FromPoints([]vec.Vector{vec.Of(2, 0), vec.Of(2, 0), vec.Of(2, 0)})
+	if c.N != want.N || !vec.Equal(c.LS, want.LS) || c.SS != want.SS {
+		t.Errorf("AddWeightedPoint = %v, want %v", c.String(), want.String())
+	}
+}
+
+func TestAddWeightedPointBadWeightPanics(t *testing.T) {
+	var c CF
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weight did not panic")
+		}
+	}()
+	c.AddWeightedPoint(vec.Of(1), 0)
+}
+
+func TestReset(t *testing.T) {
+	c := FromPoints([]vec.Vector{vec.Of(1, 2), vec.Of(3, 4)})
+	c.Reset()
+	if !c.IsEmpty() || c.SS != 0 || !vec.Equal(c.LS, vec.Of(0, 0)) {
+		t.Errorf("Reset left %v", c.String())
+	}
+	if c.Dim() != 2 {
+		t.Errorf("Reset changed dimension to %d", c.Dim())
+	}
+}
+
+func TestSSE(t *testing.T) {
+	// Two points at distance 2 around centroid: SSE = 1 + 1 = 2.
+	c := FromPoints([]vec.Vector{vec.Of(-1), vec.Of(1)})
+	if got := c.SSE(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("SSE = %g, want 2", got)
+	}
+	empty := New(1)
+	if empty.SSE() != 0 {
+		t.Error("SSE of empty CF should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := FromPoints([]vec.Vector{vec.Of(1, 2), vec.Of(3, 4)})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid CF failed validation: %v", err)
+	}
+	bad := CF{N: -1, LS: vec.Of(0), SS: 0}
+	if bad.Validate() == nil {
+		t.Error("negative N passed validation")
+	}
+	nan := CF{N: 1, LS: vec.Of(math.NaN()), SS: 1}
+	if nan.Validate() == nil {
+		t.Error("NaN LS passed validation")
+	}
+	// Violates N·SS ≥ ‖LS‖²: 1·1 < 100.
+	cs := CF{N: 1, LS: vec.Of(10), SS: 1}
+	if cs.Validate() == nil {
+		t.Error("Cauchy–Schwarz violation passed validation")
+	}
+}
+
+func TestQuickAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		s1 := randPoints(r, 1+r.Intn(10), d)
+		s2 := randPoints(r, 1+r.Intn(10), d)
+		c1, c2 := FromPoints(s1), FromPoints(s2)
+		m := Sum(&c1, &c2)
+		all := FromPoints(append(append([]vec.Vector{}, s1...), s2...))
+		return m.N == all.N &&
+			vec.ApproxEqual(m.LS, all.LS, 1e-9) &&
+			math.Abs(m.SS-all.SS) <= 1e-7*(1+math.Abs(all.SS))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRadiusLEDiameter: for any cluster, R ≤ D ≤ 2R is a known
+// relation for the paper's definitions (D² = 2N/(N−1)·R²), so in
+// particular D ≥ R for N ≥ 2.
+func TestQuickRadiusDiameterRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := randPoints(r, 2+r.Intn(30), 1+r.Intn(4))
+		c := FromPoints(pts)
+		n := float64(c.N)
+		want := 2 * n / (n - 1) * c.RadiusSq()
+		return math.Abs(c.DiameterSq()-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickValidateRandomClusters(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := randPoints(r, 1+r.Intn(30), 1+r.Intn(4))
+		c := FromPoints(pts)
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFString(t *testing.T) {
+	c := FromPoint(vec.Of(1, 2))
+	s := c.String()
+	if s == "" || s[:3] != "CF{" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRadiusSqEmptyAndClamped(t *testing.T) {
+	e := New(2)
+	if e.RadiusSq() != 0 {
+		t.Error("empty RadiusSq != 0")
+	}
+	// A CF with tiny negative cancellation: N=1 exact duplicate is 0.
+	c := FromPoint(vec.Of(1e8))
+	if c.RadiusSq() != 0 {
+		t.Errorf("singleton RadiusSq = %g", c.RadiusSq())
+	}
+}

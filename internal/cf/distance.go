@@ -1,0 +1,181 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+
+	"birch/internal/vec"
+)
+
+// Metric selects one of the paper's five inter-cluster distance
+// definitions (Section 3, eqs. 1 and 4–6). All are computable from CF
+// triples alone.
+type Metric int
+
+const (
+	// D0 is the Euclidean distance between the two centroids (eq. 1).
+	D0 Metric = iota
+	// D1 is the Manhattan distance between the two centroids (eq. 4).
+	D1
+	// D2 is the average inter-cluster distance: the root mean squared
+	// distance over all cross pairs (Xi in c1, Xj in c2) (eq. 5).
+	D2
+	// D3 is the average intra-cluster distance of the merged cluster,
+	// i.e. the diameter of c1 ∪ c2 (eq. 6).
+	D3
+	// D4 is the variance-increase distance: the square root of the growth
+	// in total within-cluster SSE caused by merging c1 and c2.
+	D4
+)
+
+// String returns the paper's name for the metric.
+func (m Metric) String() string {
+	switch m {
+	case D0:
+		return "D0"
+	case D1:
+		return "D1"
+	case D2:
+		return "D2"
+	case D3:
+		return "D3"
+	case D4:
+		return "D4"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of D0–D4.
+func (m Metric) Valid() bool { return m >= D0 && m <= D4 }
+
+// ParseMetric converts a string such as "D2" or "d2" to a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "D0", "d0":
+		return D0, nil
+	case "D1", "d1":
+		return D1, nil
+	case "D2", "d2":
+		return D2, nil
+	case "D3", "d3":
+		return D3, nil
+	case "D4", "d4":
+		return D4, nil
+	}
+	return 0, fmt.Errorf("cf: unknown metric %q (want D0..D4)", s)
+}
+
+// Distance returns the metric-m distance between the clusters summarized by
+// a and b. Both must be non-empty. The result is always ≥ 0 and is
+// symmetric in a and b for every metric.
+func Distance(m Metric, a, b *CF) float64 {
+	switch m {
+	case D0:
+		return centroidEuclidean(a, b)
+	case D1:
+		return centroidManhattan(a, b)
+	case D2:
+		return math.Sqrt(DistanceSq(D2, a, b))
+	case D3:
+		return math.Sqrt(DistanceSq(D3, a, b))
+	case D4:
+		return math.Sqrt(DistanceSq(D4, a, b))
+	default:
+		panic("cf: invalid metric " + m.String())
+	}
+}
+
+// DistanceSq returns the squared metric-m distance. For D0–D2 this is the
+// square of Distance; for D3 it is the squared merged diameter and for D4
+// the raw variance increase. Comparisons (closest entry, threshold tests)
+// can use DistanceSq to avoid square roots on hot paths, since x ↦ x² is
+// monotone on non-negative reals.
+func DistanceSq(m Metric, a, b *CF) float64 {
+	if a.N == 0 || b.N == 0 {
+		panic("cf: distance involving empty CF")
+	}
+	switch m {
+	case D0:
+		d := centroidEuclidean(a, b)
+		return d * d
+	case D1:
+		d := centroidManhattan(a, b)
+		return d * d
+	case D2:
+		return averageInterSq(a, b)
+	case D3:
+		return mergedDiameterSq(a, b)
+	case D4:
+		return varianceIncrease(a, b)
+	default:
+		panic("cf: invalid metric " + m.String())
+	}
+}
+
+// centroidEuclidean computes D0 without allocating centroid vectors.
+func centroidEuclidean(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var s float64
+	for i := range a.LS {
+		d := a.LS[i]/na - b.LS[i]/nb
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// centroidManhattan computes D1 without allocating centroid vectors.
+func centroidManhattan(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var s float64
+	for i := range a.LS {
+		s += math.Abs(a.LS[i]/na - b.LS[i]/nb)
+	}
+	return s
+}
+
+// averageInterSq computes D2² from the CF algebra:
+//
+//	D2² = (Σi Σj ‖Xi−Xj‖²) / (N1·N2)
+//	    = SS1/N1 + SS2/N2 − 2·(LS1·LS2)/(N1·N2)
+func averageInterSq(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	v := a.SS/na + b.SS/nb - 2*vec.Dot(a.LS, b.LS)/(na*nb)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// mergedDiameterSq computes D3² = D²(a ∪ b) without materializing the
+// merged CF.
+func mergedDiameterSq(a, b *CF) float64 {
+	n := float64(a.N + b.N)
+	if n < 2 {
+		return 0
+	}
+	ss := a.SS + b.SS
+	var lsSq float64
+	for i := range a.LS {
+		s := a.LS[i] + b.LS[i]
+		lsSq += s * s
+	}
+	d2 := (2*n*ss - 2*lsSq) / (n * (n - 1))
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// varianceIncrease computes D4² = SSE(a ∪ b) − SSE(a) − SSE(b). It reduces
+// to the classic Ward form  (N1·N2/(N1+N2))·‖X01 − X02‖², computed here
+// directly from the triples for numerical robustness.
+func varianceIncrease(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var cdistSq float64
+	for i := range a.LS {
+		d := a.LS[i]/na - b.LS[i]/nb
+		cdistSq += d * d
+	}
+	return na * nb / (na + nb) * cdistSq
+}

@@ -1,0 +1,230 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+// bruteDistance computes the metric directly from point sets, following the
+// paper's definitions verbatim, so the CF-algebra implementations can be
+// checked against ground truth.
+func bruteDistance(m Metric, s1, s2 []vec.Vector) float64 {
+	c1, c2 := FromPoints(s1), FromPoints(s2)
+	x1, x2 := c1.Centroid(), c2.Centroid()
+	switch m {
+	case D0:
+		return vec.Dist(x1, x2)
+	case D1:
+		return vec.ManhattanDist(x1, x2)
+	case D2:
+		var sum float64
+		for _, a := range s1 {
+			for _, b := range s2 {
+				sum += vec.SqDist(a, b)
+			}
+		}
+		return math.Sqrt(sum / float64(len(s1)*len(s2)))
+	case D3:
+		all := append(append([]vec.Vector{}, s1...), s2...)
+		var sum float64
+		for i := range all {
+			for j := range all {
+				sum += vec.SqDist(all[i], all[j])
+			}
+		}
+		n := float64(len(all))
+		return math.Sqrt(sum / (n * (n - 1)))
+	case D4:
+		all := append(append([]vec.Vector{}, s1...), s2...)
+		sse := func(pts []vec.Vector) float64 {
+			c := vec.Mean(pts)
+			var s float64
+			for _, p := range pts {
+				s += vec.SqDist(p, c)
+			}
+			return s
+		}
+		inc := sse(all) - sse(s1) - sse(s2)
+		if inc < 0 {
+			inc = 0
+		}
+		return math.Sqrt(inc)
+	}
+	panic("unknown metric")
+}
+
+func TestDistanceAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		for trial := 0; trial < 25; trial++ {
+			d := 1 + r.Intn(4)
+			s1 := randPoints(r, 1+r.Intn(12), d)
+			s2 := randPoints(r, 1+r.Intn(12), d)
+			c1, c2 := FromPoints(s1), FromPoints(s2)
+			got := Distance(m, &c1, &c2)
+			want := bruteDistance(m, s1, s2)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("%v: got %g, want %g (|s1|=%d |s2|=%d d=%d)",
+					m, got, want, len(s1), len(s2), d)
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		for trial := 0; trial < 10; trial++ {
+			d := 1 + r.Intn(4)
+			c1 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+			c2 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+			ab := Distance(m, &c1, &c2)
+			ba := Distance(m, &c2, &c1)
+			if math.Abs(ab-ba) > 1e-9*(1+ab) {
+				t.Fatalf("%v not symmetric: %g vs %g", m, ab, ba)
+			}
+		}
+	}
+}
+
+func TestDistanceSqMonotoneWithDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		c1 := FromPoints(randPoints(r, 8, 3))
+		c2 := FromPoints(randPoints(r, 8, 3))
+		d := Distance(m, &c1, &c2)
+		dsq := DistanceSq(m, &c1, &c2)
+		if math.Abs(dsq-d*d) > 1e-6*(1+dsq) {
+			t.Errorf("%v: DistanceSq=%g but Distance²=%g", m, dsq, d*d)
+		}
+	}
+}
+
+func TestDistanceEmptyPanics(t *testing.T) {
+	c := FromPoint(vec.Of(1))
+	e := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("distance to empty CF did not panic")
+		}
+	}()
+	DistanceSq(D0, &c, &e)
+}
+
+func TestIdenticalSingletonsZeroDistance(t *testing.T) {
+	p := vec.Of(2, 3)
+	c1, c2 := FromPoint(p), FromPoint(p)
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		if got := Distance(m, &c1, &c2); got != 0 {
+			t.Errorf("%v distance between identical singletons = %g", m, got)
+		}
+	}
+}
+
+func TestD4EqualsWardForm(t *testing.T) {
+	// D4² must equal N1·N2/(N1+N2) · ‖X01−X02‖².
+	r := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		c1 := FromPoints(randPoints(r, 1+r.Intn(15), 3))
+		c2 := FromPoints(randPoints(r, 1+r.Intn(15), 3))
+		n1, n2 := float64(c1.N), float64(c2.N)
+		want := n1 * n2 / (n1 + n2) * vec.SqDist(c1.Centroid(), c2.Centroid())
+		got := DistanceSq(D4, &c1, &c2)
+		if math.Abs(got-want) > 1e-7*(1+want) {
+			t.Fatalf("D4² = %g, want Ward form %g", got, want)
+		}
+	}
+}
+
+func TestD3EqualsMergedDiameter(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	c1 := FromPoints(randPoints(r, 9, 2))
+	c2 := FromPoints(randPoints(r, 5, 2))
+	merged := Sum(&c1, &c2)
+	got := Distance(D3, &c1, &c2)
+	want := merged.Diameter()
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("D3 = %g, merged diameter = %g", got, want)
+	}
+}
+
+func TestMetricStringAndParse(t *testing.T) {
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		s := m.String()
+		back, err := ParseMetric(s)
+		if err != nil || back != m {
+			t.Errorf("round trip of %v failed: %v %v", m, back, err)
+		}
+		if !m.Valid() {
+			t.Errorf("%v reported invalid", m)
+		}
+	}
+	if _, err := ParseMetric("D9"); err == nil {
+		t.Error("ParseMetric accepted D9")
+	}
+	if Metric(99).Valid() {
+		t.Error("Metric(99) reported valid")
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Errorf("Metric(99).String() = %q", Metric(99).String())
+	}
+}
+
+// TestQuickD2GEqD0: the average inter-cluster distance D2 always dominates
+// the centroid distance D0 (Jensen / parallel-axis: D2² = D0² + R1'² + R2'²
+// where R'² are the per-cluster mean squared deviations).
+func TestQuickD2DominatesD0(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		c1 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		c2 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		return DistanceSq(D2, &c1, &c2)+1e-6 >= DistanceSq(D0, &c1, &c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickD2Decomposition verifies the exact parallel-axis decomposition
+// D2² = D0² + SSE1/N1 + SSE2/N2.
+func TestQuickD2Decomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		c1 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		c2 := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		want := DistanceSq(D0, &c1, &c2) +
+			c1.SSE()/float64(c1.N) + c2.SSE()/float64(c2.N)
+		got := DistanceSq(D2, &c1, &c2)
+		return math.Abs(got-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDistanceD2(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c1 := FromPoints(randPoints(r, 100, 8))
+	c2 := FromPoints(randPoints(r, 100, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DistanceSq(D2, &c1, &c2)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c1 := FromPoints(randPoints(r, 100, 8))
+	c2 := FromPoints(randPoints(r, 100, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := c1.Clone()
+		tmp.Merge(&c2)
+	}
+}

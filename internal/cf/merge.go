@@ -1,0 +1,89 @@
+package cf
+
+// This file provides trial-merge computations: the properties the merged
+// cluster a ∪ b would have, computed directly from the two CF triples
+// without materializing the merge. The CF-tree threshold test (a new point
+// may be absorbed by the closest leaf entry only if the resulting cluster
+// still satisfies the threshold condition, Section 4.3) calls these on
+// every insertion, so they are allocation-free.
+
+// MergedRadiusSq returns R² of the cluster a ∪ b.
+func MergedRadiusSq(a, b *CF) float64 {
+	n := float64(a.N + b.N)
+	if n == 0 {
+		return 0
+	}
+	ss := a.SS + b.SS
+	var lsSq float64
+	for i := range a.LS {
+		s := a.LS[i] + b.LS[i]
+		lsSq += s * s
+	}
+	r2 := ss/n - lsSq/(n*n)
+	if r2 < 0 {
+		return 0
+	}
+	return r2
+}
+
+// MergedDiameterSq returns D² of the cluster a ∪ b (identical to
+// DistanceSq(D3, a, b) but total: it permits empty operands).
+func MergedDiameterSq(a, b *CF) float64 {
+	if a.N == 0 {
+		return b.DiameterSq()
+	}
+	if b.N == 0 {
+		return a.DiameterSq()
+	}
+	return mergedDiameterSq(a, b)
+}
+
+// ThresholdKind selects which cluster property the CF-tree threshold T
+// constrains. The paper uses the diameter by default and mentions the
+// radius as the alternative ("the diameter (or radius)", Section 4.2).
+type ThresholdKind int
+
+const (
+	// ThresholdDiameter requires D(leaf entry) ≤ T.
+	ThresholdDiameter ThresholdKind = iota
+	// ThresholdRadius requires R(leaf entry) ≤ T.
+	ThresholdRadius
+)
+
+// String names the threshold kind.
+func (k ThresholdKind) String() string {
+	switch k {
+	case ThresholdDiameter:
+		return "diameter"
+	case ThresholdRadius:
+		return "radius"
+	default:
+		return "ThresholdKind(?)"
+	}
+}
+
+// MergedSatisfiesThreshold reports whether the cluster a ∪ b would satisfy
+// the threshold condition: its diameter (or radius, per kind) ≤ t.
+func MergedSatisfiesThreshold(a, b *CF, kind ThresholdKind, t float64) bool {
+	switch kind {
+	case ThresholdDiameter:
+		return MergedDiameterSq(a, b) <= t*t
+	case ThresholdRadius:
+		return MergedRadiusSq(a, b) <= t*t
+	default:
+		panic("cf: invalid threshold kind")
+	}
+}
+
+// SatisfiesThreshold reports whether cluster c alone satisfies the
+// threshold condition.
+func SatisfiesThreshold(c *CF, kind ThresholdKind, t float64) bool {
+	switch kind {
+	case ThresholdDiameter:
+		return c.DiameterSq() <= t*t
+	case ThresholdRadius:
+		return c.RadiusSq() <= t*t
+	default:
+		panic("cf: invalid threshold kind")
+	}
+}

@@ -1,0 +1,153 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+func TestMergedRadiusSqMatchesMaterializedMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + r.Intn(4)
+		a := FromPoints(randPoints(r, 1+r.Intn(12), d))
+		b := FromPoints(randPoints(r, 1+r.Intn(12), d))
+		m := Sum(&a, &b)
+		got := MergedRadiusSq(&a, &b)
+		want := m.RadiusSq()
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("MergedRadiusSq = %g, want %g", got, want)
+		}
+	}
+}
+
+func TestMergedDiameterSqMatchesMaterializedMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + r.Intn(4)
+		a := FromPoints(randPoints(r, 1+r.Intn(12), d))
+		b := FromPoints(randPoints(r, 1+r.Intn(12), d))
+		m := Sum(&a, &b)
+		got := MergedDiameterSq(&a, &b)
+		want := m.DiameterSq()
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("MergedDiameterSq = %g, want %g", got, want)
+		}
+	}
+}
+
+func TestMergedWithEmptyOperand(t *testing.T) {
+	a := FromPoints([]vec.Vector{vec.Of(0, 0), vec.Of(2, 0)})
+	e := New(2)
+	if got, want := MergedDiameterSq(&a, &e), a.DiameterSq(); got != want {
+		t.Errorf("MergedDiameterSq(a, empty) = %g, want %g", got, want)
+	}
+	if got, want := MergedDiameterSq(&e, &a), a.DiameterSq(); got != want {
+		t.Errorf("MergedDiameterSq(empty, a) = %g, want %g", got, want)
+	}
+	if got := MergedRadiusSq(&e, &e); got != 0 {
+		t.Errorf("MergedRadiusSq(empty, empty) = %g", got)
+	}
+}
+
+func TestThresholdKindString(t *testing.T) {
+	if ThresholdDiameter.String() != "diameter" || ThresholdRadius.String() != "radius" {
+		t.Error("ThresholdKind names wrong")
+	}
+	if ThresholdKind(9).String() != "ThresholdKind(?)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestMergedSatisfiesThreshold(t *testing.T) {
+	// Two singletons 2 apart: merged diameter² = (2·2·8 − 2·4)/2 ... easier:
+	// D² = 2N/(N−1)·R², with centroid distance 2, R = 1 ⇒ D = 2.
+	a := FromPoint(vec.Of(0))
+	b := FromPoint(vec.Of(2))
+	if !MergedSatisfiesThreshold(&a, &b, ThresholdDiameter, 2.0) {
+		t.Error("diameter 2 should satisfy T=2")
+	}
+	if MergedSatisfiesThreshold(&a, &b, ThresholdDiameter, 1.9) {
+		t.Error("diameter 2 should fail T=1.9")
+	}
+	if !MergedSatisfiesThreshold(&a, &b, ThresholdRadius, 1.0) {
+		t.Error("radius 1 should satisfy T=1")
+	}
+	if MergedSatisfiesThreshold(&a, &b, ThresholdRadius, 0.9) {
+		t.Error("radius 1 should fail T=0.9")
+	}
+}
+
+func TestSatisfiesThreshold(t *testing.T) {
+	c := FromPoints([]vec.Vector{vec.Of(0), vec.Of(2)})
+	if !SatisfiesThreshold(&c, ThresholdDiameter, 2.0) {
+		t.Error("want satisfied at T=2")
+	}
+	if SatisfiesThreshold(&c, ThresholdDiameter, 1.0) {
+		t.Error("want unsatisfied at T=1")
+	}
+	singleton := FromPoint(vec.Of(5))
+	if !SatisfiesThreshold(&singleton, ThresholdDiameter, 0) {
+		t.Error("singleton must satisfy any threshold, even 0")
+	}
+}
+
+func TestInvalidThresholdKindPanics(t *testing.T) {
+	c := FromPoint(vec.Of(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid kind did not panic")
+		}
+	}()
+	SatisfiesThreshold(&c, ThresholdKind(42), 1)
+}
+
+// TestQuickMergeMonotonicity: absorbing more points can only grow (or keep)
+// the merged radius lower bound 0 — and a merged cluster's diameter is at
+// least each operand's own diameter when the operands are "far"; the robust
+// universally-true property is that merged SSE ≥ SSE(a) + SSE(b).
+func TestQuickMergeSSEMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(4)
+		a := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		b := FromPoints(randPoints(r, 1+r.Intn(10), d))
+		m := Sum(&a, &b)
+		return m.SSE()+1e-6 >= a.SSE()+b.SSE()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdRadiusBranches(t *testing.T) {
+	a := FromPoint(vec.Of(0.0))
+	b := FromPoint(vec.Of(4.0))
+	// Merged radius is 2.
+	if MergedSatisfiesThreshold(&a, &b, ThresholdRadius, 1.9) {
+		t.Error("radius 2 satisfied T=1.9")
+	}
+	if !MergedSatisfiesThreshold(&a, &b, ThresholdRadius, 2.1) {
+		t.Error("radius 2 failed T=2.1")
+	}
+	m := Sum(&a, &b)
+	if SatisfiesThreshold(&m, ThresholdRadius, 1.9) {
+		t.Error("cluster radius 2 satisfied T=1.9")
+	}
+	if !SatisfiesThreshold(&m, ThresholdRadius, 2.1) {
+		t.Error("cluster radius 2 failed T=2.1")
+	}
+}
+
+func TestMergedSatisfiesInvalidKindPanics(t *testing.T) {
+	a := FromPoint(vec.Of(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid kind did not panic")
+		}
+	}()
+	MergedSatisfiesThreshold(&a, &a, ThresholdKind(9), 1)
+}

@@ -1,0 +1,95 @@
+package cftree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Dump writes a human-readable rendering of the tree structure: one line
+// per node, indented by depth, with entry counts and CF summaries
+// (nonleaf entries abbreviated). Intended for debugging and for the
+// didactic examples; the output format is not stable API.
+func (t *Tree) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "CFTree{height=%d nodes=%d leafEntries=%d points=%d T=%g(%v) B=%d L=%d metric=%v}\n",
+		t.height, t.nodes, t.leafEntries, t.points,
+		t.params.Threshold, t.params.ThresholdKind,
+		t.params.Branching, t.params.LeafCap, t.params.Metric)
+	if t.root != nil {
+		t.dumpNode(bw, t.root, 0)
+	}
+	return bw.Flush()
+}
+
+func (t *Tree) dumpNode(w io.Writer, n *Node, depth int) {
+	indent := make([]byte, depth*2)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	kind := "nonleaf"
+	if n.leaf {
+		kind = "leaf"
+	}
+	fmt.Fprintf(w, "%s%s[%d entries]\n", indent, kind, len(n.entries))
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			fmt.Fprintf(w, "%s  entry %d: N=%d centroid=%v D=%.4g\n",
+				indent, i, e.CF.N, e.CF.Centroid(), e.CF.Diameter())
+			continue
+		}
+		fmt.Fprintf(w, "%s  entry %d: N=%d (subtree)\n", indent, i, e.CF.N)
+		t.dumpNode(w, e.Child, depth+1)
+	}
+}
+
+// UtilizationStats reports how full the tree's nodes are — the quantity
+// the paper's merging refinement exists to improve ("passes of merging
+// refinement ... improve page utilization").
+type UtilizationStats struct {
+	LeafNodes      int
+	NonleafNodes   int
+	AvgLeafFill    float64 // mean entries per leaf ÷ leaf capacity
+	AvgNonleafFill float64 // mean entries per nonleaf ÷ branching factor
+	MinLeafEntries int
+	MaxLeafEntries int
+}
+
+// Utilization computes UtilizationStats over the current tree.
+func (t *Tree) Utilization() UtilizationStats {
+	var u UtilizationStats
+	var leafEntries, nonleafEntries int
+	first := true
+
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			u.LeafNodes++
+			leafEntries += len(n.entries)
+			if first || len(n.entries) < u.MinLeafEntries {
+				u.MinLeafEntries = len(n.entries)
+			}
+			if first || len(n.entries) > u.MaxLeafEntries {
+				u.MaxLeafEntries = len(n.entries)
+			}
+			first = false
+			return
+		}
+		u.NonleafNodes++
+		nonleafEntries += len(n.entries)
+		for i := range n.entries {
+			walk(n.entries[i].Child)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	if u.LeafNodes > 0 {
+		u.AvgLeafFill = float64(leafEntries) / float64(u.LeafNodes) / float64(t.params.LeafCap)
+	}
+	if u.NonleafNodes > 0 {
+		u.AvgNonleafFill = float64(nonleafEntries) / float64(u.NonleafNodes) / float64(t.params.Branching)
+	}
+	return u
+}

@@ -1,0 +1,90 @@
+package cftree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func TestDump(t *testing.T) {
+	p := defaultParams()
+	p.Threshold = 0
+	tr := mustTree(t, p)
+	for i := 0; i < 10; i++ {
+		insertPoint(tr, float64(i)*10, 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CFTree{", "height=2", "leafEntries=10", "leaf[", "nonleaf["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "centroid="); got != 10 {
+		t.Errorf("dumped %d leaf entries, want 10", got)
+	}
+}
+
+func TestDumpEmptyTree(t *testing.T) {
+	tr := mustTree(t, defaultParams())
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "leaf[0 entries]") {
+		t.Errorf("empty dump = %q", buf.String())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := defaultParams()
+	p.Threshold = 0.2
+	tr := mustTree(t, p)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1500; i++ {
+		tr.Insert(cf.FromPoint(vec.Of(r.Float64()*80, r.Float64()*80)))
+	}
+	u := tr.Utilization()
+	if u.LeafNodes == 0 || u.NonleafNodes == 0 {
+		t.Fatalf("stats = %+v", u)
+	}
+	if u.AvgLeafFill <= 0 || u.AvgLeafFill > 1 {
+		t.Fatalf("leaf fill = %g", u.AvgLeafFill)
+	}
+	if u.AvgNonleafFill <= 0 || u.AvgNonleafFill > 1 {
+		t.Fatalf("nonleaf fill = %g", u.AvgNonleafFill)
+	}
+	if u.MinLeafEntries < 1 || u.MaxLeafEntries > p.LeafCap {
+		t.Fatalf("leaf entry range [%d, %d]", u.MinLeafEntries, u.MaxLeafEntries)
+	}
+}
+
+// TestUtilizationMergingRefinementHelps compares average leaf fill with
+// the §4.3 refinement on vs off on identical input: refinement should not
+// reduce utilization (its purpose is to improve it).
+func TestUtilizationMergingRefinementHelps(t *testing.T) {
+	fill := func(refine bool) float64 {
+		p := defaultParams()
+		p.Threshold = 0.15
+		p.Branching = 4
+		p.LeafCap = 4
+		p.MergingRefinement = refine
+		tr := mustTree(t, p)
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 3000; i++ {
+			tr.Insert(cf.FromPoint(vec.Of(r.Float64()*60, r.Float64()*60)))
+		}
+		return tr.Utilization().AvgLeafFill
+	}
+	on, off := fill(true), fill(false)
+	if on < off*0.95 {
+		t.Fatalf("refinement reduced utilization: %g vs %g", on, off)
+	}
+}

@@ -1,0 +1,70 @@
+package cftree
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// FuzzInsertInvariants decodes the fuzz input as a stream of 2-d points
+// plus tree-shape knobs and checks that every insertion sequence leaves
+// the tree satisfying its full invariants. Run with
+// `go test -fuzz=FuzzInsertInvariants ./internal/cftree` to explore; the
+// seed corpus runs as part of the normal test suite.
+func FuzzInsertInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 128, 7, 33, 99, 250, 1, 0, 64, 64, 64, 64, 12, 200})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := Params{
+			Dim:               2,
+			Branching:         2 + int(data[0])%6,
+			LeafCap:           2 + int(data[1])%6,
+			Threshold:         float64(data[2]) / 16,
+			ThresholdKind:     cf.ThresholdKind(int(data[3]) % 2),
+			Metric:            cf.Metric(int(data[3]) % 5),
+			MergingRefinement: data[3]%2 == 0,
+		}
+		tr, err := New(p, bigPager())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := data[4:]
+		n := int64(0)
+		for len(rest) >= 4 {
+			x := float64(int16(binary.LittleEndian.Uint16(rest))) / 64
+			y := float64(int16(binary.LittleEndian.Uint16(rest[2:]))) / 64
+			rest = rest[4:]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			tr.Insert(cf.FromPoint(vec.Of(x, y)))
+			n++
+		}
+		if tr.Points() != n {
+			t.Fatalf("points = %d, inserted %d", tr.Points(), n)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		// Rebuild with a doubled threshold must preserve mass and
+		// satisfy invariants too.
+		nt, _, err := tr.Rebuild(p.Threshold*2+0.1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nt.Points() != n {
+			t.Fatalf("rebuild lost points: %d vs %d", nt.Points(), n)
+		}
+		if err := nt.CheckInvariants(); err != nil {
+			t.Fatalf("rebuilt invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package cftree
+
+import (
+	"fmt"
+	"math"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// CheckInvariants verifies the structural and summary invariants of the
+// tree and returns the first violation found. It is O(size of tree) and
+// intended for tests and debugging, not production paths.
+//
+// Invariants checked:
+//  1. Every nonleaf entry's CF equals the sum of its child's entry CFs
+//     (CF Additivity along the tree).
+//  2. No node exceeds its capacity (B for nonleaf, L for leaf), and every
+//     node except the root holds at least one entry.
+//  3. All leaves are at the same depth (height balance).
+//  4. The leaf chain visits exactly the set of leaves reachable from the
+//     root, each once, with consistent prev pointers. (Chain order need
+//     not match in-order tree traversal: splits redistribute entries
+//     between sibling nodes, so the chain reflects split history.)
+//  5. Every leaf entry satisfies the threshold condition.
+//  6. Aggregate counters (nodes, leafEntries, points, height) match the
+//     actual structure.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("cftree: nil root (tree was consumed by Rebuild?)")
+	}
+	var (
+		leafDepth   = -1
+		nodeCount   = 0
+		leafEntries = 0
+		points      int64
+		chainLeaves []*Node
+	)
+
+	var walk func(n *Node, depth int) (cf.CF, error)
+	walk = func(n *Node, depth int) (cf.CF, error) {
+		nodeCount++
+		if n != t.root && len(n.entries) == 0 {
+			return cf.CF{}, fmt.Errorf("cftree: empty non-root node at depth %d", depth)
+		}
+		if len(n.entries) > t.capacityOf(n) {
+			return cf.CF{}, fmt.Errorf("cftree: node at depth %d has %d entries, capacity %d",
+				depth, len(n.entries), t.capacityOf(n))
+		}
+		sum := cf.New(t.params.Dim)
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return cf.CF{}, fmt.Errorf("cftree: leaf at depth %d, expected %d (unbalanced)",
+					depth, leafDepth)
+			}
+			chainLeaves = append(chainLeaves, n)
+			for i := range n.entries {
+				e := &n.entries[i]
+				if e.Child != nil {
+					return cf.CF{}, fmt.Errorf("cftree: leaf entry %d has a child", i)
+				}
+				if err := e.CF.Validate(); err != nil {
+					return cf.CF{}, fmt.Errorf("cftree: leaf entry %d: %w", i, err)
+				}
+				if !cf.SatisfiesThreshold(&e.CF, t.params.ThresholdKind, t.params.Threshold+1e-9) {
+					return cf.CF{}, fmt.Errorf(
+						"cftree: leaf entry %d violates threshold %g (kind %v): D=%g R=%g",
+						i, t.params.Threshold, t.params.ThresholdKind,
+						e.CF.Diameter(), e.CF.Radius())
+				}
+				leafEntries++
+				points += e.CF.N
+				sum.Merge(&e.CF)
+			}
+			return sum, nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.Child == nil {
+				return cf.CF{}, fmt.Errorf("cftree: nonleaf entry %d has nil child", i)
+			}
+			childSum, err := walk(e.Child, depth+1)
+			if err != nil {
+				return cf.CF{}, err
+			}
+			if !cfApproxEqual(&e.CF, &childSum) {
+				return cf.CF{}, fmt.Errorf(
+					"cftree: nonleaf entry %d CF %v does not summarize child %v",
+					i, e.CF.String(), childSum.String())
+			}
+			sum.Merge(&e.CF)
+		}
+		return sum, nil
+	}
+
+	if _, err := walk(t.root, 1); err != nil {
+		return err
+	}
+
+	// Chain consistency: same set of leaves, each visited once, with
+	// consistent back pointers.
+	treeLeaves := make(map[*Node]bool, len(chainLeaves))
+	for _, l := range chainLeaves {
+		treeLeaves[l] = true
+	}
+	i := 0
+	var prev *Node
+	for n := t.leafHead; n != nil; n = n.next {
+		if i >= len(chainLeaves) {
+			return fmt.Errorf("cftree: leaf chain longer than tree leaves (%d)", len(chainLeaves))
+		}
+		if !treeLeaves[n] {
+			return fmt.Errorf("cftree: chain leaf %d not reachable from root (or visited twice)", i)
+		}
+		delete(treeLeaves, n)
+		if n.prev != prev {
+			return fmt.Errorf("cftree: bad prev pointer at leaf %d", i)
+		}
+		prev = n
+		i++
+	}
+	if i != len(chainLeaves) {
+		return fmt.Errorf("cftree: leaf chain has %d leaves, tree has %d", i, len(chainLeaves))
+	}
+	if t.leafTail != prev {
+		return fmt.Errorf("cftree: leafTail does not point at the last leaf")
+	}
+
+	// Counter consistency.
+	if nodeCount != t.nodes {
+		return fmt.Errorf("cftree: node counter %d, actual %d", t.nodes, nodeCount)
+	}
+	if leafEntries != t.leafEntries {
+		return fmt.Errorf("cftree: leafEntries counter %d, actual %d", t.leafEntries, leafEntries)
+	}
+	if points != t.points {
+		return fmt.Errorf("cftree: points counter %d, actual %d", t.points, points)
+	}
+	if leafDepth != t.height {
+		return fmt.Errorf("cftree: height counter %d, actual %d", t.height, leafDepth)
+	}
+	return nil
+}
+
+// cfApproxEqual compares two CFs with floating-point slack proportional to
+// magnitude, as repeated merge/summary recomputation accumulates rounding.
+func cfApproxEqual(a, b *cf.CF) bool {
+	if a.N != b.N {
+		return false
+	}
+	if !vec.ApproxEqual(a.LS, b.LS, 1e-6*(1+maxAbs(a.LS))) {
+		return false
+	}
+	slack := 1e-6 * (1 + math.Abs(a.SS) + math.Abs(b.SS))
+	return math.Abs(a.SS-b.SS) <= slack
+}
+
+func maxAbs(v vec.Vector) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+// Package cftree implements the CF tree of Section 4.2: a height-balanced
+// tree, patterned after a B+-tree, whose nonleaf nodes hold up to B
+// [CF, child] entries and whose leaf nodes hold up to L CF entries, each
+// leaf entry summarizing a subcluster whose diameter (or radius) satisfies
+// the threshold T. Leaves are chained with prev/next pointers for cheap
+// scans.
+//
+// The package provides insertion with the absorb-or-split rule and the
+// optional merging refinement (Section 4.3), and tree rebuilding with a
+// larger threshold per the Reducibility Theorem (Section 5.1.1), walking
+// old leaves in path order and freeing their pages as it goes so the
+// rebuild needs only O(height) transient pages.
+package cftree
+
+import (
+	"birch/internal/cf"
+)
+
+// Entry is one slot of a node: a CF summary plus, for nonleaf nodes, the
+// child whose subtree it summarizes. Leaf entries have a nil Child and
+// represent a subcluster directly.
+type Entry struct {
+	CF    cf.CF
+	Child *Node
+}
+
+// Node is one page of the CF tree.
+type Node struct {
+	leaf    bool
+	entries []Entry
+	// prev/next implement the leaf chain; nil for nonleaf nodes and at the
+	// chain ends.
+	prev, next *Node
+}
+
+// IsLeaf reports whether n is a leaf node.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Len returns the number of entries currently in the node.
+func (n *Node) Len() int { return len(n.entries) }
+
+// Entries exposes the node's entries for read-only traversal (invariant
+// checks, statistics). Callers must not mutate them.
+func (n *Node) Entries() []Entry { return n.entries }
+
+// Next returns the next leaf in the chain (nil at the end or on nonleaf
+// nodes).
+func (n *Node) Next() *Node { return n.next }
+
+// summaryCF returns the sum of all entry CFs in n, i.e. the CF the parent
+// entry pointing at n must carry.
+func (n *Node) summaryCF(dim int) cf.CF {
+	s := cf.New(dim)
+	for i := range n.entries {
+		s.Merge(&n.entries[i].CF)
+	}
+	return s
+}
+
+// newNode allocates a node (one page) of the given kind, charging the
+// tree's pager.
+func (t *Tree) newNode(leaf bool, capHint int) *Node {
+	t.pgr.AllocPage()
+	return &Node{leaf: leaf, entries: make([]Entry, 0, capHint)}
+}
+
+// freeNode releases a node's page. For leaves the caller is responsible
+// for unlinking the chain first.
+func (t *Tree) freeNode(n *Node) {
+	t.pgr.FreePage()
+	n.entries = nil
+	n.prev, n.next = nil, nil
+}
+
+// linkAfter inserts leaf m into the chain immediately after leaf n, and
+// fixes the tree's tail pointer.
+func (t *Tree) linkAfter(n, m *Node) {
+	m.prev = n
+	m.next = n.next
+	if n.next != nil {
+		n.next.prev = m
+	} else {
+		t.leafTail = m
+	}
+	n.next = m
+}
+
+// unlink removes leaf n from the chain, fixing head/tail pointers.
+func (t *Tree) unlink(n *Node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.leafHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.leafTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

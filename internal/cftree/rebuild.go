@@ -1,0 +1,154 @@
+package cftree
+
+import (
+	"fmt"
+	"math"
+
+	"birch/internal/cf"
+)
+
+// Rebuild constructs a new tree with the (typically larger) threshold
+// newThreshold by re-inserting every leaf entry of t, in leaf-chain order
+// — which is exactly the "path order" of Section 5.1.1 — into the new
+// tree. Each old leaf's page is freed as soon as its entries have been
+// consumed, and the old interior nodes are freed at the end, so the
+// transient page overlap stays O(height), matching the Reducibility
+// Theorem's "at most h extra pages" bound.
+//
+// If isOutlier is non-nil, leaf entries for which it returns true are not
+// re-inserted; they are returned to the caller (Phase 1 writes them to the
+// outlier disk, Section 5.1.4).
+//
+// By the Reducibility Theorem, if newThreshold ≥ t's threshold the new
+// tree is no larger than the old one. Rebuild leaves t empty and unusable;
+// callers must switch to the returned tree.
+func (t *Tree) Rebuild(newThreshold float64, isOutlier func(*cf.CF) bool) (*Tree, []cf.CF, error) {
+	if newThreshold < 0 {
+		return nil, nil, fmt.Errorf("cftree: negative rebuild threshold %g", newThreshold)
+	}
+	params := t.params
+	params.Threshold = newThreshold
+	nt, err := New(params, t.pgr)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var outliers []cf.CF
+	for leaf := t.leafHead; leaf != nil; {
+		for i := range leaf.entries {
+			e := &leaf.entries[i]
+			if isOutlier != nil && isOutlier(&e.CF) {
+				outliers = append(outliers, e.CF)
+				continue
+			}
+			nt.Insert(e.CF)
+		}
+		next := leaf.next
+		t.freeNode(leaf)
+		t.nodes--
+		leaf = next
+	}
+	t.leafHead, t.leafTail = nil, nil
+
+	// Free the interior skeleton of the old tree.
+	if !t.root.leaf {
+		t.freeInterior(t.root)
+	}
+	t.root = nil
+	t.leafEntries = 0
+	t.points = 0
+	t.pgr.NoteRebuild()
+	return nt, outliers, nil
+}
+
+// freeInterior releases all nonleaf nodes of the subtree rooted at n
+// (leaves were already freed by the chain walk).
+func (t *Tree) freeInterior(n *Node) {
+	for i := range n.entries {
+		c := n.entries[i].Child
+		if c != nil && !c.leaf {
+			t.freeInterior(c)
+		}
+	}
+	t.freeNode(n)
+	t.nodes--
+}
+
+// LeafCFs returns a copy of every leaf entry's CF in chain order. Phase 3
+// clusters these directly.
+func (t *Tree) LeafCFs() []cf.CF {
+	out := make([]cf.CF, 0, t.leafEntries)
+	for leaf := t.leafHead; leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			out = append(out, leaf.entries[i].CF.Clone())
+		}
+	}
+	return out
+}
+
+// LeafEntryStats summarizes the population of leaf entries. Phase 1's
+// outlier rule ("a leaf entry with far fewer data points than the
+// average") and its threshold heuristics both consume these numbers.
+type LeafEntryStats struct {
+	Entries   int     // number of leaf entries
+	Points    int64   // total data points across entries
+	AvgN      float64 // mean points per entry
+	MinN      int64
+	MaxN      int64
+	AvgRadius float64 // mean entry radius
+}
+
+// Stats computes LeafEntryStats over the current tree.
+func (t *Tree) Stats() LeafEntryStats {
+	var s LeafEntryStats
+	first := true
+	var radiusSum float64
+	for leaf := t.leafHead; leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			e := &leaf.entries[i]
+			s.Entries++
+			s.Points += e.CF.N
+			radiusSum += e.CF.Radius()
+			if first || e.CF.N < s.MinN {
+				s.MinN = e.CF.N
+			}
+			if first || e.CF.N > s.MaxN {
+				s.MaxN = e.CF.N
+			}
+			first = false
+		}
+	}
+	if s.Entries > 0 {
+		s.AvgN = float64(s.Points) / float64(s.Entries)
+		s.AvgRadius = radiusSum / float64(s.Entries)
+	}
+	return s
+}
+
+// ClosestLeafPairDistance returns the minimum distance (under the tree's
+// metric) between any two leaf entries that share a leaf node, and whether
+// such a pair exists. The threshold heuristic of Section 5.1.2 uses this
+// D_min: the next threshold should be at least the distance between the
+// two closest subclusters, because those are the first that merging at a
+// larger threshold would fuse. Restricting the search to co-resident
+// entries keeps it cheap and matches the locality argument of the paper
+// ("the most crowded leaf").
+func (t *Tree) ClosestLeafPairDistance() (float64, bool) {
+	best := 0.0
+	found := false
+	for leaf := t.leafHead; leaf != nil; leaf = leaf.next {
+		for i := 0; i < len(leaf.entries); i++ {
+			for j := i + 1; j < len(leaf.entries); j++ {
+				d := cf.DistanceSq(t.params.Metric,
+					&leaf.entries[i].CF, &leaf.entries[j].CF)
+				if !found || d < best {
+					best, found = d, true
+				}
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return math.Sqrt(best), true
+}

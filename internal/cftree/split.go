@@ -1,0 +1,139 @@
+package cftree
+
+import (
+	"birch/internal/cf"
+)
+
+// splitNode splits the overflowing node n in place: it chooses the
+// farthest pair of entries as seeds (Section 4.3, "Node splitting is done
+// by choosing the farthest pair of entries as seeds, and redistributing
+// the remaining entries based on the closest criteria"), keeps the first
+// seed's group in n, and returns a freshly allocated sibling holding the
+// second seed's group. Leaf siblings are linked into the leaf chain right
+// after n.
+func (t *Tree) splitNode(n *Node) *Node {
+	sibling := t.newNode(n.leaf, t.capacityOf(n)+1)
+	t.nodes++
+	if n.leaf {
+		t.linkAfter(n, sibling)
+	}
+	old := n.entries
+	n.entries = make([]Entry, 0, t.capacityOf(n)+1)
+	t.redistribute(old, n, sibling)
+	return sibling
+}
+
+// redistribute splits the given entries between nodes a and b: the
+// farthest pair under the tree's metric seed the two nodes, and every
+// other entry joins the seed it is closer to, subject to neither node
+// exceeding its capacity.
+func (t *Tree) redistribute(entries []Entry, a, b *Node) {
+	if len(entries) < 2 {
+		panic("cftree: redistribute needs at least 2 entries")
+	}
+	seedA, seedB := t.farthestPair(entries)
+	capacity := t.capacityOf(a)
+
+	a.entries = append(a.entries[:0], entries[seedA])
+	b.entries = append(b.entries[:0], entries[seedB])
+	cfA := &a.entries[0].CF
+	cfB := &b.entries[0].CF
+
+	for i, e := range entries {
+		if i == seedA || i == seedB {
+			continue
+		}
+		dA := cf.DistanceSq(t.params.Metric, &e.CF, cfA)
+		dB := cf.DistanceSq(t.params.Metric, &e.CF, cfB)
+		toA := dA <= dB
+		if toA && len(a.entries) >= capacity {
+			toA = false
+		} else if !toA && len(b.entries) >= capacity {
+			toA = true
+		}
+		if toA {
+			a.entries = append(a.entries, e)
+		} else {
+			b.entries = append(b.entries, e)
+		}
+	}
+}
+
+// farthestPair returns the indices of the two entries at maximum pairwise
+// distance under the tree's metric.
+func (t *Tree) farthestPair(entries []Entry) (int, int) {
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := cf.DistanceSq(t.params.Metric, &entries[i].CF, &entries[j].CF)
+			if d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}
+
+// mergingRefinement implements the split-amelioration step of Section 4.3:
+// in the nonleaf node where split propagation stopped, find the two
+// closest entries; if they are not the pair that just resulted from the
+// split, merge their children. If the merged entries fit in a single node,
+// one node is freed; otherwise the union is split again (with the farthest
+// pair as seeds), which tends to give both resulting nodes better
+// utilization and geometry than the skew the original split left behind.
+//
+// splitIdxA and splitIdxB are the parent-entry indices of the pair
+// produced by the split.
+func (t *Tree) mergingRefinement(parent *Node, splitIdxA, splitIdxB int) {
+	if len(parent.entries) < 2 {
+		return
+	}
+	ci, cj := t.closestPair(parent.entries)
+	if (ci == splitIdxA && cj == splitIdxB) || (ci == splitIdxB && cj == splitIdxA) {
+		return
+	}
+
+	childI := parent.entries[ci].Child
+	childJ := parent.entries[cj].Child
+	combined := make([]Entry, 0, len(childI.entries)+len(childJ.entries))
+	combined = append(combined, childI.entries...)
+	combined = append(combined, childJ.entries...)
+
+	if len(combined) <= t.capacityOf(childI) {
+		// Merge into childI, free childJ.
+		childI.entries = append(childI.entries[:0], combined...)
+		if childJ.leaf {
+			t.unlink(childJ)
+		}
+		t.freeNode(childJ)
+		t.nodes--
+		parent.entries[ci].CF = childI.summaryCF(t.params.Dim)
+		parent.entries = append(parent.entries[:cj], parent.entries[cj+1:]...)
+		return
+	}
+
+	// Resplit the union across the two existing children; seeds are the
+	// farthest pair, so both nodes end up better packed.
+	t.redistribute(combined, childI, childJ)
+	parent.entries[ci].CF = childI.summaryCF(t.params.Dim)
+	parent.entries[cj].CF = childJ.summaryCF(t.params.Dim)
+}
+
+// closestPair returns the indices (i < j) of the two closest entries under
+// the tree's metric.
+func (t *Tree) closestPair(entries []Entry) (int, int) {
+	bi, bj := 0, 1
+	bd := cf.DistanceSq(t.params.Metric, &entries[0].CF, &entries[1].CF)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if i == 0 && j == 1 {
+				continue
+			}
+			d := cf.DistanceSq(t.params.Metric, &entries[i].CF, &entries[j].CF)
+			if d < bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}

@@ -1,0 +1,252 @@
+package cftree
+
+import (
+	"errors"
+	"fmt"
+
+	"birch/internal/cf"
+	"birch/internal/pager"
+)
+
+// Params fixes the shape and behaviour of a CF tree.
+type Params struct {
+	// Dim is the data dimensionality d.
+	Dim int
+	// Branching is B, the nonleaf fan-out. Must be ≥ 2.
+	Branching int
+	// LeafCap is L, the leaf entry capacity. Must be ≥ 2.
+	LeafCap int
+	// Threshold is T: every leaf entry must satisfy diameter (or radius,
+	// per ThresholdKind) ≤ T. T = 0 means only duplicate points merge.
+	Threshold float64
+	// ThresholdKind selects diameter (paper default) or radius.
+	ThresholdKind cf.ThresholdKind
+	// Metric is the D0–D4 distance used to pick the closest child while
+	// descending and the closest leaf entry (Table 2 default: D2).
+	Metric cf.Metric
+	// MergingRefinement enables the split-ameliorating merge step of
+	// Section 4.3 (on by default in the paper's algorithm description).
+	MergingRefinement bool
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Dim <= 0 {
+		return fmt.Errorf("cftree: Dim must be positive, got %d", p.Dim)
+	}
+	if p.Branching < 2 {
+		return fmt.Errorf("cftree: Branching must be ≥ 2, got %d", p.Branching)
+	}
+	if p.LeafCap < 2 {
+		return fmt.Errorf("cftree: LeafCap must be ≥ 2, got %d", p.LeafCap)
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("cftree: negative Threshold %g", p.Threshold)
+	}
+	if !p.Metric.Valid() {
+		return fmt.Errorf("cftree: invalid metric %v", p.Metric)
+	}
+	return nil
+}
+
+// ErrWouldSplit is returned by InsertNoSplit when the entry cannot be
+// absorbed and adding it would overflow a node. The delay-split option of
+// Section 5.1.4 catches this error and spills the point to disk instead of
+// triggering a rebuild.
+var ErrWouldSplit = errors.New("cftree: insertion would split a node")
+
+// Tree is a CF tree. It is not safe for concurrent mutation.
+type Tree struct {
+	params Params
+	pgr    *pager.Pager
+
+	root     *Node
+	leafHead *Node
+	leafTail *Node
+
+	height      int // 1 when the root is a leaf
+	nodes       int
+	leafEntries int
+	points      int64 // total N folded into the tree
+}
+
+// New creates an empty CF tree whose pages are charged to pgr.
+func New(params Params, pgr *pager.Pager) (*Tree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if pgr == nil {
+		return nil, errors.New("cftree: nil pager")
+	}
+	t := &Tree{params: params, pgr: pgr}
+	t.root = t.newNode(true, params.LeafCap+1)
+	t.leafHead, t.leafTail = t.root, t.root
+	t.height = 1
+	t.nodes = 1
+	return t, nil
+}
+
+// Params returns the tree's parameters.
+func (t *Tree) Params() Params { return t.params }
+
+// Threshold returns the current threshold T.
+func (t *Tree) Threshold() float64 { return t.params.Threshold }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Nodes returns the number of nodes (pages) in the tree.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// LeafEntries returns the number of leaf entries (subclusters).
+func (t *Tree) LeafEntries() int { return t.leafEntries }
+
+// Points returns the total number of data points summarized by the tree.
+func (t *Tree) Points() int64 { return t.points }
+
+// Root exposes the root node for traversal by invariant checks.
+func (t *Tree) Root() *Node { return t.root }
+
+// FirstLeaf returns the head of the leaf chain.
+func (t *Tree) FirstLeaf() *Node { return t.leafHead }
+
+// Insert adds the subcluster summarized by ent (often a single point's CF)
+// to the tree, splitting nodes as needed.
+func (t *Tree) Insert(ent cf.CF) {
+	if err := t.insert(ent, true); err != nil {
+		// insert with allowSplit=true never fails.
+		panic(err)
+	}
+}
+
+// InsertNoSplit adds ent only if it can be absorbed by an existing leaf
+// entry or appended without overflowing any node. Otherwise it returns
+// ErrWouldSplit and leaves the tree unchanged.
+func (t *Tree) InsertNoSplit(ent cf.CF) error {
+	return t.insert(ent, false)
+}
+
+// pathStep records the descent through one nonleaf node.
+type pathStep struct {
+	node *Node
+	idx  int // index of the entry whose child we descended into
+}
+
+func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
+	if ent.N == 0 {
+		return nil
+	}
+	if ent.Dim() != t.params.Dim {
+		return fmt.Errorf("cftree: entry dimension %d, tree dimension %d",
+			ent.Dim(), t.params.Dim)
+	}
+
+	// Phase A: descend to the leaf along the closest-child path,
+	// recording the path so CFs can be updated after the decision.
+	path := make([]pathStep, 0, t.height)
+	n := t.root
+	for !n.leaf {
+		idx := t.closestEntry(n, &ent)
+		path = append(path, pathStep{n, idx})
+		n = n.entries[idx].Child
+	}
+
+	// Phase B: decide at the leaf.
+	absorbIdx := -1
+	if len(n.entries) > 0 {
+		idx := t.closestEntry(n, &ent)
+		if cf.MergedSatisfiesThreshold(&n.entries[idx].CF, &ent,
+			t.params.ThresholdKind, t.params.Threshold) {
+			absorbIdx = idx
+		}
+	}
+	if absorbIdx < 0 && !allowSplit && len(n.entries) >= t.params.LeafCap {
+		return ErrWouldSplit
+	}
+
+	// Phase C: apply. Update CFs along the path first — they summarize
+	// the whole subtree regardless of how the leaf accommodates ent.
+	for _, st := range path {
+		st.node.entries[st.idx].CF.Merge(&ent)
+	}
+	t.points += ent.N
+
+	if absorbIdx >= 0 {
+		n.entries[absorbIdx].CF.Merge(&ent)
+		return nil
+	}
+
+	n.entries = append(n.entries, Entry{CF: ent.Clone()})
+	t.leafEntries++
+	if len(n.entries) <= t.params.LeafCap {
+		return nil
+	}
+
+	// Phase D: split the leaf and propagate upward.
+	t.splitAndPropagate(n, path)
+	return nil
+}
+
+// closestEntry returns the index of the entry of n nearest to ent under
+// the tree's metric. n must be non-empty.
+func (t *Tree) closestEntry(n *Node, ent *cf.CF) int {
+	best, bestD := 0, cf.DistanceSq(t.params.Metric, &n.entries[0].CF, ent)
+	for i := 1; i < len(n.entries); i++ {
+		d := cf.DistanceSq(t.params.Metric, &n.entries[i].CF, ent)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// capacityOf returns the entry capacity of node n.
+func (t *Tree) capacityOf(n *Node) int {
+	if n.leaf {
+		return t.params.LeafCap
+	}
+	return t.params.Branching
+}
+
+// splitAndPropagate splits the overflowing node n (whose descent path is
+// given) and pushes splits upward, growing the tree at the root if needed.
+// After each completed propagation step the optional merging refinement
+// runs on the node where propagation stopped.
+func (t *Tree) splitAndPropagate(n *Node, path []pathStep) {
+	for {
+		sibling := t.splitNode(n)
+
+		if len(path) == 0 {
+			// n was the root: grow a new root above n and sibling.
+			newRoot := t.newNode(false, t.params.Branching+1)
+			t.nodes++
+			newRoot.entries = append(newRoot.entries,
+				Entry{CF: n.summaryCF(t.params.Dim), Child: n},
+				Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling},
+			)
+			t.root = newRoot
+			t.height++
+			return
+		}
+
+		parent := path[len(path)-1].node
+		idx := path[len(path)-1].idx
+		path = path[:len(path)-1]
+
+		// Refresh the CF for the shrunken n and add an entry for sibling.
+		parent.entries[idx].CF = n.summaryCF(t.params.Dim)
+		parent.entries = append(parent.entries,
+			Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling})
+
+		if len(parent.entries) <= t.params.Branching {
+			// Propagation stops here; optionally run merging refinement
+			// between the split pair's entries and the closest pair in
+			// the parent (Section 4.3).
+			if t.params.MergingRefinement {
+				t.mergingRefinement(parent, idx, len(parent.entries)-1)
+			}
+			return
+		}
+		n = parent
+	}
+}

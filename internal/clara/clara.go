@@ -1,0 +1,294 @@
+// Package clara implements PAM (Partitioning Around Medoids) and CLARA
+// (Clustering LARge Applications), the Kaufman & Rousseeuw k-medoid
+// methods the BIRCH paper's related-work section discusses [KR90] and
+// that CLARANS was designed to improve on. They complete this
+// repository's baseline suite: PAM is the exact-search k-medoid
+// gold standard (usable only at small N), CLARA scales it by sampling,
+// and CLARANS (internal/clarans) randomizes the search.
+package clara
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// PAMOptions configures a PAM run.
+type PAMOptions struct {
+	// K is the number of medoids.
+	K int
+	// MaxIter bounds SWAP passes (0 = 100).
+	MaxIter int
+}
+
+// PAMResult is the outcome of PAM.
+type PAMResult struct {
+	MedoidIndexes []int
+	Assignments   []int
+	Cost          float64
+	Iterations    int
+}
+
+// PAM runs the classic BUILD + SWAP k-medoid algorithm. Cost per SWAP
+// pass is O(K·(N−K)·N), so it is only suitable for small N — which is
+// exactly why CLARA exists.
+func PAM(points []vec.Vector, opts PAMOptions) (*PAMResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("clara: PAM with no points")
+	}
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("clara: PAM K=%d out of range for %d points", opts.K, n)
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+
+	medoids := build(points, opts.K)
+	isMedoid := make(map[int]bool, opts.K)
+	for _, m := range medoids {
+		isMedoid[m] = true
+	}
+
+	// Cached nearest/second-nearest distances per point.
+	d1 := make([]float64, n)
+	d2 := make([]float64, n)
+	nearest := make([]int, n)
+	refresh := func() float64 {
+		total := 0.0
+		for i, p := range points {
+			d1[i], d2[i] = math.Inf(1), math.Inf(1)
+			for slot, m := range medoids {
+				d := vec.Dist(p, points[m])
+				switch {
+				case d < d1[i]:
+					d2[i] = d1[i]
+					d1[i] = d
+					nearest[i] = slot
+				case d < d2[i]:
+					d2[i] = d
+				}
+			}
+			total += d1[i]
+		}
+		return total
+	}
+	cost := refresh()
+
+	res := &PAMResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		bestDelta := 0.0
+		bestSlot, bestCand := -1, -1
+		for slot := range medoids {
+			for cand := 0; cand < n; cand++ {
+				if isMedoid[cand] {
+					continue
+				}
+				delta := swapDelta(points, d1, d2, nearest, slot, cand)
+				if delta < bestDelta {
+					bestDelta, bestSlot, bestCand = delta, slot, cand
+				}
+			}
+		}
+		if bestSlot < 0 {
+			break // local minimum: no improving swap
+		}
+		delete(isMedoid, medoids[bestSlot])
+		medoids[bestSlot] = bestCand
+		isMedoid[bestCand] = true
+		cost = refresh()
+	}
+
+	res.MedoidIndexes = medoids
+	res.Assignments = append([]int(nil), nearest...)
+	res.Cost = cost
+	return res, nil
+}
+
+// build is PAM's greedy initialization: the first medoid is the point
+// minimizing total distance; each next medoid is the point yielding the
+// largest cost reduction.
+func build(points []vec.Vector, k int) []int {
+	n := len(points)
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+
+	// First medoid: 1-medoid optimum.
+	firstIdx, firstCost := 0, math.Inf(1)
+	for c := 0; c < n; c++ {
+		total := 0.0
+		for i := range points {
+			total += vec.Dist(points[i], points[c])
+		}
+		if total < firstCost {
+			firstIdx, firstCost = c, total
+		}
+	}
+	medoids := []int{firstIdx}
+	chosen := map[int]bool{firstIdx: true}
+	for i := range points {
+		best[i] = vec.Dist(points[i], points[firstIdx])
+	}
+
+	for len(medoids) < k {
+		bestGain, bestCand := math.Inf(-1), -1
+		for c := 0; c < n; c++ {
+			if chosen[c] {
+				continue
+			}
+			gain := 0.0
+			for i := range points {
+				if d := vec.Dist(points[i], points[c]); d < best[i] {
+					gain += best[i] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestCand = gain, c
+			}
+		}
+		medoids = append(medoids, bestCand)
+		chosen[bestCand] = true
+		for i := range points {
+			if d := vec.Dist(points[i], points[bestCand]); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	return medoids
+}
+
+// swapDelta computes the cost change of replacing medoid slot with cand,
+// using the cached first/second distances.
+func swapDelta(points []vec.Vector, d1, d2 []float64, nearest []int, slot, cand int) float64 {
+	delta := 0.0
+	newMed := points[cand]
+	for i := range points {
+		dNew := vec.Dist(points[i], newMed)
+		if nearest[i] == slot {
+			delta += math.Min(dNew, d2[i]) - d1[i]
+		} else if dNew < d1[i] {
+			delta += dNew - d1[i]
+		}
+	}
+	return delta
+}
+
+// CLARAOptions configures a CLARA run.
+type CLARAOptions struct {
+	// K is the number of medoids.
+	K int
+	// Samples is the number of random samples tried (0 = 5, the book's
+	// recommendation).
+	Samples int
+	// SampleSize is the points per sample (0 = 40 + 2K, the book's rule).
+	SampleSize int
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// CLARAResult is the outcome of CLARA over the full dataset.
+type CLARAResult struct {
+	MedoidIndexes []int // indexes into the full dataset
+	Medoids       []vec.Vector
+	Assignments   []int
+	Clusters      []cf.CF
+	Cost          float64 // total distance over the full dataset
+	SamplesTried  int
+}
+
+// CLARA draws Samples random subsets, runs PAM on each, evaluates each
+// medoid set against the whole dataset, and keeps the best.
+func CLARA(points []vec.Vector, opts CLARAOptions) (*CLARAResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("clara: no points")
+	}
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("clara: K=%d out of range for %d points", opts.K, n)
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 5
+	}
+	sampleSize := opts.SampleSize
+	if sampleSize <= 0 {
+		sampleSize = 40 + 2*opts.K
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	if sampleSize < opts.K {
+		sampleSize = opts.K
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	var bestMedoids []int
+	bestCost := math.Inf(1)
+	for s := 0; s < samples; s++ {
+		idx := r.Perm(n)[:sampleSize]
+		sample := make([]vec.Vector, sampleSize)
+		for i, j := range idx {
+			sample[i] = points[j]
+		}
+		pam, err := PAM(sample, PAMOptions{K: opts.K})
+		if err != nil {
+			return nil, err
+		}
+		medoids := make([]int, opts.K)
+		for i, m := range pam.MedoidIndexes {
+			medoids[i] = idx[m]
+		}
+		if cost := totalCost(points, medoids); cost < bestCost {
+			bestCost, bestMedoids = cost, medoids
+		}
+	}
+
+	res := &CLARAResult{
+		MedoidIndexes: bestMedoids,
+		Cost:          bestCost,
+		SamplesTried:  samples,
+		Assignments:   make([]int, n),
+	}
+	res.Medoids = make([]vec.Vector, opts.K)
+	for i, m := range bestMedoids {
+		res.Medoids[i] = points[m].Clone()
+	}
+	res.Clusters = make([]cf.CF, opts.K)
+	for c := range res.Clusters {
+		res.Clusters[c] = cf.New(points[0].Dim())
+	}
+	for i, p := range points {
+		bestSlot, bestD := 0, math.Inf(1)
+		for slot, m := range bestMedoids {
+			if d := vec.Dist(p, points[m]); d < bestD {
+				bestSlot, bestD = slot, d
+			}
+		}
+		res.Assignments[i] = bestSlot
+		res.Clusters[bestSlot].AddPoint(p)
+	}
+	return res, nil
+}
+
+// totalCost is the k-medoid objective over the full dataset.
+func totalCost(points []vec.Vector, medoids []int) float64 {
+	total := 0.0
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, m := range medoids {
+			if d := vec.Dist(p, points[m]); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}

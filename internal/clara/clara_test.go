@@ -1,0 +1,211 @@
+package clara
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+func blobs(seed int64, k, n int, sep, sd float64) []vec.Vector {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]vec.Vector, 0, k*n)
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c)*sep, float64(c%2)*sep
+		for i := 0; i < n; i++ {
+			pts = append(pts, vec.Of(cx+r.NormFloat64()*sd, cy+r.NormFloat64()*sd))
+		}
+	}
+	return pts
+}
+
+func TestPAMValidation(t *testing.T) {
+	if _, err := PAM(nil, PAMOptions{K: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := []vec.Vector{vec.Of(1), vec.Of(2)}
+	if _, err := PAM(pts, PAMOptions{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := PAM(pts, PAMOptions{K: 3}); err == nil {
+		t.Error("K>N accepted")
+	}
+}
+
+func TestPAMFindsObviousMedoids(t *testing.T) {
+	// Three tight triples: PAM must pick one medoid inside each.
+	pts := []vec.Vector{
+		vec.Of(0.0), vec.Of(0.1), vec.Of(-0.1),
+		vec.Of(10.0), vec.Of(10.1), vec.Of(9.9),
+		vec.Of(20.0), vec.Of(20.1), vec.Of(19.9),
+	}
+	res, err := PAM(pts, PAMOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[int]bool{}
+	for _, m := range res.MedoidIndexes {
+		groups[m/3] = true
+	}
+	if len(groups) != 3 {
+		t.Fatalf("medoids %v do not cover all groups", res.MedoidIndexes)
+	}
+	// Exact optimum: each group's center point, cost = 6 × 0.1.
+	if math.Abs(res.Cost-0.6) > 1e-9 {
+		t.Fatalf("cost = %g, want 0.6", res.Cost)
+	}
+}
+
+func TestPAMCostMatchesAssignments(t *testing.T) {
+	pts := blobs(1, 3, 20, 30, 2)
+	res, err := PAM(pts, PAMOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i, p := range pts {
+		want += vec.Dist(p, pts[res.MedoidIndexes[res.Assignments[i]]])
+	}
+	if math.Abs(res.Cost-want) > 1e-6*(1+want) {
+		t.Fatalf("cost %g != recomputed %g", res.Cost, want)
+	}
+}
+
+func TestPAMIsLocalOptimum(t *testing.T) {
+	// After convergence, no single swap may improve the cost.
+	pts := blobs(2, 2, 15, 20, 3)
+	res, err := PAM(pts, PAMOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isMedoid := map[int]bool{}
+	for _, m := range res.MedoidIndexes {
+		isMedoid[m] = true
+	}
+	for slot := range res.MedoidIndexes {
+		for cand := range pts {
+			if isMedoid[cand] {
+				continue
+			}
+			trial := append([]int(nil), res.MedoidIndexes...)
+			trial[slot] = cand
+			if c := totalCost(pts, trial); c < res.Cost-1e-9 {
+				t.Fatalf("swap (%d→%d) improves cost %g → %g", slot, cand, res.Cost, c)
+			}
+		}
+	}
+}
+
+func TestCLARAValidation(t *testing.T) {
+	if _, err := CLARA(nil, CLARAOptions{K: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := []vec.Vector{vec.Of(1)}
+	if _, err := CLARA(pts, CLARAOptions{K: 2}); err == nil {
+		t.Error("K>N accepted")
+	}
+}
+
+func TestCLARAFindsClusters(t *testing.T) {
+	pts := blobs(3, 4, 200, 50, 1.5)
+	res, err := CLARA(pts, CLARAOptions{K: 4, Samples: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesTried != 5 {
+		t.Fatalf("samples = %d", res.SamplesTried)
+	}
+	// Each blob maps to exactly one medoid.
+	for c := 0; c < 4; c++ {
+		first := res.Assignments[c*200]
+		for i := c * 200; i < (c+1)*200; i++ {
+			if res.Assignments[i] != first {
+				t.Fatalf("blob %d split", c)
+			}
+		}
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != int64(len(pts)) {
+		t.Fatalf("clusters carry %d of %d", total, len(pts))
+	}
+}
+
+func TestCLARADeterministic(t *testing.T) {
+	pts := blobs(4, 3, 100, 40, 2)
+	a, err := CLARA(pts, CLARAOptions{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CLARA(pts, CLARAOptions{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatal("same seed different cost")
+	}
+}
+
+func TestCLARASampleSizeClamps(t *testing.T) {
+	pts := blobs(5, 2, 10, 30, 1) // 20 points, default sample size 44 > N
+	res, err := CLARA(pts, CLARAOptions{K: 2, Samples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MedoidIndexes) != 2 {
+		t.Fatalf("medoids = %d", len(res.MedoidIndexes))
+	}
+}
+
+func TestCLARACostNearPAM(t *testing.T) {
+	// On a dataset small enough for exact PAM, CLARA (with samples of
+	// nearly the whole set) must come close.
+	pts := blobs(6, 3, 40, 40, 2)
+	pam, err := PAM(pts, PAMOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := CLARA(pts, CLARAOptions{K: 3, Samples: 5, SampleSize: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost > pam.Cost*1.1 {
+		t.Fatalf("CLARA cost %g vs PAM %g", cl.Cost, pam.Cost)
+	}
+}
+
+func TestQuickCLARAPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(60)
+		k := 1 + r.Intn(4)
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.Of(r.Float64()*100, r.Float64()*100)
+		}
+		res, err := CLARA(pts, CLARAOptions{K: k, Samples: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		seen := map[int]bool{}
+		for _, m := range res.MedoidIndexes {
+			if m < 0 || m >= n || seen[m] {
+				return false
+			}
+			seen[m] = true
+		}
+		return res.Cost >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

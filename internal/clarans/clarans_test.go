@@ -1,0 +1,217 @@
+package clarans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+func blobs(seed int64, k, n int, sep, sd float64) []vec.Vector {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]vec.Vector, 0, k*n)
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c)*sep, float64(c%2)*sep
+		for i := 0; i < n; i++ {
+			pts = append(pts, vec.Of(cx+r.NormFloat64()*sd, cy+r.NormFloat64()*sd))
+		}
+	}
+	return pts
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Cluster(nil, Options{K: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := []vec.Vector{vec.Of(1), vec.Of(2)}
+	if _, err := Cluster(pts, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Cluster(pts, Options{K: 3}); err == nil {
+		t.Error("K>N accepted")
+	}
+}
+
+func TestDefaultMaxNeighbor(t *testing.T) {
+	if got := DefaultMaxNeighbor(100, 3); got != 250 {
+		t.Errorf("small case = %d, want floor 250", got)
+	}
+	// 1.25% of 100·(10000−100) = 12375.
+	if got := DefaultMaxNeighbor(10000, 100); got != 12375 {
+		t.Errorf("large case = %d, want 12375", got)
+	}
+}
+
+func TestFindsObviousClusters(t *testing.T) {
+	pts := blobs(1, 3, 60, 100, 1)
+	res, err := Cluster(pts, Options{K: 3, NumLocal: 2, MaxNeighbor: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 3 || len(res.Clusters) != 3 {
+		t.Fatalf("medoids/clusters = %d/%d", len(res.Medoids), len(res.Clusters))
+	}
+	// Each blob of 60 points must map to one medoid.
+	for c := 0; c < 3; c++ {
+		first := res.Assignments[c*60]
+		for i := c * 60; i < (c+1)*60; i++ {
+			if res.Assignments[i] != first {
+				t.Fatalf("blob %d split at point %d", c, i)
+			}
+		}
+	}
+	// Medoids near blob centers.
+	for _, m := range res.Medoids {
+		onBlob := false
+		for c := 0; c < 3; c++ {
+			if vec.Dist(m, vec.Of(float64(c)*100, float64(c%2)*100)) < 5 {
+				onBlob = true
+			}
+		}
+		if !onBlob {
+			t.Fatalf("stray medoid %v", m)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts := blobs(2, 4, 40, 50, 2)
+	a, err := Cluster(pts, Options{K: 4, MaxNeighbor: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, Options{K: 4, MaxNeighbor: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("same seed different cost: %g vs %g", a.Cost, b.Cost)
+	}
+	for i := range a.MedoidIndexes {
+		if a.MedoidIndexes[i] != b.MedoidIndexes[i] {
+			t.Fatal("same seed different medoids")
+		}
+	}
+}
+
+func TestCostMatchesAssignment(t *testing.T) {
+	pts := blobs(3, 3, 30, 40, 2)
+	res, err := Cluster(pts, Options{K: 3, MaxNeighbor: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i, p := range pts {
+		want += vec.Dist(p, res.Medoids[res.Assignments[i]])
+	}
+	if math.Abs(res.Cost-want) > 1e-6*(1+want) {
+		t.Fatalf("cost %g != recomputed %g", res.Cost, want)
+	}
+	// And the assignment really is to the nearest medoid.
+	for i, p := range pts {
+		got := vec.Dist(p, res.Medoids[res.Assignments[i]])
+		for _, m := range res.Medoids {
+			if vec.Dist(p, m) < got-1e-9 {
+				t.Fatalf("point %d not assigned to nearest medoid", i)
+			}
+		}
+	}
+}
+
+func TestMoreSearchNeverWorse(t *testing.T) {
+	pts := blobs(4, 5, 30, 30, 3)
+	quick1, err := Cluster(pts, Options{K: 5, NumLocal: 1, MaxNeighbor: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thorough, err := Cluster(pts, Options{K: 5, NumLocal: 4, MaxNeighbor: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thorough.Cost > quick1.Cost*1.3 {
+		t.Fatalf("more search much worse: %g vs %g", thorough.Cost, quick1.Cost)
+	}
+}
+
+func TestSwapCostMatchesFullRecompute(t *testing.T) {
+	pts := blobs(5, 3, 25, 20, 3)
+	r := rand.New(rand.NewSource(11))
+	st := newSearchState(pts, 3, r)
+	for trial := 0; trial < 50; trial++ {
+		out, in := st.randomSwap(r)
+		delta := st.swapCost(out, in)
+
+		// Ground truth: apply, recompute, compare, revert.
+		oldCost := st.cost
+		oldMedoid := st.medoids[out]
+		st.applySwap(out, in)
+		got := st.cost - oldCost
+		if math.Abs(got-delta) > 1e-6*(1+math.Abs(got)) {
+			t.Fatalf("swap delta %g, recomputed %g", delta, got)
+		}
+		st.applySwap(out, oldMedoid) // revert
+	}
+}
+
+func TestClustersCarryAllPoints(t *testing.T) {
+	pts := blobs(6, 4, 50, 60, 2)
+	res, err := Cluster(pts, Options{K: 4, MaxNeighbor: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != int64(len(pts)) {
+		t.Fatalf("clusters carry %d of %d points", total, len(pts))
+	}
+}
+
+func TestQuickValidPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(80)
+		k := 1 + r.Intn(5)
+		if k > n {
+			k = n
+		}
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.Of(r.Float64()*100, r.Float64()*100)
+		}
+		res, err := Cluster(pts, Options{K: k, MaxNeighbor: 40, NumLocal: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, m := range res.MedoidIndexes {
+			if m < 0 || m >= n || seen[m] {
+				return false
+			}
+			seen[m] = true
+		}
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return res.Cost >= 0 && res.Evaluated > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClarans2000(b *testing.B) {
+	pts := blobs(1, 10, 200, 50, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(pts, Options{K: 10, NumLocal: 1, MaxNeighbor: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package clarans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// ClusterWeighted runs CLARANS over CF-summarized items: each item acts
+// as its centroid carrying weight N, and the k-medoid objective becomes
+// Σᵢ Nᵢ · dist(centroidᵢ, nearest medoid). This is the adaptation the
+// BIRCH paper describes for Phase 3 algorithms ("an existing global or
+// semi-global algorithm ... applied directly to the subclusters
+// represented by their CF vectors"), letting BIRCH use CLARANS as its
+// global phase over a few hundred subclusters instead of over N points.
+func ClusterWeighted(items []cf.CF, opts Options) (*Result, error) {
+	m := len(items)
+	if m == 0 {
+		return nil, errors.New("clarans: no items")
+	}
+	if opts.K <= 0 || opts.K > m {
+		return nil, fmt.Errorf("clarans: K=%d out of range for %d items", opts.K, m)
+	}
+	numLocal := opts.NumLocal
+	if numLocal <= 0 {
+		numLocal = 2
+	}
+	maxNeighbor := opts.MaxNeighbor
+	if maxNeighbor <= 0 {
+		maxNeighbor = DefaultMaxNeighbor(m, opts.K)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	pts := make([]vec.Vector, m)
+	wts := make([]float64, m)
+	for i := range items {
+		if items[i].N == 0 {
+			return nil, fmt.Errorf("clarans: item %d is empty", i)
+		}
+		pts[i] = items[i].Centroid()
+		wts[i] = float64(items[i].N)
+	}
+
+	best := (*weightedState)(nil)
+	var evaluated int64
+	for local := 0; local < numLocal; local++ {
+		st := newWeightedState(pts, wts, opts.K, r)
+		j := 0
+		for j < maxNeighbor {
+			evaluated++
+			out, in := st.randomSwap(r)
+			if delta := st.swapCost(out, in); delta < 0 {
+				st.applySwap(out, in)
+				j = 0
+				continue
+			}
+			j++
+		}
+		if best == nil || st.cost < best.cost {
+			best = st
+		}
+	}
+
+	res := &Result{
+		MedoidIndexes: append([]int(nil), best.medoids...),
+		Assignments:   make([]int, m),
+		Cost:          best.cost,
+		Evaluated:     evaluated,
+	}
+	res.Medoids = make([]vec.Vector, opts.K)
+	for i, med := range best.medoids {
+		res.Medoids[i] = pts[med].Clone()
+	}
+	res.Clusters = make([]cf.CF, opts.K)
+	for c := range res.Clusters {
+		res.Clusters[c] = cf.New(items[0].Dim())
+	}
+	for i := range items {
+		c := best.nearest[i]
+		res.Assignments[i] = c
+		res.Clusters[c].Merge(&items[i])
+	}
+	return res, nil
+}
+
+// weightedState mirrors searchState with per-point weights.
+type weightedState struct {
+	pts      []vec.Vector
+	wts      []float64
+	medoids  []int
+	isMedoid map[int]int
+	nearest  []int
+	d1, d2   []float64
+	cost     float64
+}
+
+func newWeightedState(pts []vec.Vector, wts []float64, k int, r *rand.Rand) *weightedState {
+	st := &weightedState{
+		pts:      pts,
+		wts:      wts,
+		medoids:  make([]int, 0, k),
+		isMedoid: make(map[int]int, k),
+		nearest:  make([]int, len(pts)),
+		d1:       make([]float64, len(pts)),
+		d2:       make([]float64, len(pts)),
+	}
+	for len(st.medoids) < k {
+		cand := r.Intn(len(pts))
+		if _, dup := st.isMedoid[cand]; dup {
+			continue
+		}
+		st.isMedoid[cand] = len(st.medoids)
+		st.medoids = append(st.medoids, cand)
+	}
+	st.recomputeAll()
+	return st
+}
+
+func (st *weightedState) recomputeAll() {
+	st.cost = 0
+	for i, p := range st.pts {
+		st.d1[i], st.d2[i] = math.Inf(1), math.Inf(1)
+		for slot, m := range st.medoids {
+			d := vec.Dist(p, st.pts[m])
+			switch {
+			case d < st.d1[i]:
+				st.d2[i] = st.d1[i]
+				st.d1[i] = d
+				st.nearest[i] = slot
+			case d < st.d2[i]:
+				st.d2[i] = d
+			}
+		}
+		st.cost += st.wts[i] * st.d1[i]
+	}
+}
+
+func (st *weightedState) randomSwap(r *rand.Rand) (outSlot, inPoint int) {
+	outSlot = r.Intn(len(st.medoids))
+	for {
+		inPoint = r.Intn(len(st.pts))
+		if _, dup := st.isMedoid[inPoint]; !dup {
+			return outSlot, inPoint
+		}
+	}
+}
+
+func (st *weightedState) swapCost(outSlot, inPoint int) float64 {
+	var delta float64
+	newMed := st.pts[inPoint]
+	for i, p := range st.pts {
+		dNew := vec.Dist(p, newMed)
+		if st.nearest[i] == outSlot {
+			delta += st.wts[i] * (math.Min(dNew, st.d2[i]) - st.d1[i])
+		} else if dNew < st.d1[i] {
+			delta += st.wts[i] * (dNew - st.d1[i])
+		}
+	}
+	return delta
+}
+
+func (st *weightedState) applySwap(outSlot, inPoint int) {
+	old := st.medoids[outSlot]
+	delete(st.isMedoid, old)
+	st.medoids[outSlot] = inPoint
+	st.isMedoid[inPoint] = outSlot
+	st.recomputeAll()
+}

@@ -1,0 +1,123 @@
+package clarans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func cfBlob(r *rand.Rand, n int, cx, cy, sd float64, weight int64) []cf.CF {
+	out := make([]cf.CF, n)
+	for i := range out {
+		var c cf.CF
+		c.AddWeightedPoint(vec.Of(cx+r.NormFloat64()*sd, cy+r.NormFloat64()*sd), weight)
+		out[i] = c
+	}
+	return out
+}
+
+func TestClusterWeightedValidation(t *testing.T) {
+	if _, err := ClusterWeighted(nil, Options{K: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+	item := cf.FromPoint(vec.Of(1, 2))
+	if _, err := ClusterWeighted([]cf.CF{item}, Options{K: 2}); err == nil {
+		t.Error("K>m accepted")
+	}
+	empty := cf.New(2)
+	if _, err := ClusterWeighted([]cf.CF{item, empty}, Options{K: 1}); err == nil {
+		t.Error("empty item accepted")
+	}
+}
+
+func TestClusterWeightedFindsClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	items := append(cfBlob(r, 30, 0, 0, 0.5, 10), cfBlob(r, 30, 50, 50, 0.5, 10)...)
+	res, err := ClusterWeighted(items, Options{K: 2, MaxNeighbor: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Assignments[0]
+	for i := 0; i < 30; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	for i := 30; i < 60; i++ {
+		if res.Assignments[i] == first {
+			t.Fatalf("blobs merged at %d", i)
+		}
+	}
+	// Cluster summaries carry the full weight: 60 items × 10 points.
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != 600 {
+		t.Fatalf("total N = %d, want 600", total)
+	}
+}
+
+func TestClusterWeightedWeightMatters(t *testing.T) {
+	// Three positions: heavy at x=0, light at x=10 and x=10.4. With K=1
+	// forced... rather: K=2 and a medoid budget — the heavy item must get
+	// its own medoid because misplacing it costs 1000× more.
+	var heavy cf.CF
+	heavy.AddWeightedPoint(vec.Of(0.0, 0.0), 1000)
+	items := []cf.CF{
+		heavy,
+		cf.FromPoint(vec.Of(10, 0)),
+		cf.FromPoint(vec.Of(10.4, 0)),
+		cf.FromPoint(vec.Of(10.8, 0)),
+	}
+	res, err := ClusterWeighted(items, Options{K: 2, MaxNeighbor: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] == res.Assignments[1] {
+		t.Fatalf("heavy item grouped with light ones: %v", res.Assignments)
+	}
+	// The heavy item's medoid must be itself (cost 0 there).
+	for _, m := range res.MedoidIndexes {
+		if m == 0 {
+			return
+		}
+	}
+	t.Fatalf("heavy item is not a medoid: %v", res.MedoidIndexes)
+}
+
+func TestClusterWeightedCostConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	items := append(cfBlob(r, 20, 0, 0, 1, 3), cfBlob(r, 20, 30, 30, 1, 7)...)
+	res, err := ClusterWeighted(items, Options{K: 2, MaxNeighbor: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := range items {
+		c := items[i].Centroid()
+		want += float64(items[i].N) * vec.Dist(c, res.Medoids[res.Assignments[i]])
+	}
+	if math.Abs(res.Cost-want) > 1e-6*(1+want) {
+		t.Fatalf("cost %g != recomputed %g", res.Cost, want)
+	}
+}
+
+func TestClusterWeightedDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	items := cfBlob(r, 40, 0, 0, 5, 2)
+	a, err := ClusterWeighted(items, Options{K: 4, MaxNeighbor: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterWeighted(items, Options{K: 4, MaxNeighbor: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatal("same seed, different cost")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math"
+
+	"birch/internal/vec"
+)
+
+// Classify assigns a new point to the result's nearest cluster and
+// returns the cluster index plus the Euclidean distance to its centroid.
+// It is the natural "predict" operation over a finished clustering —
+// exactly what the paper's Phase 4 does per point, exposed for new data.
+// It panics if the result has no clusters.
+func (r *Result) Classify(p vec.Vector) (int, float64) {
+	if len(r.Centroids) == 0 {
+		panic("core: Classify on a result with no clusters")
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, centroid := range r.Centroids {
+		if d := vec.SqDist(p, centroid); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// IsOutlier reports whether a new point would be treated as an outlier
+// under the given discard factor: its distance to the nearest centroid
+// exceeds factor × that cluster's radius. A zero radius cluster (a
+// singleton) treats any non-coincident point as an outlier.
+func (r *Result) IsOutlier(p vec.Vector, factor float64) bool {
+	c, d := r.Classify(p)
+	return d > factor*r.Clusters[c].Radius()
+}

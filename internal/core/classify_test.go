@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"birch/internal/vec"
+)
+
+func classifyFixture(t *testing.T) *Result {
+	t.Helper()
+	pts, _ := gaussianBlobs(41, 4, 300, 50, 1)
+	res, err := Run(pts, DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("fixture clusters = %d", len(res.Clusters))
+	}
+	return res
+}
+
+func TestClassifyNearestCentroid(t *testing.T) {
+	res := classifyFixture(t)
+	for c, centroid := range res.Centroids {
+		got, d := res.Classify(centroid)
+		if got != c {
+			t.Fatalf("centroid %d classified as %d", c, got)
+		}
+		if d > 1e-12 {
+			t.Fatalf("distance to own centroid = %g", d)
+		}
+		// A point near the centroid stays in the cluster.
+		near := vec.Of(centroid[0]+0.5, centroid[1]+0.5)
+		if got, _ := res.Classify(near); got != c {
+			t.Fatalf("nearby point left cluster %d for %d", c, got)
+		}
+	}
+}
+
+func TestClassifyConsistentWithLabels(t *testing.T) {
+	pts, _ := gaussianBlobs(42, 4, 300, 50, 1)
+	res, err := Run(pts, DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches := 0
+	for i, p := range pts {
+		if res.Labels[i] < 0 {
+			continue
+		}
+		if got, _ := res.Classify(p); got != res.Labels[i] {
+			mismatches++
+		}
+	}
+	// Phase 4 assigned by nearest centroid, then centroids moved to the
+	// final means; boundary points may flip, but the bulk must agree.
+	if mismatches > len(pts)/100 {
+		t.Fatalf("%d/%d classification/label mismatches", mismatches, len(pts))
+	}
+}
+
+func TestClassifyNoClustersPanics(t *testing.T) {
+	var r Result
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Classify on empty result did not panic")
+		}
+	}()
+	r.Classify(vec.Of(1, 2))
+}
+
+func TestIsOutlier(t *testing.T) {
+	res := classifyFixture(t)
+	center := res.Centroids[0]
+	if res.IsOutlier(center, 2) {
+		t.Fatal("centroid flagged as outlier")
+	}
+	far := vec.Of(center[0]+10000, center[1]+10000)
+	if !res.IsOutlier(far, 2) {
+		t.Fatal("distant point not flagged as outlier")
+	}
+}

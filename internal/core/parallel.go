@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// RunParallel is the data-parallel execution the paper's Section 7 lists
+// as future work ("we will study ... parallelism"). It exploits exactly
+// the property that makes BIRCH parallel-friendly: CF additivity.
+//
+// The input is sharded across `workers` goroutines. Each worker runs an
+// independent Phase 1 over its shard with a proportional slice of the
+// memory budget, producing a set of leaf-entry CF summaries. Because CFs
+// add, the shard summaries are then streamed into one merge tree (a
+// second, cheap Phase 1 whose "points" are subclusters), and Phases 2–4
+// proceed unchanged on the merged tree.
+//
+// The result is not bit-identical to the sequential run — subcluster
+// boundaries depend on insertion grouping — but the paper's own
+// order-insensitivity argument applies: the summaries, and therefore the
+// global clustering, agree to within the same tolerance as reordering
+// the input does.
+func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, errors.New("core: no points")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(points) < 2*workers {
+		return Run(points, cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	total := time.Now()
+
+	// Shard configuration: each worker gets an equal slice of the memory
+	// budget (floored at one page so tiny budgets still validate).
+	shardCfg := cfg
+	shardCfg.Memory = cfg.Memory / workers
+	if shardCfg.Memory < cfg.PageSize {
+		shardCfg.Memory = cfg.PageSize
+	}
+	shardCfg.Refine = false // refinement happens once, globally
+	shardCfg.Phase2 = false
+
+	type shardOut struct {
+		cfs   []cf.CF
+		stats Phase1Stats
+		err   error
+	}
+	outs := make([]shardOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(points) * w / workers
+		hi := len(points) * (w + 1) / workers
+		wg.Add(1)
+		go func(w int, shard []vec.Vector) {
+			defer wg.Done()
+			eng, err := NewEngine(shardCfg)
+			if err != nil {
+				outs[w].err = err
+				return
+			}
+			eng.SetExpectedN(int64(len(shard)))
+			for _, p := range shard {
+				if err := eng.Add(p); err != nil {
+					outs[w].err = err
+					return
+				}
+			}
+			outs[w].stats = eng.FinishPhase1()
+			outs[w].cfs = eng.Tree().LeafCFs()
+		}(w, points[lo:hi])
+	}
+	wg.Wait()
+
+	// Merge: feed every shard's subcluster summaries into one engine.
+	// The merge tree reuses the shard threshold landscape implicitly —
+	// each incoming CF already satisfies its shard's final threshold, and
+	// the merge engine escalates from the largest of them so summaries
+	// absorb rather than explode the tree.
+	mergeCfg := cfg
+	var maxT float64
+	var spills, discards int64
+	rebuilds := 0
+	for w := range outs {
+		if outs[w].err != nil {
+			return nil, fmt.Errorf("core: parallel shard %d: %w", w, outs[w].err)
+		}
+		if t := outs[w].stats.FinalThreshold; t > maxT {
+			maxT = t
+		}
+		spills += outs[w].stats.OutlierSpills
+		discards += outs[w].stats.OutliersFinal
+		rebuilds += outs[w].stats.Rebuilds
+	}
+	if maxT > mergeCfg.InitialThreshold {
+		mergeCfg.InitialThreshold = maxT
+	}
+
+	eng, err := NewEngine(mergeCfg)
+	if err != nil {
+		return nil, err
+	}
+	var merged int64
+	for w := range outs {
+		for i := range outs[w].cfs {
+			if err := eng.AddCF(outs[w].cfs[i]); err != nil {
+				return nil, fmt.Errorf("core: parallel merge: %w", err)
+			}
+			merged += outs[w].cfs[i].N
+		}
+	}
+	eng.SetExpectedN(merged)
+
+	res, err := Finish(eng, points)
+	if err != nil {
+		return nil, err
+	}
+	// Surface the aggregate shard work in the Phase 1 stats: rebuilds and
+	// spills are summed across shards plus the merge engine's own.
+	res.Stats.Phase1.Rebuilds += rebuilds
+	res.Stats.Phase1.OutlierSpills += spills
+	res.Stats.Phase1.OutliersFinal += discards
+	res.Stats.Phase1.Points = int64(len(points))
+	res.Stats.Total = time.Since(total)
+	return res, nil
+}

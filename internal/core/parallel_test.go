@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"birch/internal/quality"
+	"birch/internal/vec"
+)
+
+func TestRunParallelRecoversClusters(t *testing.T) {
+	pts, truth := gaussianBlobs(21, 9, 500, 30, 1)
+	cfg := DefaultConfig(2, 9)
+	res, err := RunParallel(pts, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 9 {
+		t.Fatalf("clusters = %d, want 9", len(res.Clusters))
+	}
+	if len(res.Labels) != len(pts) {
+		t.Fatalf("labels = %d", len(res.Labels))
+	}
+	truthCFs := quality.FromLabels(pts, truth, 9)
+	m := quality.MatchClusters(res.Clusters, truthCFs)
+	if len(m.Pairs) != 9 {
+		t.Fatalf("matched %d/9", len(m.Pairs))
+	}
+	if d := m.AvgCentroidDisplacement(); d > 1 {
+		t.Fatalf("displacement %g", d)
+	}
+}
+
+func TestRunParallelMatchesSequentialQuality(t *testing.T) {
+	pts, _ := gaussianBlobs(22, 6, 600, 35, 1.2)
+	cfg := DefaultConfig(2, 6)
+	seq, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(pts, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSeq := quality.WeightedAvgDiameter(seq.Clusters)
+	dPar := quality.WeightedAvgDiameter(par.Clusters)
+	rel := (dPar - dSeq) / dSeq
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.15 {
+		t.Fatalf("parallel quality diverges: %g vs %g", dPar, dSeq)
+	}
+}
+
+func TestRunParallelMassConserved(t *testing.T) {
+	pts, _ := gaussianBlobs(23, 5, 400, 40, 1)
+	cfg := DefaultConfig(2, 5)
+	res, err := RunParallel(pts, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mass int64
+	for i := range res.Clusters {
+		mass += res.Clusters[i].N
+	}
+	if mass+res.Outliers != int64(len(pts)) {
+		t.Fatalf("mass %d + outliers %d != %d points", mass, res.Outliers, len(pts))
+	}
+}
+
+func TestRunParallelSingleWorkerFallsBack(t *testing.T) {
+	pts, _ := gaussianBlobs(24, 3, 200, 40, 1)
+	cfg := DefaultConfig(2, 3)
+	res, err := RunParallel(pts, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestRunParallelTinyInputFallsBack(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(100, 100), vec.Of(0.1, 0)}
+	cfg := DefaultConfig(2, 2)
+	res, err := RunParallel(pts, cfg, 8) // fewer than 2 points per worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestRunParallelZeroWorkersUsesGOMAXPROCS(t *testing.T) {
+	pts, _ := gaussianBlobs(25, 4, 300, 40, 1)
+	cfg := DefaultConfig(2, 4)
+	res, err := RunParallel(pts, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestRunParallelEmptyInput(t *testing.T) {
+	if _, err := RunParallel(nil, DefaultConfig(2, 2), 4); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRunParallelMemoryPressure(t *testing.T) {
+	pts, _ := gaussianBlobs(26, 16, 800, 25, 1)
+	cfg := DefaultConfig(2, 16)
+	cfg.Memory = 16 * 1024 // shards get 4 KB each
+	res, err := RunParallel(pts, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 16 {
+		t.Fatalf("clusters = %d under shard memory pressure", len(res.Clusters))
+	}
+	if res.Stats.Phase1.Rebuilds == 0 {
+		t.Fatal("expected shard rebuilds under pressure")
+	}
+}

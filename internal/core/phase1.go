@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/cftree"
+	"birch/internal/pager"
+	"birch/internal/vec"
+)
+
+// Engine drives the incremental Phase 1 of BIRCH and carries the state the
+// later phases consume. Points can be streamed one at a time through Add;
+// FinishPhase1 performs the final outlier re-absorption of Figure 2.
+type Engine struct {
+	cfg Config
+	pgr *pager.Pager
+
+	tree *cftree.Tree
+	est  thresholdEstimator
+
+	// outlierBuf mirrors the contents of the simulated outlier disk: both
+	// potential outliers extracted during rebuilds and, with delay-split
+	// on, points spilled to postpone a rebuild.
+	outlierBuf []cf.CF
+
+	scanned   int64 // points fed through Add / AddCF
+	spills    int64
+	rebuilds  int
+	discarded int64 // points dropped as real outliers at the end
+	started   time.Time
+	finished  bool
+}
+
+// NewEngine builds an Engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	diskBudget := 0
+	if cfg.OutlierHandling {
+		diskBudget = int(float64(cfg.Memory) * cfg.OutlierDiskPct / 100)
+	}
+	pgr, err := pager.New(pager.Config{
+		PageSize:     cfg.PageSize,
+		MemoryBudget: cfg.Memory,
+		DiskBudget:   diskBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := cftree.New(cftree.Params{
+		Dim:               cfg.Dim,
+		Branching:         pager.BranchingFactor(cfg.PageSize, cfg.Dim),
+		LeafCap:           pager.LeafCapacity(cfg.PageSize, cfg.Dim),
+		Threshold:         cfg.InitialThreshold,
+		ThresholdKind:     cfg.ThresholdKind,
+		Metric:            cfg.Metric,
+		MergingRefinement: cfg.MergingRefinement,
+	}, pgr)
+	if err != nil {
+		return nil, err
+	}
+	// The engine's lifetime covers exactly one pass over the input data.
+	pgr.NoteScan()
+	return &Engine{
+		cfg:     cfg,
+		pgr:     pgr,
+		tree:    tree,
+		est:     thresholdEstimator{dim: cfg.Dim},
+		started: time.Now(),
+	}, nil
+}
+
+// SetExpectedN tells the threshold heuristic the total dataset size when
+// it is known in advance (it caps the N(i+1) growth target at N, per
+// Section 5.1.3).
+func (e *Engine) SetExpectedN(n int64) { e.est.totalN = n }
+
+// Pager exposes the resource model for statistics.
+func (e *Engine) Pager() *pager.Pager { return e.pgr }
+
+// Tree exposes the current CF tree (read-only use).
+func (e *Engine) Tree() *cftree.Tree { return e.tree }
+
+// Add streams one data point into Phase 1.
+func (e *Engine) Add(p vec.Vector) error {
+	return e.AddCF(cf.FromPoint(p))
+}
+
+// AddCF streams one pre-summarized subcluster into Phase 1. (Phase 1
+// itself only ever feeds single points, but re-clustering an existing
+// summary — e.g. merging two BIRCH runs — uses the same path.)
+func (e *Engine) AddCF(ent cf.CF) error {
+	if e.finished {
+		return fmt.Errorf("core: AddCF after FinishPhase1")
+	}
+	if ent.N == 0 {
+		return nil
+	}
+	if ent.Dim() != e.cfg.Dim {
+		return fmt.Errorf("core: point dimension %d, config dimension %d", ent.Dim(), e.cfg.Dim)
+	}
+	e.scanned += ent.N
+
+	if e.pgr.MemoryFull() {
+		if e.cfg.DelaySplit && e.cfg.OutlierHandling {
+			// Try to fit without growing the tree; spill to disk if not.
+			if err := e.tree.InsertNoSplit(ent); err == nil {
+				return nil
+			}
+			if err := e.pgr.WriteOutlier(e.cfg.Dim); err == nil {
+				e.outlierBuf = append(e.outlierBuf, ent)
+				e.spills++
+				return nil
+			}
+			// Both memory and disk exhausted: rebuild, then retry the
+			// insert into the roomier tree.
+		}
+		if err := e.rebuild(); err != nil {
+			return err
+		}
+	}
+	e.tree.Insert(ent)
+	return nil
+}
+
+// rebuild escalates the threshold (Section 5.1.2–5.1.3), rebuilds the tree
+// (Section 5.1.1), spills potential outliers to the outlier disk
+// (Section 5.1.4), and re-absorbs previously spilled entries that now fit.
+func (e *Engine) rebuild() error {
+	curT := e.tree.Threshold()
+	newT := e.est.next(e.tree, curT, e.tree.Points())
+
+	var isOutlier func(*cf.CF) bool
+	if e.cfg.OutlierHandling {
+		if st := e.tree.Stats(); st.Entries > 0 {
+			cut := e.cfg.OutlierFraction * st.AvgN
+			isOutlier = func(c *cf.CF) bool { return float64(c.N) < cut }
+		}
+	}
+
+	nt, extracted, err := e.tree.Rebuild(newT, isOutlier)
+	if err != nil {
+		return err
+	}
+	e.tree = nt
+	e.rebuilds++
+
+	for _, o := range extracted {
+		if err := e.pgr.WriteOutlier(e.cfg.Dim); err != nil {
+			// Disk full: free space by re-absorbing what now fits, then
+			// retry; if the disk is still full the entry goes back into
+			// the tree — data is never silently dropped mid-run.
+			e.reabsorb()
+			if err := e.pgr.WriteOutlier(e.cfg.Dim); err != nil {
+				e.tree.Insert(o)
+				continue
+			}
+		}
+		e.outlierBuf = append(e.outlierBuf, o)
+		e.spills++
+	}
+
+	// Post-rebuild re-absorption pass (Figure 2: "Re-absorb potential
+	// outliers into t1"): the larger threshold may accommodate entries
+	// that previously required splits.
+	e.reabsorb()
+	return nil
+}
+
+// reabsorb tries to fold each spilled entry back into the tree without
+// growing it; absorbed entries leave the disk buffer.
+func (e *Engine) reabsorb() {
+	if len(e.outlierBuf) == 0 {
+		return
+	}
+	kept := e.outlierBuf[:0]
+	absorbed := 0
+	for _, o := range e.outlierBuf {
+		if err := e.tree.InsertNoSplit(o); err == nil {
+			absorbed++
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	e.outlierBuf = kept
+	e.pgr.ReadOutliers(absorbed, e.cfg.Dim)
+}
+
+// FinishPhase1 performs the end-of-data outlier resolution: every spilled
+// entry is re-absorbed if possible; entries that cannot be absorbed
+// without growing the tree are discarded when they look like genuine
+// outliers (below the outlier population cut), and force-inserted
+// otherwise — a delay-split spill of a dense region is data, not noise.
+// It returns the Phase 1 statistics.
+func (e *Engine) FinishPhase1() Phase1Stats {
+	start := e.started
+	if !e.finished {
+		e.reabsorb()
+		if len(e.outlierBuf) > 0 {
+			cut := 0.0
+			if st := e.tree.Stats(); st.Entries > 0 {
+				cut = e.cfg.OutlierFraction * st.AvgN
+			}
+			remaining := e.outlierBuf
+			e.pgr.ReadOutliers(len(remaining), e.cfg.Dim)
+			e.outlierBuf = nil
+			for _, o := range remaining {
+				if float64(o.N) < cut {
+					e.discarded += o.N
+					continue
+				}
+				e.tree.Insert(o)
+			}
+		}
+		e.finished = true
+	}
+	return Phase1Stats{
+		Duration:       time.Since(start),
+		Points:         e.scanned,
+		Rebuilds:       e.rebuilds,
+		FinalThreshold: e.tree.Threshold(),
+		LeafEntries:    e.tree.LeafEntries(),
+		TreeNodes:      e.tree.Nodes(),
+		TreeHeight:     e.tree.Height(),
+		OutlierSpills:  e.spills,
+		OutliersFinal:  e.discarded,
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/pager"
+	"birch/internal/vec"
+)
+
+// Result is the outcome of a full pipeline run.
+type Result struct {
+	// Centroids are the final cluster centers (after Phase 4 when it
+	// runs, otherwise the Phase 3 centers).
+	Centroids []vec.Vector
+	// Clusters summarize the final clusters. With Phase 4 on these are
+	// exact over the raw data; otherwise they are the Phase 3 summaries
+	// of leaf entries.
+	Clusters []cf.CF
+	// Labels maps every input point to its cluster, -1 for discarded
+	// outliers. Nil when Phase 4 is off (BIRCH without refinement never
+	// touches individual points again after Phase 1).
+	Labels []int
+	// Outliers counts points discarded as outliers: Phase 1 leftovers
+	// that could never be re-absorbed plus Phase 4 discards.
+	Outliers int64
+	// Stats carries per-phase observability.
+	Stats RunStats
+}
+
+// RunStats aggregates timings and counters per phase.
+type RunStats struct {
+	Phase1 Phase1Stats
+	Phase2 Phase2Stats
+	Phase3 Phase3Stats
+	Phase4 Phase4Stats
+	// Total is the end-to-end wall-clock duration.
+	Total time.Duration
+	// IO is the simulated-resource view from the pager.
+	IO pager.Stats
+}
+
+// Phase1Stats describes the tree-building phase.
+type Phase1Stats struct {
+	Duration       time.Duration
+	Points         int64   // points scanned
+	Rebuilds       int     // threshold escalations
+	FinalThreshold float64 // T after the last rebuild
+	LeafEntries    int     // subclusters handed to later phases
+	TreeNodes      int
+	TreeHeight     int
+	OutlierSpills  int64 // entries written to the outlier disk over time
+	OutliersFinal  int64 // data points discarded as outliers at the end
+}
+
+// Phase2Stats describes the optional condensing phase.
+type Phase2Stats struct {
+	Ran          bool
+	Duration     time.Duration
+	Rebuilds     int
+	LeafEntries  int // after condensing
+	EndThreshold float64
+}
+
+// Phase3Stats describes the global clustering phase.
+type Phase3Stats struct {
+	Duration time.Duration
+	Inputs   int // leaf entries clustered
+	Clusters int
+}
+
+// Phase4Stats describes the refinement phase.
+type Phase4Stats struct {
+	Ran       bool
+	Duration  time.Duration
+	Passes    int
+	Discarded int64 // points dropped as outliers
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+
+	"birch/internal/cftree"
+)
+
+// This file implements the dynamic threshold heuristic of Sections
+// 5.1.2–5.1.3. When Phase 1 runs out of memory after absorbing Ni points
+// at threshold Ti, the next threshold T(i+1) must be large enough that the
+// rebuilt tree absorbs meaningfully more data, but not so large that
+// quality is thrown away. The paper combines several estimates and takes
+// a guarded maximum:
+//
+//  1. Volume extrapolation: model the data seen so far as packing a
+//     "footprint" volume V ∝ T^d with N points; to accommodate
+//     N(i+1) = min(2·Ni, N) points at the same packing, scale
+//     T(i+1) = Ti · (N(i+1)/Ni)^(1/d).
+//  2. Growth regression: least-squares extrapolation of the threshold
+//     footprint as a function of points absorbed, using the history of
+//     (Ni, Ti^d) pairs from previous rebuilds.
+//  3. D_min: the distance between the two closest leaf entries sharing a
+//     leaf — the next threshold should be at least this, otherwise the
+//     rebuild provably merges nothing and memory fills again immediately.
+//
+// Finally, if the combined estimate fails to exceed Ti (e.g. history is
+// degenerate), the threshold is forced up by a fixed expansion factor so
+// progress is guaranteed.
+type thresholdEstimator struct {
+	dim int
+	// totalN is the dataset size when known in advance (0 = unknown);
+	// with it the N(i+1) target is capped at N as the paper specifies.
+	totalN int64
+	// history records (points absorbed, threshold) at each rebuild for
+	// the regression estimate.
+	histN []float64
+	histT []float64
+}
+
+// forcedExpansion is the guard factor applied when every estimate
+// degenerates; any value > 1 guarantees termination of the rebuild loop.
+const forcedExpansion = 1.5
+
+// next computes T(i+1) given the current tree (not yet rebuilt), the
+// current threshold, and the number of points absorbed so far.
+func (te *thresholdEstimator) next(tree *cftree.Tree, curT float64, absorbed int64) float64 {
+	te.histN = append(te.histN, float64(absorbed))
+	te.histT = append(te.histT, curT)
+
+	// Target point count after the rebuild.
+	nextN := 2 * absorbed
+	if te.totalN > 0 && nextN > te.totalN {
+		nextN = te.totalN
+	}
+	growth := 1.0
+	if absorbed > 0 {
+		growth = float64(nextN) / float64(absorbed)
+	}
+
+	var candidates []float64
+
+	// (1) Volume extrapolation. Needs a non-zero current threshold.
+	if curT > 0 && growth > 1 {
+		candidates = append(candidates,
+			curT*math.Pow(growth, 1/float64(te.dim)))
+	}
+
+	// (2) Least-squares regression of T against N over the rebuild
+	// history, evaluated at nextN. Needs at least two distinct points.
+	if est, ok := te.regress(float64(nextN)); ok && est > 0 {
+		candidates = append(candidates, est)
+	}
+
+	// (3) D_min from the current tree.
+	if dmin, ok := tree.ClosestLeafPairDistance(); ok && dmin > 0 {
+		candidates = append(candidates, dmin)
+	}
+
+	next := 0.0
+	for _, c := range candidates {
+		if c > next {
+			next = c
+		}
+	}
+
+	// Guard rails: strictly increase, from a sane floor.
+	if next <= curT {
+		if curT == 0 {
+			// No information at all (e.g. all points identical so far):
+			// fall back to the average leaf radius or a tiny constant.
+			if st := tree.Stats(); st.AvgRadius > 0 {
+				next = 2 * st.AvgRadius
+			} else {
+				next = 1e-3
+			}
+		} else {
+			next = curT * forcedExpansion
+		}
+	}
+	return next
+}
+
+// regress fits T = a + b·N by ordinary least squares over the rebuild
+// history and evaluates the fit at n. It reports false when the history
+// is too short or degenerate (all N equal), or when the fit slopes
+// downward (extrapolating a shrinking threshold is never useful).
+func (te *thresholdEstimator) regress(n float64) (float64, bool) {
+	m := len(te.histN)
+	if m < 2 {
+		return 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < m; i++ {
+		sx += te.histN[i]
+		sy += te.histT[i]
+		sxx += te.histN[i] * te.histN[i]
+		sxy += te.histN[i] * te.histT[i]
+	}
+	fm := float64(m)
+	den := fm*sxx - sx*sx
+	if den <= 0 {
+		return 0, false
+	}
+	b := (fm*sxy - sx*sy) / den
+	a := (sy - b*sx) / fm
+	if b <= 0 {
+		return 0, false
+	}
+	return a + b*n, true
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/cftree"
+	"birch/internal/pager"
+	"birch/internal/vec"
+)
+
+func estimatorTree(t *testing.T, threshold float64, pts []vec.Vector) *cftree.Tree {
+	t.Helper()
+	pgr := pager.MustNew(pager.Config{PageSize: 1024, MemoryBudget: 1 << 30})
+	tree, err := cftree.New(cftree.Params{
+		Dim: 2, Branching: 8, LeafCap: 8,
+		Threshold: threshold, Metric: cf.D2,
+	}, pgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		tree.Insert(cf.FromPoint(p))
+	}
+	return tree
+}
+
+func gridPoints(n int, spacing float64) []vec.Vector {
+	pts := make([]vec.Vector, 0, n)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := 0; i < n; i++ {
+		pts = append(pts, vec.Of(float64(i%side)*spacing, float64(i/side)*spacing))
+	}
+	return pts
+}
+
+func TestNextThresholdStrictlyIncreases(t *testing.T) {
+	tree := estimatorTree(t, 0, gridPoints(64, 1))
+	est := &thresholdEstimator{dim: 2}
+	cur := 0.0
+	for i := 0; i < 6; i++ {
+		next := est.next(tree, cur, int64(64*(i+1)))
+		if next <= cur {
+			t.Fatalf("step %d: next %g ≤ current %g", i, next, cur)
+		}
+		cur = next
+	}
+}
+
+func TestNextThresholdUsesDmin(t *testing.T) {
+	// Grid spacing 1 under D2: closest pair of singleton leaf entries is
+	// √2·spacing... For two singleton CFs at distance s, D2 = s. So
+	// D_min = 1. The first escalation from T=0 must be at least that.
+	tree := estimatorTree(t, 0, gridPoints(16, 1))
+	est := &thresholdEstimator{dim: 2}
+	next := est.next(tree, 0, 16)
+	if next < 1-1e-9 {
+		t.Fatalf("next threshold %g below D_min 1", next)
+	}
+}
+
+func TestNextThresholdVolumeExtrapolation(t *testing.T) {
+	// With a current threshold and doubling target, the volume rule gives
+	// T·2^(1/d); the result must be at least that (other estimates can
+	// only raise it).
+	tree := estimatorTree(t, 2, gridPoints(32, 0.1)) // dense: most absorbed
+	est := &thresholdEstimator{dim: 2}
+	next := est.next(tree, 2, int64(tree.Points()))
+	want := 2 * math.Pow(2, 0.5)
+	if next < want-1e-9 {
+		t.Fatalf("next %g below volume estimate %g", next, want)
+	}
+}
+
+func TestNextThresholdCapsAtTotalN(t *testing.T) {
+	tree := estimatorTree(t, 2, gridPoints(32, 0.1))
+	absorbed := tree.Points()
+	capped := &thresholdEstimator{dim: 2, totalN: absorbed} // no growth left
+	// growth = 1 ⇒ volume rule contributes nothing; forced expansion
+	// must still make progress.
+	next := capped.next(tree, 2, absorbed)
+	if next <= 2 {
+		t.Fatalf("capped estimator failed to progress: %g", next)
+	}
+	if next > 2*forcedExpansion+1e-9 {
+		t.Fatalf("capped estimator overshot: %g", next)
+	}
+}
+
+func TestNextThresholdZeroCurrentDegenerate(t *testing.T) {
+	// All points identical: D_min does not exist, current T = 0. The
+	// estimator must still return something positive.
+	pts := make([]vec.Vector, 10)
+	for i := range pts {
+		pts[i] = vec.Of(5, 5)
+	}
+	tree := estimatorTree(t, 0, pts)
+	est := &thresholdEstimator{dim: 2}
+	next := est.next(tree, 0, 10)
+	if next <= 0 {
+		t.Fatalf("degenerate estimator returned %g", next)
+	}
+}
+
+func TestRegress(t *testing.T) {
+	est := &thresholdEstimator{dim: 2}
+
+	// Too little history.
+	if _, ok := est.regress(10); ok {
+		t.Fatal("regress with no history succeeded")
+	}
+	est.histN = []float64{100}
+	est.histT = []float64{1}
+	if _, ok := est.regress(200); ok {
+		t.Fatal("regress with one point succeeded")
+	}
+
+	// Perfect linear history T = 0.01·N: extrapolation must be exact.
+	est.histN = []float64{100, 200, 300}
+	est.histT = []float64{1, 2, 3}
+	got, ok := est.regress(400)
+	if !ok {
+		t.Fatal("regress failed on clean data")
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("regress(400) = %g, want 4", got)
+	}
+
+	// Degenerate: all N identical.
+	est.histN = []float64{100, 100}
+	est.histT = []float64{1, 2}
+	if _, ok := est.regress(200); ok {
+		t.Fatal("regress with constant N succeeded")
+	}
+
+	// Downward slope is rejected.
+	est.histN = []float64{100, 200}
+	est.histT = []float64{2, 1}
+	if _, ok := est.regress(300); ok {
+		t.Fatal("regress with negative slope succeeded")
+	}
+}
+
+func TestEstimatorHistoryAccumulates(t *testing.T) {
+	tree := estimatorTree(t, 0, gridPoints(16, 1))
+	est := &thresholdEstimator{dim: 2}
+	est.next(tree, 0, 16)
+	est.next(tree, 1, 32)
+	if len(est.histN) != 2 || len(est.histT) != 2 {
+		t.Fatalf("history = %d/%d entries", len(est.histN), len(est.histT))
+	}
+	if est.histT[0] != 0 || est.histT[1] != 1 {
+		t.Fatalf("history thresholds = %v", est.histT)
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"birch/internal/vec"
+)
+
+// WriteCSV emits the dataset as CSV, one point per line with the
+// ground-truth label as the last column when withLabels is set. The
+// format round-trips through ReadCSV.
+func WriteCSV(w io.Writer, ds *Dataset, withLabels bool) error {
+	bw := bufio.NewWriter(w)
+	for i, p := range ds.Points {
+		for j, x := range p {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if withLabels {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(ds.Labels[i]))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses points (and, when labeled is set, a trailing integer
+// label column) from CSV or whitespace-separated text. Blank lines and
+// lines starting with '#' are skipped. Every data row must have the same
+// number of columns.
+func ReadCSV(r io.Reader, labeled bool) (*Dataset, error) {
+	ds := &Dataset{Name: "csv"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	dim := -1
+	maxLabel := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == ';'
+		})
+		want := len(fields)
+		if labeled {
+			want--
+		}
+		if want < 1 {
+			return nil, fmt.Errorf("dataset: line %d: no coordinates", lineNo)
+		}
+		if dim == -1 {
+			dim = want
+		} else if want != dim {
+			return nil, fmt.Errorf("dataset: line %d: %d coordinates, expected %d",
+				lineNo, want, dim)
+		}
+		p := make(vec.Vector, dim)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %q is not a number", lineNo, fields[j])
+			}
+			p[j] = v
+		}
+		ds.Points = append(ds.Points, p)
+		if labeled {
+			l, err := strconv.Atoi(fields[dim])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: label %q is not an integer",
+					lineNo, fields[dim])
+			}
+			ds.Labels = append(ds.Labels, l)
+			if l > maxLabel {
+				maxLabel = l
+			}
+		} else {
+			ds.Labels = append(ds.Labels, 0)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ds.Points) == 0 {
+		return nil, fmt.Errorf("dataset: no points in input")
+	}
+	return ds, nil
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := baseParams(Grid, 61)
+	p.K = 5
+	p.NLow, p.NHigh = 20, 20
+	orig, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() {
+		t.Fatalf("round trip N = %d, want %d", back.N(), orig.N())
+	}
+	for i := range orig.Points {
+		if !vec.Equal(back.Points[i], orig.Points[i]) {
+			t.Fatalf("point %d differs: %v vs %v", i, back.Points[i], orig.Points[i])
+		}
+		if back.Labels[i] != orig.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestReadCSVUnlabeled(t *testing.T) {
+	in := "# header comment\n1,2\n3.5 4.5\n\n5\t6\n"
+	ds, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	if ds.Points[1][0] != 3.5 || ds.Points[1][1] != 4.5 {
+		t.Fatalf("point 1 = %v", ds.Points[1])
+	}
+}
+
+func TestReadCSVNoiseLabels(t *testing.T) {
+	in := "1,2,0\n3,4,-1\n"
+	ds, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labels[1] != -1 {
+		t.Fatalf("noise label = %d", ds.Labels[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		labeled bool
+	}{
+		{"non-numeric", "1,x\n", false},
+		{"ragged", "1,2\n1,2,3\n", false},
+		{"bad label", "1,2,zebra\n", true},
+		{"label only", "7\n", true},
+		{"empty", "# nothing\n", false},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), c.labeled); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package dataset implements the synthetic data generator of Section 6.2
+// of the BIRCH paper and the base-workload datasets of Table 3.
+//
+// A dataset consists of K clusters. Each cluster i has a number of points
+// n_i drawn from [NLow, NHigh], a radius r_i drawn from [RLow, RHigh], and
+// a center c_i placed according to one of three patterns:
+//
+//   - grid:   centers on a √K × √K grid; the distance between neighboring
+//     centers on a row/column is KG·(r_i+r_j)/2 ≈ KG·r̄, so KG controls
+//     how much clusters crowd each other.
+//   - sine:   center i sits at x = 2πi with y on a sine curve of NC
+//     cycles over the K clusters and amplitude K, so the x range
+//     is [0, 2πK].
+//   - random: centers uniform over [0, K]².
+//
+// Points of a cluster follow a 2-d independent normal distribution with
+// mean c_i and per-dimension variance r_i²/2, so the expected cluster
+// radius (paper eq. 2) equals r_i. Because the normal is unbounded, some
+// points land far from their center; the paper calls these "outsiders"
+// and treats them as part of the cluster. Optionally NoisePct percent of
+// extra points are scattered uniformly over the whole data range with
+// ground-truth label -1.
+//
+// The input order is either Ordered (cluster after cluster, exactly how a
+// database scan of a clustered table would deliver them) or Randomized
+// (a global shuffle), matching the paper's order-sensitivity experiments.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"birch/internal/vec"
+)
+
+// Pattern is the cluster-center placement scheme.
+type Pattern int
+
+const (
+	// Grid places centers on a √K × √K grid.
+	Grid Pattern = iota
+	// Sine places centers along a sine curve.
+	Sine
+	// Random places centers uniformly at random.
+	Random
+)
+
+// String names the pattern as the paper does.
+func (p Pattern) String() string {
+	switch p {
+	case Grid:
+		return "grid"
+	case Sine:
+		return "sine"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Order is the input order of the generated points.
+type Order int
+
+const (
+	// Ordered emits each cluster's points together, clusters in sequence.
+	Ordered Order = iota
+	// Randomized shuffles all points globally.
+	Randomized
+)
+
+// String names the order as the paper does.
+func (o Order) String() string {
+	switch o {
+	case Ordered:
+		return "ordered"
+	case Randomized:
+		return "randomized"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Params mirrors Table 1 of the paper: the generator's controls and their
+// experimented ranges.
+type Params struct {
+	Pattern Pattern
+	// K is the number of clusters (paper range 4..256).
+	K int
+	// NLow, NHigh bound the points per cluster (paper range 0..2500).
+	NLow, NHigh int
+	// RLow, RHigh bound the cluster radius (paper range 0..√2..50).
+	RLow, RHigh float64
+	// KG controls grid spacing (paper kg, default 4).
+	KG float64
+	// NC is the number of sine cycles across the K clusters (paper nc,
+	// default 4).
+	NC int
+	// NoisePct is rn, the percentage of uniform noise points (0..10).
+	NoisePct float64
+	// Order is the input ordering o.
+	Order Order
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("dataset: K must be positive, got %d", p.K)
+	}
+	if p.NLow < 0 || p.NHigh < p.NLow {
+		return fmt.Errorf("dataset: bad n range [%d, %d]", p.NLow, p.NHigh)
+	}
+	if p.RLow < 0 || p.RHigh < p.RLow {
+		return fmt.Errorf("dataset: bad r range [%g, %g]", p.RLow, p.RHigh)
+	}
+	if p.Pattern == Grid && p.KG <= 0 {
+		return fmt.Errorf("dataset: grid pattern needs KG > 0, got %g", p.KG)
+	}
+	if p.Pattern == Sine && p.NC <= 0 {
+		return fmt.Errorf("dataset: sine pattern needs NC > 0, got %d", p.NC)
+	}
+	if p.NoisePct < 0 || p.NoisePct > 100 {
+		return fmt.Errorf("dataset: NoisePct %g out of [0, 100]", p.NoisePct)
+	}
+	return nil
+}
+
+// Dataset is a generated workload with its ground truth.
+type Dataset struct {
+	// Name labels the dataset in reports ("DS1", "DS2o", ...).
+	Name string
+	// Points are the 2-d data tuples in input order.
+	Points []vec.Vector
+	// Labels give the generating cluster per point (-1 for noise), in
+	// the same order as Points.
+	Labels []int
+	// Centers, Radii and Sizes describe the actual (intended) clusters.
+	Centers []vec.Vector
+	Radii   []float64
+	Sizes   []int
+	// Params records how the dataset was generated.
+	Params Params
+}
+
+// N returns the number of points.
+func (d *Dataset) N() int { return len(d.Points) }
+
+// Generate builds a dataset from params.
+func Generate(params Params) (*Dataset, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(params.Seed))
+
+	// Draw per-cluster sizes and radii first; center placement for the
+	// grid pattern depends on the mean radius.
+	sizes := make([]int, params.K)
+	radii := make([]float64, params.K)
+	total := 0
+	for i := range sizes {
+		sizes[i] = params.NLow + intnInclusive(r, params.NHigh-params.NLow)
+		radii[i] = params.RLow + r.Float64()*(params.RHigh-params.RLow)
+		total += sizes[i]
+	}
+
+	centers := placeCenters(params, radii, r)
+
+	ds := &Dataset{
+		Points:  make([]vec.Vector, 0, total),
+		Labels:  make([]int, 0, total),
+		Centers: centers,
+		Radii:   radii,
+		Sizes:   sizes,
+		Params:  params,
+	}
+	for i := 0; i < params.K; i++ {
+		sd := radii[i] / math.Sqrt2 // per-dimension σ so E‖X−c‖² = r²
+		for j := 0; j < sizes[i]; j++ {
+			ds.Points = append(ds.Points, vec.Of(
+				centers[i][0]+r.NormFloat64()*sd,
+				centers[i][1]+r.NormFloat64()*sd,
+			))
+			ds.Labels = append(ds.Labels, i)
+		}
+	}
+
+	if params.NoisePct > 0 {
+		lo, hi := bounds(centers, radii)
+		nNoise := int(float64(total) * params.NoisePct / 100)
+		for j := 0; j < nNoise; j++ {
+			ds.Points = append(ds.Points, vec.Of(
+				lo[0]+r.Float64()*(hi[0]-lo[0]),
+				lo[1]+r.Float64()*(hi[1]-lo[1]),
+			))
+			ds.Labels = append(ds.Labels, -1)
+		}
+	}
+
+	if params.Order == Randomized {
+		r.Shuffle(len(ds.Points), func(a, b int) {
+			ds.Points[a], ds.Points[b] = ds.Points[b], ds.Points[a]
+			ds.Labels[a], ds.Labels[b] = ds.Labels[b], ds.Labels[a]
+		})
+	}
+	return ds, nil
+}
+
+// intnInclusive draws uniformly from [0, n] (rand.Intn is [0, n)).
+func intnInclusive(r *rand.Rand, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return r.Intn(n + 1)
+}
+
+// placeCenters computes cluster centers per the pattern.
+func placeCenters(params Params, radii []float64, r *rand.Rand) []vec.Vector {
+	centers := make([]vec.Vector, params.K)
+	switch params.Pattern {
+	case Grid:
+		side := int(math.Ceil(math.Sqrt(float64(params.K))))
+		var rbar float64
+		for _, rad := range radii {
+			rbar += rad
+		}
+		rbar /= float64(len(radii))
+		spacing := params.KG * rbar
+		if spacing <= 0 {
+			spacing = 1
+		}
+		for i := 0; i < params.K; i++ {
+			row, col := i/side, i%side
+			centers[i] = vec.Of(float64(col)*spacing, float64(row)*spacing)
+		}
+	case Sine:
+		for i := 0; i < params.K; i++ {
+			x := 2 * math.Pi * float64(i)
+			y := float64(params.K) * math.Sin(2*math.Pi*float64(i)*float64(params.NC)/float64(params.K))
+			centers[i] = vec.Of(x, y)
+		}
+	case Random:
+		for i := 0; i < params.K; i++ {
+			centers[i] = vec.Of(r.Float64()*float64(params.K), r.Float64()*float64(params.K))
+		}
+	default:
+		panic("dataset: unknown pattern")
+	}
+	return centers
+}
+
+// bounds returns the axis-aligned bounding box of all centers expanded by
+// two radii, used as the noise range.
+func bounds(centers []vec.Vector, radii []float64) (lo, hi vec.Vector) {
+	lo = vec.Of(math.Inf(1), math.Inf(1))
+	hi = vec.Of(math.Inf(-1), math.Inf(-1))
+	for i, c := range centers {
+		for d := 0; d < 2; d++ {
+			if c[d]-2*radii[i] < lo[d] {
+				lo[d] = c[d] - 2*radii[i]
+			}
+			if c[d]+2*radii[i] > hi[d] {
+				hi[d] = c[d] + 2*radii[i]
+			}
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,320 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := baseParams(Grid, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("base params invalid: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.NLow = -1 },
+		func(p *Params) { p.NHigh = p.NLow - 1 },
+		func(p *Params) { p.RLow = -1 },
+		func(p *Params) { p.RHigh = p.RLow - 1 },
+		func(p *Params) { p.Pattern = Grid; p.KG = 0 },
+		func(p *Params) { p.Pattern = Sine; p.NC = 0 },
+		func(p *Params) { p.NoisePct = -1 },
+		func(p *Params) { p.NoisePct = 101 },
+	}
+	for i, mutate := range cases {
+		p := baseParams(Grid, 1)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseParams(Grid, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseParams(Grid, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Points {
+		if !vec.Equal(a.Points[i], b.Points[i]) {
+			t.Fatal("same seed, different points")
+		}
+	}
+}
+
+func TestDS1Shape(t *testing.T) {
+	ds := DS1()
+	if ds.Name != "DS1" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	if ds.N() != 100000 {
+		t.Errorf("N = %d, want 100000 (K=100 × n=1000)", ds.N())
+	}
+	if len(ds.Centers) != 100 || len(ds.Radii) != 100 {
+		t.Errorf("centers/radii = %d/%d", len(ds.Centers), len(ds.Radii))
+	}
+	for i, r := range ds.Radii {
+		if math.Abs(r-math.Sqrt2) > 1e-12 {
+			t.Fatalf("radius %d = %g, want √2", i, r)
+		}
+	}
+	// Grid centers: 10×10 lattice with spacing kg·r̄ = 4√2.
+	spacing := 4 * math.Sqrt2
+	for i, c := range ds.Centers {
+		row, col := i/10, i%10
+		want := vec.Of(float64(col)*spacing, float64(row)*spacing)
+		if !vec.ApproxEqual(c, want, 1e-9) {
+			t.Fatalf("center %d = %v, want %v", i, c, want)
+		}
+	}
+}
+
+// TestClusterRadiusNearNominal verifies the sampling: the realized radius
+// (paper eq. 2) of each generated cluster must be close to the nominal r.
+func TestClusterRadiusNearNominal(t *testing.T) {
+	ds := DS1()
+	byCluster := make([]cf.CF, 100)
+	for i := range byCluster {
+		byCluster[i] = cf.New(2)
+	}
+	for i, p := range ds.Points {
+		byCluster[ds.Labels[i]].AddPoint(p)
+	}
+	for i := range byCluster {
+		got := byCluster[i].Radius()
+		if math.Abs(got-math.Sqrt2) > 0.15 {
+			t.Fatalf("cluster %d realized radius %g, nominal √2", i, got)
+		}
+		// Centroid near the intended center.
+		if d := vec.Dist(byCluster[i].Centroid(), ds.Centers[i]); d > 0.2 {
+			t.Fatalf("cluster %d centroid off by %g", i, d)
+		}
+	}
+}
+
+func TestDS2SineCenters(t *testing.T) {
+	ds := DS2()
+	if ds.N() != 100000 {
+		t.Errorf("N = %d", ds.N())
+	}
+	for i, c := range ds.Centers {
+		wantX := 2 * math.Pi * float64(i)
+		wantY := 100 * math.Sin(2*math.Pi*float64(i)*4/100)
+		if math.Abs(c[0]-wantX) > 1e-9 || math.Abs(c[1]-wantY) > 1e-9 {
+			t.Fatalf("sine center %d = %v, want (%g, %g)", i, c, wantX, wantY)
+		}
+	}
+}
+
+func TestDS3RandomRanges(t *testing.T) {
+	ds := DS3()
+	if len(ds.Centers) != 100 {
+		t.Fatalf("centers = %d", len(ds.Centers))
+	}
+	total := 0
+	for i, sz := range ds.Sizes {
+		if sz < 0 || sz > 2000 {
+			t.Fatalf("cluster %d size %d out of [0, 2000]", i, sz)
+		}
+		if ds.Radii[i] < 0 || ds.Radii[i] > 4 {
+			t.Fatalf("cluster %d radius %g out of [0, 4]", i, ds.Radii[i])
+		}
+		total += sz
+	}
+	if total != ds.N() {
+		t.Fatalf("sizes sum %d != N %d", total, ds.N())
+	}
+	for _, c := range ds.Centers {
+		if c[0] < 0 || c[0] > 100 || c[1] < 0 || c[1] > 100 {
+			t.Fatalf("random center %v out of [0, 100]²", c)
+		}
+	}
+}
+
+func TestOrderedVsRandomizedSameMultiset(t *testing.T) {
+	o := DS1()
+	r := DS1o()
+	if o.N() != r.N() {
+		t.Fatalf("sizes differ: %d vs %d", o.N(), r.N())
+	}
+	// Same points as a multiset: compare coordinate sums (cheap proxy)
+	// and per-label counts (exact).
+	sum := func(ds *Dataset) (sx, sy float64) {
+		for _, p := range ds.Points {
+			sx += p[0]
+			sy += p[1]
+		}
+		return
+	}
+	osx, osy := sum(o)
+	rsx, rsy := sum(r)
+	if math.Abs(osx-rsx) > 1e-6 || math.Abs(osy-rsy) > 1e-6 {
+		t.Fatal("randomized variant has different points")
+	}
+	oc := make(map[int]int)
+	rc := make(map[int]int)
+	for _, l := range o.Labels {
+		oc[l]++
+	}
+	for _, l := range r.Labels {
+		rc[l]++
+	}
+	for k, v := range oc {
+		if rc[k] != v {
+			t.Fatalf("label %d count differs: %d vs %d", k, v, rc[k])
+		}
+	}
+}
+
+func TestOrderedIsOrdered(t *testing.T) {
+	ds := DS2()
+	last := -1
+	for _, l := range ds.Labels {
+		if l < last {
+			t.Fatal("ordered dataset has out-of-order labels")
+		}
+		last = l
+	}
+}
+
+func TestRandomizedIsShuffled(t *testing.T) {
+	ds := DS1o()
+	// With 100k points in 100 clusters, an unshuffled prefix of 1000
+	// identical labels would be astronomically unlikely.
+	first := ds.Labels[0]
+	same := 0
+	for _, l := range ds.Labels[:1000] {
+		if l == first {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("randomized dataset looks ordered: %d/1000 same label", same)
+	}
+}
+
+func TestNoisePoints(t *testing.T) {
+	p := baseParams(Grid, 5)
+	p.K = 10
+	p.NLow, p.NHigh = 100, 100
+	p.NoisePct = 10
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := 0
+	for _, l := range ds.Labels {
+		if l == -1 {
+			noise++
+		}
+	}
+	if noise != 100 { // 10% of 1000
+		t.Fatalf("noise points = %d, want 100", noise)
+	}
+	if ds.N() != 1100 {
+		t.Fatalf("N = %d, want 1100", ds.N())
+	}
+}
+
+func TestScaledN(t *testing.T) {
+	ds := ScaledN(Grid, 500)
+	if ds.N() != 50000 {
+		t.Fatalf("ScaledN(grid, 500): N = %d, want 50000", ds.N())
+	}
+	if ds.Name != "DS1/n=500" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	// Random pattern keeps E[N] = K·n via [0, 2n].
+	dr := ScaledN(Random, 500)
+	if dr.Params.NLow != 0 || dr.Params.NHigh != 1000 {
+		t.Errorf("random scaled range = [%d, %d]", dr.Params.NLow, dr.Params.NHigh)
+	}
+}
+
+func TestScaledK(t *testing.T) {
+	ds := ScaledK(Sine, 50)
+	if len(ds.Centers) != 50 {
+		t.Fatalf("centers = %d", len(ds.Centers))
+	}
+	if ds.N() != 50000 {
+		t.Fatalf("N = %d, want 50000", ds.N())
+	}
+}
+
+func TestFullWorkloadNames(t *testing.T) {
+	names := []string{"DS1", "DS2", "DS3", "DS1o", "DS2o", "DS3o"}
+	for i, ds := range FullWorkload() {
+		if ds.Name != names[i] {
+			t.Errorf("workload %d name = %q, want %q", i, ds.Name, names[i])
+		}
+	}
+	if len(BaseWorkload()) != 3 {
+		t.Error("base workload should have 3 datasets")
+	}
+}
+
+func TestPatternOrderStrings(t *testing.T) {
+	if Grid.String() != "grid" || Sine.String() != "sine" || Random.String() != "random" {
+		t.Error("pattern names wrong")
+	}
+	if Ordered.String() != "ordered" || Randomized.String() != "randomized" {
+		t.Error("order names wrong")
+	}
+	if Pattern(9).String() != "Pattern(9)" || Order(9).String() != "Order(9)" {
+		t.Error("unknown enum strings wrong")
+	}
+}
+
+func TestQuickGenerateConsistency(t *testing.T) {
+	f := func(seed int64, k8 uint8, n8 uint8) bool {
+		p := Params{
+			Pattern: Pattern(int(seed) % 3 & 3 % 3),
+			K:       1 + int(k8)%20,
+			NLow:    0,
+			NHigh:   int(n8),
+			RLow:    0.5,
+			RHigh:   2,
+			KG:      4,
+			NC:      4,
+			Seed:    seed,
+		}
+		if p.Pattern < 0 || p.Pattern > Random {
+			p.Pattern = Grid
+		}
+		ds, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		if len(ds.Points) != len(ds.Labels) {
+			return false
+		}
+		total := 0
+		for _, s := range ds.Sizes {
+			total += s
+		}
+		if total != ds.N() {
+			return false
+		}
+		for _, l := range ds.Labels {
+			if l < 0 || l >= p.K {
+				return false
+			}
+		}
+		return len(ds.Centers) == p.K
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

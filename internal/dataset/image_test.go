@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateSceneShape(t *testing.T) {
+	s := GenerateScene(128, 96, 1)
+	if s.Width != 128 || s.Height != 96 {
+		t.Fatalf("dims = %dx%d", s.Width, s.Height)
+	}
+	if s.NumPixels() != 128*96 {
+		t.Fatalf("NumPixels = %d", s.NumPixels())
+	}
+	if len(s.NIR) != s.NumPixels() || len(s.VIS) != s.NumPixels() || len(s.Truth) != s.NumPixels() {
+		t.Fatal("band/truth lengths wrong")
+	}
+	for i := range s.NIR {
+		if s.NIR[i] < 0 || s.NIR[i] > 255 || s.VIS[i] < 0 || s.VIS[i] > 255 {
+			t.Fatalf("pixel %d out of range: NIR=%g VIS=%g", i, s.NIR[i], s.VIS[i])
+		}
+	}
+}
+
+func TestGenerateSceneDeterministic(t *testing.T) {
+	a := GenerateScene(64, 64, 7)
+	b := GenerateScene(64, 64, 7)
+	for i := range a.NIR {
+		if a.NIR[i] != b.NIR[i] || a.VIS[i] != b.VIS[i] || a.Truth[i] != b.Truth[i] {
+			t.Fatal("same seed produced different scenes")
+		}
+	}
+}
+
+func TestGenerateSceneBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dims did not panic")
+		}
+	}()
+	GenerateScene(0, 10, 1)
+}
+
+func TestAllMaterialsPresent(t *testing.T) {
+	s := GenerateScene(256, 192, 2)
+	counts := s.MaterialCounts()
+	for m := MaterialSunlitLeaves; m < numMaterials; m++ {
+		if counts[m] == 0 {
+			t.Errorf("material %v absent from scene", m)
+		}
+	}
+}
+
+// TestBranchesShadowsNIRConfusableVISSeparable checks the scene encodes
+// the paper's key fact: branches and shadows nearly coincide in NIR but
+// separate in VIS.
+func TestBranchesShadowsNIRConfusableVISSeparable(t *testing.T) {
+	s := GenerateScene(256, 192, 3)
+	var bNIR, bVIS, sNIR, sVIS float64
+	var bN, sN int
+	for i, m := range s.Truth {
+		switch m {
+		case MaterialBranches:
+			bNIR += s.NIR[i]
+			bVIS += s.VIS[i]
+			bN++
+		case MaterialShadows:
+			sNIR += s.NIR[i]
+			sVIS += s.VIS[i]
+			sN++
+		}
+	}
+	if bN == 0 || sN == 0 {
+		t.Fatal("missing branches or shadows")
+	}
+	nirGap := abs(bNIR/float64(bN) - sNIR/float64(sN))
+	visGap := abs(bVIS/float64(bN) - sVIS/float64(sN))
+	if nirGap > 15 {
+		t.Errorf("NIR gap %g too large: branches/shadows should be confusable in NIR", nirGap)
+	}
+	if visGap < 30 {
+		t.Errorf("VIS gap %g too small: branches/shadows must separate in VIS", visGap)
+	}
+}
+
+func TestTuplesWeighting(t *testing.T) {
+	s := GenerateScene(32, 32, 4)
+	full := s.Tuples(1)
+	tenth := s.Tuples(0.1)
+	if len(full) != s.NumPixels() {
+		t.Fatalf("tuple count = %d", len(full))
+	}
+	for i := range full {
+		if full[i][0] != s.NIR[i] || full[i][1] != s.VIS[i] {
+			t.Fatal("unweighted tuples wrong")
+		}
+		if abs(tenth[i][0]-0.1*s.NIR[i]) > 1e-12 || tenth[i][1] != s.VIS[i] {
+			t.Fatal("weighted tuples wrong")
+		}
+	}
+}
+
+func TestMaterialString(t *testing.T) {
+	want := map[Material]string{
+		MaterialSunlitLeaves: "sunlit-leaves",
+		MaterialBranches:     "branches",
+		MaterialShadows:      "shadows",
+		MaterialSky:          "sky",
+		MaterialClouds:       "clouds",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if Material(42).String() != "Material(42)" {
+		t.Error("unknown material string wrong")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func TestGaussianMixtureShape(t *testing.T) {
+	ds := GaussianMixture(8, 5, 100, 10, 1, 3)
+	if ds.N() != 500 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	if len(ds.Centers) != 5 {
+		t.Fatalf("centers = %d", len(ds.Centers))
+	}
+	for _, p := range ds.Points {
+		if p.Dim() != 8 {
+			t.Fatalf("point dim = %d", p.Dim())
+		}
+	}
+	if ds.Name != "gauss/d=8" {
+		t.Errorf("name = %q", ds.Name)
+	}
+}
+
+func TestGaussianMixtureSeparation(t *testing.T) {
+	for _, dim := range []int{2, 4, 16, 64} {
+		ds := GaussianMixture(dim, 10, 10, 8, 1, 7)
+		minSep := 8 * math.Sqrt(float64(dim))
+		for i := range ds.Centers {
+			for j := i + 1; j < len(ds.Centers); j++ {
+				if d := vec.Dist(ds.Centers[i], ds.Centers[j]); d < minSep-1e-9 {
+					t.Fatalf("dim %d: centers %d,%d at distance %g < %g",
+						dim, i, j, d, minSep)
+				}
+			}
+		}
+	}
+}
+
+func TestGaussianMixtureRadiusMatchesNominal(t *testing.T) {
+	dim := 16
+	ds := GaussianMixture(dim, 4, 2000, 10, 1.5, 11)
+	byCluster := make([]cf.CF, 4)
+	for i := range byCluster {
+		byCluster[i] = cf.New(dim)
+	}
+	for i, p := range ds.Points {
+		byCluster[ds.Labels[i]].AddPoint(p)
+	}
+	want := 1.5 * math.Sqrt(float64(dim)) // sd·√d
+	for c := range byCluster {
+		got := byCluster[c].Radius()
+		if math.Abs(got-want) > 0.1*want {
+			t.Fatalf("cluster %d radius %g, want ≈ %g", c, got, want)
+		}
+	}
+}
+
+func TestGaussianMixtureDeterministic(t *testing.T) {
+	a := GaussianMixture(4, 3, 50, 10, 1, 5)
+	b := GaussianMixture(4, 3, 50, 10, 1, 5)
+	for i := range a.Points {
+		if !vec.Equal(a.Points[i], b.Points[i]) {
+			t.Fatal("same seed, different points")
+		}
+	}
+}
+
+func TestGaussianMixtureShuffled(t *testing.T) {
+	ds := GaussianMixture(2, 10, 100, 10, 1, 9)
+	// An interleaved dataset should not start with 100 same-labeled
+	// points.
+	same := 0
+	for _, l := range ds.Labels[:100] {
+		if l == ds.Labels[0] {
+			same++
+		}
+	}
+	if same > 80 {
+		t.Fatalf("dataset looks ordered: %d/100 share the first label", same)
+	}
+}
+
+func TestGaussianMixtureBadArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args did not panic")
+		}
+	}()
+	GaussianMixture(0, 1, 1, 1, 1, 1)
+}
+
+func TestGaussianMixtureCrowdedStillTerminates(t *testing.T) {
+	// Many clusters forced into a small initial box: the box must grow
+	// until placement succeeds.
+	ds := GaussianMixture(2, 60, 5, 20, 1, 13)
+	if len(ds.Centers) != 60 {
+		t.Fatalf("centers = %d", len(ds.Centers))
+	}
+}

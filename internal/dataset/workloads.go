@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file defines the base workload of Table 3 and the scaled variants
+// used by the scalability experiments (Figures 4 and 5).
+//
+// Table 3 of the paper:
+//
+//	DS1: grid,   K=100, nl=nh=1000, rl=rh=√2, kg=4, rn=0%, o=ordered
+//	DS2: sine,   K=100, nl=nh=1000, rl=rh=√2, nc=4, rn=0%, o=ordered
+//	DS3: random, K=100, nl=0, nh=2000, rl=0, rh=4,  rn=0%, o=ordered
+//
+// DS1o/DS2o/DS3o are the same datasets delivered in randomized order.
+
+// Standard seeds keep every experiment reproducible while letting the
+// ordered and randomized variants share identical underlying clusters.
+const (
+	seedDS1 = 1001
+	seedDS2 = 1002
+	seedDS3 = 1003
+)
+
+func baseParams(p Pattern, seed int64) Params {
+	params := Params{
+		Pattern: p,
+		K:       100,
+		NLow:    1000,
+		NHigh:   1000,
+		RLow:    math.Sqrt2,
+		RHigh:   math.Sqrt2,
+		KG:      4,
+		NC:      4,
+		Order:   Ordered,
+		Seed:    seed,
+	}
+	if p == Random {
+		params.NLow, params.NHigh = 0, 2000
+		params.RLow, params.RHigh = 0, 4
+	}
+	return params
+}
+
+// mustGenerate panics on generation errors; the fixed workloads are known
+// valid.
+func mustGenerate(name string, p Params) *Dataset {
+	ds, err := Generate(p)
+	if err != nil {
+		panic("dataset: " + name + ": " + err.Error())
+	}
+	ds.Name = name
+	return ds
+}
+
+// DS1 returns the grid base-workload dataset of Table 3.
+func DS1() *Dataset { return mustGenerate("DS1", baseParams(Grid, seedDS1)) }
+
+// DS2 returns the sine base-workload dataset of Table 3.
+func DS2() *Dataset { return mustGenerate("DS2", baseParams(Sine, seedDS2)) }
+
+// DS3 returns the random base-workload dataset of Table 3.
+func DS3() *Dataset { return mustGenerate("DS3", baseParams(Random, seedDS3)) }
+
+// DS1o returns DS1 with randomized input order (same clusters).
+func DS1o() *Dataset {
+	p := baseParams(Grid, seedDS1)
+	p.Order = Randomized
+	return mustGenerate("DS1o", p)
+}
+
+// DS2o returns DS2 with randomized input order.
+func DS2o() *Dataset {
+	p := baseParams(Sine, seedDS2)
+	p.Order = Randomized
+	return mustGenerate("DS2o", p)
+}
+
+// DS3o returns DS3 with randomized input order.
+func DS3o() *Dataset {
+	p := baseParams(Random, seedDS3)
+	p.Order = Randomized
+	return mustGenerate("DS3o", p)
+}
+
+// BaseWorkload returns DS1, DS2, DS3 (the ordered base workload).
+func BaseWorkload() []*Dataset {
+	return []*Dataset{DS1(), DS2(), DS3()}
+}
+
+// FullWorkload returns the base workload plus its randomized-order twins.
+func FullWorkload() []*Dataset {
+	return []*Dataset{DS1(), DS2(), DS3(), DS1o(), DS2o(), DS3o()}
+}
+
+// ScaledN returns a variant of the given base pattern where every cluster
+// has n points (K fixed at 100) — the Figure 4 sweep ("we create a range
+// of datasets by keeping the generator settings the same but changing nl
+// and nh to change N").
+func ScaledN(p Pattern, n int) *Dataset {
+	params := baseParams(p, seedFor(p))
+	params.NLow, params.NHigh = n, n
+	if p == Random {
+		// Preserve DS3's shape: sizes uniform in [0, 2n] keep E[N] = K·n.
+		params.NLow, params.NHigh = 0, 2*n
+	}
+	return mustGenerate(scaledName(p, "n", n), params)
+}
+
+// ScaledK returns a variant with K clusters of 1000 points each — the
+// Figure 5 sweep ("changing K to change N").
+func ScaledK(p Pattern, k int) *Dataset {
+	params := baseParams(p, seedFor(p))
+	params.K = k
+	return mustGenerate(scaledName(p, "K", k), params)
+}
+
+func seedFor(p Pattern) int64 {
+	switch p {
+	case Grid:
+		return seedDS1
+	case Sine:
+		return seedDS2
+	default:
+		return seedDS3
+	}
+}
+
+func scaledName(p Pattern, knob string, v int) string {
+	base := map[Pattern]string{Grid: "DS1", Sine: "DS2", Random: "DS3"}[p]
+	return base + "/" + knob + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,169 @@
+package hc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"birch/internal/cf"
+)
+
+// ClusterNNChain is an alternative agglomeration engine using the
+// nearest-neighbor-chain algorithm. For *reducible* metrics — ones where
+// merging two clusters never brings the merge closer to a third than the
+// two were (Ward/D4 is the classic example; D3 is also reducible) — it
+// produces a dendrogram with exactly the same merge set as the exact
+// best-merge algorithm, in guaranteed O(m²) time and O(m) extra space,
+// with no m×m distance matrix. For non-reducible metrics (D0–D2) it is a
+// well-behaved heuristic whose results can differ slightly from exact
+// best-first merging.
+//
+// BIRCH context: Phase 3's input is small after condensing, so the matrix
+// algorithm in Cluster is the default; ClusterNNChain exists for users who
+// skip Phase 2 and feed tens of thousands of subclusters to Phase 3,
+// where the m×m matrix (8·m² bytes) becomes the bottleneck.
+func ClusterNNChain(items []cf.CF, opts Options) (*Result, error) {
+	if len(items) == 0 {
+		return nil, errors.New("hc: no items")
+	}
+	if opts.K < 0 {
+		return nil, fmt.Errorf("hc: negative K %d", opts.K)
+	}
+	if opts.K == 0 && opts.MaxDiameter <= 0 {
+		return nil, errors.New("hc: need K or MaxDiameter as a stopping rule")
+	}
+	if !opts.Metric.Valid() {
+		return nil, fmt.Errorf("hc: invalid metric %v", opts.Metric)
+	}
+	for i := range items {
+		if items[i].N == 0 {
+			return nil, fmt.Errorf("hc: item %d is empty", i)
+		}
+	}
+
+	m := len(items)
+	clusters := make([]cf.CF, m)
+	parent := make([]int, m)
+	active := make([]bool, m)
+	for i := range items {
+		clusters[i] = items[i].Clone()
+		parent[i] = i
+		active[i] = true
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+
+	// The NN-chain: follow nearest neighbors until a reciprocal pair is
+	// found, merge it, and continue from the remaining chain.
+	type mergeRec struct {
+		a, b int
+		d    float64
+	}
+	var pending []mergeRec
+	chain := make([]int, 0, m)
+	activeCount := m
+
+	nearestOf := func(i int) (int, float64) {
+		best, bestD := -1, math.Inf(1)
+		for j := range clusters {
+			if j == i || !active[j] {
+				continue
+			}
+			if d := cf.DistanceSq(opts.Metric, &clusters[i], &clusters[j]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		return best, bestD
+	}
+
+	for activeCount > 1 {
+		if len(chain) == 0 {
+			// Start a fresh chain from any active cluster.
+			for i := range clusters {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		tip := chain[len(chain)-1]
+		nn, d := nearestOf(tip)
+		if nn < 0 {
+			break
+		}
+		if len(chain) >= 2 && nn == chain[len(chain)-2] {
+			// Reciprocal nearest neighbors: record the merge; the actual
+			// folding happens when the cut is applied, but we fold
+			// immediately and remember the order.
+			a, b := chain[len(chain)-2], tip
+			chain = chain[:len(chain)-2]
+			clusters[a].Merge(&clusters[b])
+			active[b] = false
+			parent[b] = a
+			pending = append(pending, mergeRec{a: a, b: b, d: math.Sqrt(d)})
+			activeCount--
+			continue
+		}
+		chain = append(chain, nn)
+	}
+
+	// Apply the stopping rule by *unwinding*: merges happen in chain
+	// discovery order, which for reducible metrics is non-decreasing in
+	// distance once sorted; the standard approach is to sort the merge
+	// records by distance and keep only the prefix consistent with the
+	// stopping rule, rebuilding the partition from scratch.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].d < pending[j].d })
+	targetK := opts.K
+	if targetK == 0 {
+		targetK = 1
+	}
+
+	// Reset union-find and clusters, then replay merges until a rule
+	// stops us.
+	for i := range items {
+		clusters[i] = items[i].Clone()
+		parent[i] = i
+		active[i] = true
+	}
+	res := &Result{}
+	activeCount = m
+	for _, mg := range pending {
+		if activeCount <= targetK {
+			break
+		}
+		ra, rb := find(mg.a), find(mg.b)
+		if ra == rb {
+			continue
+		}
+		if opts.MaxDiameter > 0 {
+			md := cf.MergedDiameterSq(&clusters[ra], &clusters[rb])
+			if md > opts.MaxDiameter*opts.MaxDiameter {
+				continue // this pair fused too coarsely; skip it
+			}
+		}
+		clusters[ra].Merge(&clusters[rb])
+		active[rb] = false
+		parent[rb] = ra
+		res.Dendrogram = append(res.Dendrogram, Merge{A: ra, B: rb, Distance: mg.d})
+		activeCount--
+	}
+
+	index := make(map[int]int)
+	for i := 0; i < m; i++ {
+		if active[i] {
+			index[i] = len(res.Clusters)
+			res.Clusters = append(res.Clusters, clusters[i])
+		}
+	}
+	res.Assignments = make([]int, m)
+	for i := 0; i < m; i++ {
+		res.Assignments[i] = index[find(i)]
+	}
+	return res, nil
+}

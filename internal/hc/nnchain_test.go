@@ -1,0 +1,176 @@
+package hc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/quality"
+	"birch/internal/vec"
+)
+
+func TestNNChainValidation(t *testing.T) {
+	item := cf.FromPoint(vec.Of(1))
+	if _, err := ClusterNNChain(nil, Options{K: 1, Metric: cf.D4}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ClusterNNChain([]cf.CF{item}, Options{K: -1, Metric: cf.D4}); err == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := ClusterNNChain([]cf.CF{item}, Options{Metric: cf.D4}); err == nil {
+		t.Error("no stopping rule accepted")
+	}
+	if _, err := ClusterNNChain([]cf.CF{item}, Options{K: 1, Metric: cf.Metric(9)}); err == nil {
+		t.Error("bad metric accepted")
+	}
+	empty := cf.New(1)
+	if _, err := ClusterNNChain([]cf.CF{empty}, Options{K: 1, Metric: cf.D4}); err == nil {
+		t.Error("empty item accepted")
+	}
+}
+
+func TestNNChainTwoBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	items := append(blob(r, 25, 0, 0, 0.3), blob(r, 25, 60, 60, 0.3)...)
+	res, err := ClusterNNChain(items, Options{K: 2, Metric: cf.D4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	first := res.Assignments[0]
+	for i := 0; i < 25; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	for i := 25; i < 50; i++ {
+		if res.Assignments[i] == first {
+			t.Fatalf("blobs merged at %d", i)
+		}
+	}
+}
+
+// TestNNChainMatchesExactOnWard: for the reducible D4 metric, NN-chain and
+// the exact matrix algorithm must produce the same partition (same cut of
+// the same dendrogram) on generic data.
+func TestNNChainMatchesExactOnWard(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + r.Intn(40)
+		k := 2 + r.Intn(5)
+		items := make([]cf.CF, n)
+		for i := range items {
+			items[i] = cf.FromPoint(vec.Of(r.Float64()*100, r.Float64()*100))
+		}
+		exact, err := Cluster(items, Options{K: k, Metric: cf.D4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := ClusterNNChain(items, Options{K: k, Metric: cf.D4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := quality.AdjustedRandIndex(exact.Assignments, chain.Assignments); got < 1-1e-9 {
+			t.Fatalf("trial %d: partitions differ, ARI = %g (n=%d k=%d)", trial, got, n, k)
+		}
+	}
+}
+
+// TestNNChainSSEComparableOnD2: for non-reducible metrics NN-chain is a
+// heuristic; its weighted diameter should stay within a modest factor of
+// the exact algorithm's on clusterable data.
+func TestNNChainComparableOnD2(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var items []cf.CF
+	for c := 0; c < 5; c++ {
+		items = append(items, blob(r, 20, float64(c)*40, float64(c%2)*40, 1)...)
+	}
+	exact, err := Cluster(items, Options{K: 5, Metric: cf.D2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := ClusterNNChain(items, Options{K: 5, Metric: cf.D2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	de := quality.WeightedAvgDiameter(exact.Clusters)
+	dc := quality.WeightedAvgDiameter(chain.Clusters)
+	if dc > de*1.25 {
+		t.Fatalf("NN-chain D̄ %g vs exact %g", dc, de)
+	}
+}
+
+func TestNNChainMaxDiameter(t *testing.T) {
+	items := []cf.CF{
+		cf.FromPoint(vec.Of(0.0)), cf.FromPoint(vec.Of(1.0)),
+		cf.FromPoint(vec.Of(100.0)), cf.FromPoint(vec.Of(101.0)),
+	}
+	res, err := ClusterNNChain(items, Options{MaxDiameter: 5, Metric: cf.D4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(res.Clusters))
+	}
+	for i := range res.Clusters {
+		if d := res.Clusters[i].Diameter(); d > 5 {
+			t.Fatalf("cluster diameter %g", d)
+		}
+	}
+}
+
+func TestNNChainDendrogramSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	items := blob(r, 40, 0, 0, 5)
+	res, err := ClusterNNChain(items, Options{K: 1, Metric: cf.D4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dendrogram) != 39 {
+		t.Fatalf("merges = %d", len(res.Dendrogram))
+	}
+	if !sort.SliceIsSorted(res.Dendrogram, func(i, j int) bool {
+		return res.Dendrogram[i].Distance < res.Dendrogram[j].Distance
+	}) {
+		t.Fatal("replayed dendrogram not sorted by distance")
+	}
+}
+
+func TestNNChainMassConserved(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	items := blob(r, 60, 0, 0, 10)
+	res, err := ClusterNNChain(items, Options{K: 7, Metric: cf.D3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range res.Clusters {
+		total += res.Clusters[i].N
+	}
+	if total != 60 {
+		t.Fatalf("mass = %d", total)
+	}
+	for i, a := range res.Assignments {
+		if a < 0 || a >= len(res.Clusters) {
+			t.Fatalf("assignment %d out of range: %d", i, a)
+		}
+	}
+}
+
+func BenchmarkNNChain2000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	items := make([]cf.CF, 2000)
+	for i := range items {
+		items[i] = cf.FromPoint(vec.Of(r.Float64()*100, r.Float64()*100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClusterNNChain(items, Options{K: 10, Metric: cf.D4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

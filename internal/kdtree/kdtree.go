@@ -1,0 +1,144 @@
+// Package kdtree implements an exact nearest-neighbor k-d tree over
+// d-dimensional points. BIRCH's Phase 4 assigns every data point to the
+// closest of K centroids — an O(N·K) brute-force loop in the paper's
+// description. With the paper's larger K settings (Figure 5 runs up to
+// K = 250) the assignment dominates Phase 4, and an exact k-d tree cuts
+// the per-point cost to roughly O(log K) in low dimension while returning
+// bit-identical nearest centroids. The library uses it automatically when
+// K crosses a threshold; results never change, only speed.
+package kdtree
+
+import (
+	"sort"
+
+	"birch/internal/vec"
+)
+
+// Tree is an immutable k-d tree over a fixed point set.
+type Tree struct {
+	points []vec.Vector
+	nodes  []node
+	root   int32
+	dim    int
+}
+
+// node is one k-d tree node, stored in a flat arena.
+type node struct {
+	point       int32 // index into points
+	left, right int32 // arena indexes, -1 for none
+	axis        int32
+}
+
+// Build constructs a k-d tree over the given points. The slice is not
+// copied; callers must not mutate the points afterwards. Build panics on
+// an empty input or mixed dimensionality.
+func Build(points []vec.Vector) *Tree {
+	if len(points) == 0 {
+		panic("kdtree: no points")
+	}
+	dim := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != dim {
+			panic("kdtree: mixed dimensionality at point " + itoa(i))
+		}
+	}
+	t := &Tree{
+		points: points,
+		nodes:  make([]node, 0, len(points)),
+		dim:    dim,
+	}
+	idx := make([]int32, len(points))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// build recursively constructs the subtree over idx, splitting at the
+// median along the cycling axis, and returns the arena index of the root.
+func (t *Tree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	// Walk left so equal coordinates end up on the right subtree only.
+	for mid > 0 && t.points[idx[mid-1]][axis] == t.points[idx[mid]][axis] {
+		mid--
+	}
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{point: idx[mid], axis: int32(axis), left: -1, right: -1})
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[me].left = left
+	t.nodes[me].right = right
+	return me
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// Nearest returns the index of the point closest to q (Euclidean) and
+// the squared distance to it. Ties break toward the point visited first,
+// which is deterministic for a given Build.
+func (t *Tree) Nearest(q vec.Vector) (int, float64) {
+	if q.Dim() != t.dim {
+		panic("kdtree: query dimension mismatch")
+	}
+	best := int32(-1)
+	bestD := 0.0
+	first := true
+	t.search(t.root, q, &best, &bestD, &first)
+	return int(best), bestD
+}
+
+func (t *Tree) search(ni int32, q vec.Vector, best *int32, bestD *float64, first *bool) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	d := vec.SqDist(q, t.points[n.point])
+	if *first || d < *bestD {
+		*best, *bestD, *first = n.point, d, false
+	}
+	delta := q[n.axis] - t.points[n.point][n.axis]
+	var near, far int32
+	if delta < 0 {
+		near, far = n.left, n.right
+	} else {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, best, bestD, first)
+	if delta*delta < *bestD {
+		t.search(far, q, best, bestD, first)
+	}
+}
+
+// NearestWithin is Nearest restricted to a squared radius: it returns
+// (-1, 0) when no indexed point lies within sqRadius of q. Phase 4's
+// outlier-discard option maps onto this directly.
+func (t *Tree) NearestWithin(q vec.Vector, sqRadius float64) (int, float64) {
+	i, d := t.Nearest(q)
+	if d > sqRadius {
+		return -1, 0
+	}
+	return i, d
+}

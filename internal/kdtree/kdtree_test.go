@@ -1,0 +1,173 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, d int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = r.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// bruteNearest is the reference implementation.
+func bruteNearest(points []vec.Vector, q vec.Vector) (int, float64) {
+	best, bestD := 0, vec.SqDist(q, points[0])
+	for i := 1; i < len(points); i++ {
+		if d := vec.SqDist(q, points[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func TestBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Build did not panic")
+		}
+	}()
+	Build(nil)
+}
+
+func TestBuildMixedDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed dims did not panic")
+		}
+	}()
+	Build([]vec.Vector{vec.Of(1), vec.Of(1, 2)})
+}
+
+func TestNearestSinglePoint(t *testing.T) {
+	tr := Build([]vec.Vector{vec.Of(3, 4)})
+	i, d := tr.Nearest(vec.Of(0, 0))
+	if i != 0 || d != 25 {
+		t.Fatalf("Nearest = %d, %g", i, d)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 8} {
+		for _, n := range []int{1, 2, 10, 100, 500} {
+			pts := randPoints(r, n, d)
+			tr := Build(pts)
+			for trial := 0; trial < 50; trial++ {
+				q := randPoints(r, 1, d)[0]
+				gi, gd := tr.Nearest(q)
+				_, bd := bruteNearest(pts, q)
+				// The index may differ under exact ties; the distance
+				// must not.
+				if gd != bd {
+					t.Fatalf("d=%d n=%d: kd %g vs brute %g", d, n, gd, bd)
+				}
+				if vec.SqDist(q, pts[gi]) != gd {
+					t.Fatalf("returned distance inconsistent with returned index")
+				}
+			}
+		}
+	}
+}
+
+func TestNearestOnIndexedPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 200, 3)
+	tr := Build(pts)
+	for i, p := range pts {
+		gi, gd := tr.Nearest(p)
+		if gd != 0 {
+			t.Fatalf("point %d: distance to itself %g", i, gd)
+		}
+		if vec.SqDist(pts[gi], p) != 0 {
+			t.Fatalf("point %d: returned non-coincident index", i)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []vec.Vector{vec.Of(1, 1), vec.Of(1, 1), vec.Of(1, 1), vec.Of(5, 5)}
+	tr := Build(pts)
+	i, d := tr.Nearest(vec.Of(1.1, 1))
+	if d > 0.011 || i == 3 {
+		t.Fatalf("Nearest among duplicates = %d, %g", i, d)
+	}
+}
+
+func TestQueryDimMismatchPanics(t *testing.T) {
+	tr := Build([]vec.Vector{vec.Of(1, 2)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("query dim mismatch did not panic")
+		}
+	}()
+	tr.Nearest(vec.Of(1))
+}
+
+func TestNearestWithin(t *testing.T) {
+	tr := Build([]vec.Vector{vec.Of(0, 0), vec.Of(10, 0)})
+	if i, _ := tr.NearestWithin(vec.Of(1, 0), 4); i != 0 {
+		t.Fatalf("within radius: %d", i)
+	}
+	if i, _ := tr.NearestWithin(vec.Of(5, 0), 4); i != -1 {
+		t.Fatalf("outside radius accepted: %d", i)
+	}
+}
+
+func TestQuickKdMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(5)
+		n := 1 + r.Intn(300)
+		pts := randPoints(r, n, d)
+		tr := Build(pts)
+		for trial := 0; trial < 10; trial++ {
+			q := randPoints(r, 1, d)[0]
+			_, gd := tr.Nearest(q)
+			_, bd := bruteNearest(pts, q)
+			if gd != bd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNearest250(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 250, 2)
+	tr := Build(pts)
+	queries := randPoints(r, 1024, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkBrute250(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 250, 2)
+	queries := randPoints(r, 1024, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bruteNearest(pts, queries[i%len(queries)])
+	}
+}

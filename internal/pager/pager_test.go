@@ -1,0 +1,198 @@
+package pager
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntrySizes(t *testing.T) {
+	// d=2: CF = N(8) + SS(8) + LS(16) = 32 bytes.
+	if got := CFEntrySize(2); got != 32 {
+		t.Errorf("CFEntrySize(2) = %d, want 32", got)
+	}
+	if got := NonleafEntrySize(2); got != 40 {
+		t.Errorf("NonleafEntrySize(2) = %d, want 40", got)
+	}
+	if got := OutlierEntrySize(2); got != 32 {
+		t.Errorf("OutlierEntrySize(2) = %d, want 32", got)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	// P=1024, d=2: nonleaf entries of 40 bytes with a 16-byte header
+	// → (1024-16)/40 = 25 entries; leaves reserve 16 more bytes for the
+	// prev/next chain → (1024-32)/32 = 31 entries.
+	if got := BranchingFactor(1024, 2); got != 25 {
+		t.Errorf("BranchingFactor(1024, 2) = %d, want 25", got)
+	}
+	if got := LeafCapacity(1024, 2); got != 31 {
+		t.Errorf("LeafCapacity(1024, 2) = %d, want 31", got)
+	}
+}
+
+func TestFanoutsFloorAtTwo(t *testing.T) {
+	if got := BranchingFactor(64, 256); got != 2 {
+		t.Errorf("tiny page branching = %d, want 2", got)
+	}
+	if got := LeafCapacity(64, 256); got != 2 {
+		t.Errorf("tiny page leaf capacity = %d, want 2", got)
+	}
+}
+
+func TestQuickFanoutsFitPage(t *testing.T) {
+	f := func(p8 uint8, d8 uint8) bool {
+		pageSize := 256 + int(p8)*16
+		dim := 1 + int(d8)%16
+		b := BranchingFactor(pageSize, dim)
+		l := LeafCapacity(pageSize, dim)
+		// Unless clamped to the floor of 2, entries must fit the page.
+		okB := b == 2 || b*NonleafEntrySize(dim)+nodeHeaderLen <= pageSize
+		okL := l == 2 || l*CFEntrySize(dim)+nodeHeaderLen+leafLinkSize <= pageSize
+		return okB && okL && b >= 2 && l >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default-like", Config{PageSize: 1024, MemoryBudget: 80 * 1024, DiskBudget: 16 * 1024}, true},
+		{"zero page", Config{PageSize: 0, MemoryBudget: 1024}, false},
+		{"budget below page", Config{PageSize: 1024, MemoryBudget: 512}, false},
+		{"negative disk", Config{PageSize: 1024, MemoryBudget: 2048, DiskBudget: -1}, false},
+		{"no disk ok", Config{PageSize: 1024, MemoryBudget: 2048, DiskBudget: 0}, true},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMemoryFullTrigger(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 3 * 1024})
+	if p.MemoryFull() {
+		t.Fatal("fresh pager reports full")
+	}
+	p.AllocPage()
+	p.AllocPage()
+	if p.MemoryFull() {
+		t.Fatal("2/3 pages reports full")
+	}
+	if got := p.HeadroomPages(); got != 1 {
+		t.Errorf("headroom = %d, want 1", got)
+	}
+	p.AllocPage()
+	if !p.MemoryFull() {
+		t.Fatal("3/3 pages does not report full")
+	}
+	if got := p.HeadroomPages(); got != 0 {
+		t.Errorf("headroom at full = %d, want 0", got)
+	}
+	p.FreePage()
+	if p.MemoryFull() {
+		t.Fatal("after free still full")
+	}
+	if got := p.LivePages(); got != 2 {
+		t.Errorf("live pages = %d, want 2", got)
+	}
+}
+
+func TestFreePageUnderflowPanics(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 1024})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreePage on empty pager did not panic")
+		}
+	}()
+	p.FreePage()
+}
+
+func TestOutlierDiskAccounting(t *testing.T) {
+	dim := 2 // 32 bytes per entry
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 1024, DiskBudget: 64})
+	if err := p.WriteOutlier(dim); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := p.WriteOutlier(dim); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if err := p.WriteOutlier(dim); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("third write should fill disk, got %v", err)
+	}
+	if got := p.DiskUsed(); got != 64 {
+		t.Errorf("DiskUsed = %d, want 64", got)
+	}
+	p.ReadOutliers(2, dim)
+	if got := p.DiskUsed(); got != 0 {
+		t.Errorf("DiskUsed after read = %d, want 0", got)
+	}
+	st := p.Stats()
+	if st.OutliersWritten != 2 || st.OutliersRead != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOutlierDiskDisabled(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 1024, DiskBudget: 0})
+	if err := p.WriteOutlier(2); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("disabled disk accepted write: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 4096})
+	p.AllocPage()
+	p.NoteRebuild()
+	p.NoteScan()
+	p.NoteScan()
+	st := p.Stats()
+	if st.PagesAllocated != 1 || st.Rebuilds != 1 || st.DatasetScans != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMaxPages(t *testing.T) {
+	c := Config{PageSize: 1024, MemoryBudget: 80 * 1024}
+	if got := c.MaxPages(); got != 80 {
+		t.Errorf("MaxPages = %d, want 80", got)
+	}
+}
+
+func TestReadOutliersZeroNoop(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 1024, DiskBudget: 1024})
+	p.ReadOutliers(0, 2)
+	if st := p.Stats(); st.OutliersRead != 0 || st.PageReads != 0 {
+		t.Errorf("zero read changed stats: %+v", st)
+	}
+}
+
+func TestPeakPages(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 10 * 1024})
+	for i := 0; i < 5; i++ {
+		p.AllocPage()
+	}
+	p.FreePage()
+	p.FreePage()
+	if got := p.PeakPages(); got != 5 {
+		t.Errorf("peak = %d, want 5", got)
+	}
+	if got := p.LivePages(); got != 3 {
+		t.Errorf("live = %d, want 3", got)
+	}
+	p.ResetPeak()
+	if got := p.PeakPages(); got != 3 {
+		t.Errorf("peak after reset = %d, want 3", got)
+	}
+	p.AllocPage()
+	if got := p.PeakPages(); got != 4 {
+		t.Errorf("peak after realloc = %d, want 4", got)
+	}
+}

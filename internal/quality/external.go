@@ -1,0 +1,127 @@
+package quality
+
+import (
+	"math"
+)
+
+// External clustering-agreement indices between a found labeling and a
+// ground-truth labeling. The paper's own quality metric is the weighted
+// average diameter (an internal index); these standard external indices
+// supplement it for experiments where ground truth is known, and back
+// the test-suite's "did we recover the actual clusters" assertions.
+//
+// Labels < 0 (outliers/noise) are treated as a distinct class of their
+// own in all indices, so discarding a noise point and clustering it
+// "wrongly" are distinguishable outcomes.
+
+// contingency builds the joint count table between two labelings.
+func contingency(a, b []int) (table map[[2]int]int, aCount, bCount map[int]int, n int) {
+	if len(a) != len(b) {
+		panic("quality: labelings differ in length")
+	}
+	table = make(map[[2]int]int)
+	aCount = make(map[int]int)
+	bCount = make(map[int]int)
+	for i := range a {
+		table[[2]int{a[i], b[i]}]++
+		aCount[a[i]]++
+		bCount[b[i]]++
+	}
+	return table, aCount, bCount, len(a)
+}
+
+// choose2 returns C(n, 2) as a float.
+func choose2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}
+
+// RandIndex returns the (unadjusted) Rand index in [0, 1]: the fraction
+// of point pairs on which the two labelings agree (same-same or
+// different-different).
+func RandIndex(a, b []int) float64 {
+	table, aCount, bCount, n := contingency(a, b)
+	if n < 2 {
+		return 1
+	}
+	var sumBoth, sumA, sumB float64
+	for _, c := range table {
+		sumBoth += choose2(c)
+	}
+	for _, c := range aCount {
+		sumA += choose2(c)
+	}
+	for _, c := range bCount {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	// agreements = pairs together in both + pairs apart in both.
+	return (total + 2*sumBoth - sumA - sumB) / total
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index: 1 for
+// identical partitions, ≈0 for independent ones (can be negative).
+func AdjustedRandIndex(a, b []int) float64 {
+	table, aCount, bCount, n := contingency(a, b)
+	if n < 2 {
+		return 1
+	}
+	var sumBoth, sumA, sumB float64
+	for _, c := range table {
+		sumBoth += choose2(c)
+	}
+	for _, c := range aCount {
+		sumA += choose2(c)
+	}
+	for _, c := range bCount {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		return 1 // both partitions degenerate (all singletons or all one)
+	}
+	return (sumBoth - expected) / (maxIndex - expected)
+}
+
+// NMI returns the normalized mutual information (arithmetic-mean
+// normalization) between the labelings, in [0, 1].
+func NMI(a, b []int) float64 {
+	table, aCount, bCount, n := contingency(a, b)
+	if n == 0 {
+		return 1
+	}
+	fn := float64(n)
+	var mi float64
+	for key, c := range table {
+		pxy := float64(c) / fn
+		px := float64(aCount[key[0]]) / fn
+		py := float64(bCount[key[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	entropy := func(counts map[int]int) float64 {
+		var h float64
+		for _, c := range counts {
+			p := float64(c) / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(aCount), entropy(bCount)
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0
+	}
+	v := mi / denom
+	// Clamp floating-point drift.
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	if got := RandIndex(a, a); got != 1 {
+		t.Errorf("RandIndex(a, a) = %g", got)
+	}
+	if got := AdjustedRandIndex(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI(a, a) = %g", got)
+	}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(a, a) = %g", got)
+	}
+}
+
+func TestIndicesLabelPermutationInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, renamed labels
+	if got := RandIndex(a, b); got != 1 {
+		t.Errorf("RandIndex under renaming = %g", got)
+	}
+	if got := AdjustedRandIndex(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI under renaming = %g", got)
+	}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI under renaming = %g", got)
+	}
+}
+
+func TestRandIndexKnownValue(t *testing.T) {
+	// Classic worked example: a = {0,0,1,1,1}, b = {0,0,0,1,1}.
+	// Pairs: C(5,2)=10. Agreements: together-in-both {0,1},{3,4} = 2;
+	// apart-in-both: pairs (0,3),(0,4),(1,3),(1,4) = 4. RI = 6/10.
+	a := []int{0, 0, 1, 1, 1}
+	b := []int{0, 0, 0, 1, 1}
+	if got := RandIndex(a, b); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("RandIndex = %g, want 0.6", got)
+	}
+}
+
+func TestARIIndependentNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(5)
+		b[i] = r.Intn(5)
+	}
+	if got := AdjustedRandIndex(a, b); math.Abs(got) > 0.02 {
+		t.Errorf("ARI of independent labelings = %g, want ≈0", got)
+	}
+	// Unadjusted Rand is far from 0 for independent labelings — that is
+	// exactly why ARI exists.
+	if got := RandIndex(a, b); got < 0.5 {
+		t.Errorf("RandIndex of independent labelings = %g", got)
+	}
+}
+
+func TestNMIIndependentNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 5000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(4)
+		b[i] = r.Intn(4)
+	}
+	if got := NMI(a, b); got > 0.02 {
+		t.Errorf("NMI of independent labelings = %g", got)
+	}
+}
+
+func TestIndicesWithOutlierLabels(t *testing.T) {
+	// -1 labels form their own class: moving a point into the outlier
+	// class must change the index.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 0, 1, -1}
+	if got := RandIndex(a, b); got == 1 {
+		t.Error("outlier reassignment invisible to RandIndex")
+	}
+}
+
+func TestIndicesDegenerate(t *testing.T) {
+	one := []int{7}
+	if RandIndex(one, one) != 1 || AdjustedRandIndex(one, one) != 1 {
+		t.Error("single-point partition should be perfect agreement")
+	}
+	// All points one cluster in both labelings.
+	all := []int{3, 3, 3}
+	if got := AdjustedRandIndex(all, all); got != 1 {
+		t.Errorf("ARI of identical degenerate = %g", got)
+	}
+	if got := NMI(all, all); got != 1 {
+		t.Errorf("NMI of identical degenerate = %g", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	RandIndex([]int{1}, []int{1, 2})
+}
+
+func TestQuickIndicesSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(4)
+		}
+		riOK := math.Abs(RandIndex(a, b)-RandIndex(b, a)) < 1e-12
+		ariOK := math.Abs(AdjustedRandIndex(a, b)-AdjustedRandIndex(b, a)) < 1e-12
+		nmiOK := math.Abs(NMI(a, b)-NMI(b, a)) < 1e-9
+		return riOK && ariOK && nmiOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndicesBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(3)
+			b[i] = r.Intn(3)
+		}
+		ri := RandIndex(a, b)
+		ari := AdjustedRandIndex(a, b)
+		nmi := NMI(a, b)
+		return ri >= 0 && ri <= 1 && ari <= 1+1e-12 && nmi >= 0 && nmi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

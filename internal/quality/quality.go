@@ -1,0 +1,197 @@
+// Package quality implements the cluster-quality measurements of
+// Section 6.3: the weighted average cluster diameter (the paper's D̄,
+// "weighted average diameter ... weight is the number of points in the
+// cluster"), realized ("actual") cluster summaries from ground-truth
+// labels, and a greedy centroid matching between found and actual
+// clusters for the visual/tabular comparisons of Tables 4–5.
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// WeightedAvgDiameter returns D̄ = Σᵢ nᵢ·Dᵢ / Σᵢ nᵢ over the given cluster
+// summaries, the paper's single-number quality metric (smaller is
+// better). Empty clusters are ignored; an empty input yields 0.
+func WeightedAvgDiameter(clusters []cf.CF) float64 {
+	var num, den float64
+	for i := range clusters {
+		n := float64(clusters[i].N)
+		if n == 0 {
+			continue
+		}
+		num += n * clusters[i].Diameter()
+		den += n
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// WeightedAvgRadius returns the analogous Σ nᵢ·Rᵢ / Σ nᵢ.
+func WeightedAvgRadius(clusters []cf.CF) float64 {
+	var num, den float64
+	for i := range clusters {
+		n := float64(clusters[i].N)
+		if n == 0 {
+			continue
+		}
+		num += n * clusters[i].Radius()
+		den += n
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// FromLabels groups points by label into k cluster summaries. Labels
+// outside [0, k) — the convention for noise/outliers is -1 — are skipped.
+func FromLabels(points []vec.Vector, labels []int, k int) []cf.CF {
+	if len(points) != len(labels) {
+		panic("quality: points and labels length mismatch")
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	dim := points[0].Dim()
+	out := make([]cf.CF, k)
+	for i := range out {
+		out[i] = cf.New(dim)
+	}
+	for i, p := range points {
+		l := labels[i]
+		if l < 0 || l >= k {
+			continue
+		}
+		out[l].AddPoint(p)
+	}
+	return out
+}
+
+// Match pairs each found cluster with its closest actual cluster by
+// centroid distance, greedily in order of increasing distance, each
+// actual cluster used at most once. It returns matched pairs plus the
+// indices of unmatched found and actual clusters (non-empty when the
+// counts differ).
+type Match struct {
+	Pairs          []MatchPair
+	UnmatchedFound []int
+	UnmatchedTruth []int
+}
+
+// MatchPair links one found cluster to one actual cluster.
+type MatchPair struct {
+	Found, Truth int
+	// CentroidDist is the Euclidean distance between the two centroids.
+	CentroidDist float64
+}
+
+// MatchClusters computes the greedy matching. Empty clusters on either
+// side are reported unmatched.
+func MatchClusters(found, truth []cf.CF) Match {
+	type cand struct {
+		f, t int
+		d    float64
+	}
+	var cands []cand
+	for f := range found {
+		if found[f].N == 0 {
+			continue
+		}
+		cf1 := found[f].Centroid()
+		for t := range truth {
+			if truth[t].N == 0 {
+				continue
+			}
+			cands = append(cands, cand{f, t, vec.Dist(cf1, truth[t].Centroid())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+
+	usedF := make(map[int]bool)
+	usedT := make(map[int]bool)
+	var m Match
+	for _, c := range cands {
+		if usedF[c.f] || usedT[c.t] {
+			continue
+		}
+		usedF[c.f] = true
+		usedT[c.t] = true
+		m.Pairs = append(m.Pairs, MatchPair{Found: c.f, Truth: c.t, CentroidDist: c.d})
+	}
+	for f := range found {
+		if !usedF[f] && found[f].N > 0 {
+			m.UnmatchedFound = append(m.UnmatchedFound, f)
+		}
+	}
+	for t := range truth {
+		if !usedT[t] && truth[t].N > 0 {
+			m.UnmatchedTruth = append(m.UnmatchedTruth, t)
+		}
+	}
+	return m
+}
+
+// AvgCentroidDisplacement returns the mean centroid distance over the
+// matched pairs — how far the found cluster centers drifted from the
+// intended ones. Returns +Inf when nothing matched.
+func (m Match) AvgCentroidDisplacement() float64 {
+	if len(m.Pairs) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, p := range m.Pairs {
+		s += p.CentroidDist
+	}
+	return s / float64(len(m.Pairs))
+}
+
+// SizeDeviation returns the mean relative |n_found − n_truth| / n_truth
+// over matched pairs, the paper's "number of points in a BIRCH cluster
+// differs from the actual by less than 5%" check. Returns +Inf when
+// nothing matched.
+func SizeDeviation(found, truth []cf.CF, m Match) float64 {
+	if len(m.Pairs) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, p := range m.Pairs {
+		nt := float64(truth[p.Truth].N)
+		nf := float64(found[p.Found].N)
+		if nt == 0 {
+			continue
+		}
+		s += math.Abs(nf-nt) / nt
+	}
+	return s / float64(len(m.Pairs))
+}
+
+// Report is a compact quality summary for one clustering result, in the
+// shape the paper's tables print.
+type Report struct {
+	Clusters         int
+	Points           int64
+	WeightedDiameter float64
+	WeightedRadius   float64
+}
+
+// Summarize builds a Report from cluster summaries.
+func Summarize(clusters []cf.CF) Report {
+	var r Report
+	for i := range clusters {
+		if clusters[i].N == 0 {
+			continue
+		}
+		r.Clusters++
+		r.Points += clusters[i].N
+	}
+	r.WeightedDiameter = WeightedAvgDiameter(clusters)
+	r.WeightedRadius = WeightedAvgRadius(clusters)
+	return r
+}

@@ -1,0 +1,190 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func clusterOf(points ...vec.Vector) cf.CF { return cf.FromPoints(points) }
+
+func TestWeightedAvgDiameter(t *testing.T) {
+	// Cluster A: 2 points, diameter 2. Cluster B: 2 points, diameter 4.
+	a := clusterOf(vec.Of(0.0), vec.Of(2.0))
+	b := clusterOf(vec.Of(10.0), vec.Of(14.0))
+	got := WeightedAvgDiameter([]cf.CF{a, b})
+	want := (2.0*2 + 2.0*4) / 4
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("D̄ = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedAvgDiameterWeighting(t *testing.T) {
+	// A heavy tight cluster must dominate a light loose one.
+	heavy := cf.New(1)
+	for i := 0; i < 100; i++ {
+		heavy.AddPoint(vec.Of(float64(i%2) * 0.1)) // diameter ≈ 0.1
+	}
+	loose := clusterOf(vec.Of(0.0), vec.Of(10.0)) // diameter 10
+	got := WeightedAvgDiameter([]cf.CF{heavy, loose})
+	if got > 1 {
+		t.Errorf("D̄ = %g: heavy tight cluster should dominate", got)
+	}
+}
+
+func TestWeightedAvgEmpty(t *testing.T) {
+	if WeightedAvgDiameter(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	empties := []cf.CF{cf.New(2)}
+	if WeightedAvgDiameter(empties) != 0 || WeightedAvgRadius(empties) != 0 {
+		t.Error("all-empty input should give 0")
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(1, 0), vec.Of(5, 5), vec.Of(9, 9)}
+	labels := []int{0, 0, 1, -1} // last point is noise
+	cs := FromLabels(pts, labels, 2)
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d", len(cs))
+	}
+	if cs[0].N != 2 || cs[1].N != 1 {
+		t.Fatalf("sizes = %d, %d", cs[0].N, cs[1].N)
+	}
+	if FromLabels(nil, nil, 3) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestFromLabelsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	FromLabels([]vec.Vector{vec.Of(1)}, []int{0, 1}, 2)
+}
+
+func TestMatchClustersExact(t *testing.T) {
+	truth := []cf.CF{
+		clusterOf(vec.Of(0.0, 0.0), vec.Of(1, 0)),
+		clusterOf(vec.Of(10.0, 10.0), vec.Of(11, 10)),
+	}
+	// Found in swapped order; matching must pair by proximity.
+	found := []cf.CF{truth[1].Clone(), truth[0].Clone()}
+	m := MatchClusters(found, truth)
+	if len(m.Pairs) != 2 || len(m.UnmatchedFound) != 0 || len(m.UnmatchedTruth) != 0 {
+		t.Fatalf("match = %+v", m)
+	}
+	for _, p := range m.Pairs {
+		if p.CentroidDist > 1e-12 {
+			t.Errorf("pair (%d, %d) distance %g", p.Found, p.Truth, p.CentroidDist)
+		}
+	}
+	if m.AvgCentroidDisplacement() > 1e-12 {
+		t.Errorf("displacement = %g", m.AvgCentroidDisplacement())
+	}
+	if sd := SizeDeviation(found, truth, m); sd != 0 {
+		t.Errorf("size deviation = %g", sd)
+	}
+}
+
+func TestMatchClustersUnequalCounts(t *testing.T) {
+	truth := []cf.CF{
+		clusterOf(vec.Of(0.0)), clusterOf(vec.Of(10.0)), clusterOf(vec.Of(20.0)),
+	}
+	found := []cf.CF{clusterOf(vec.Of(0.1)), clusterOf(vec.Of(19.8))}
+	m := MatchClusters(found, truth)
+	if len(m.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(m.Pairs))
+	}
+	if len(m.UnmatchedTruth) != 1 || m.UnmatchedTruth[0] != 1 {
+		t.Fatalf("unmatched truth = %v, want [1]", m.UnmatchedTruth)
+	}
+	if len(m.UnmatchedFound) != 0 {
+		t.Fatalf("unmatched found = %v", m.UnmatchedFound)
+	}
+}
+
+func TestMatchSkipsEmptyClusters(t *testing.T) {
+	truth := []cf.CF{clusterOf(vec.Of(0.0)), cf.New(1)}
+	found := []cf.CF{cf.New(1), clusterOf(vec.Of(0.2))}
+	m := MatchClusters(found, truth)
+	if len(m.Pairs) != 1 {
+		t.Fatalf("pairs = %d", len(m.Pairs))
+	}
+	if m.Pairs[0].Found != 1 || m.Pairs[0].Truth != 0 {
+		t.Fatalf("pair = %+v", m.Pairs[0])
+	}
+	if len(m.UnmatchedFound) != 0 || len(m.UnmatchedTruth) != 0 {
+		t.Fatal("empty clusters must not appear as unmatched")
+	}
+}
+
+func TestNoMatchesInfinity(t *testing.T) {
+	var m Match
+	if !math.IsInf(m.AvgCentroidDisplacement(), 1) {
+		t.Error("no pairs should give +Inf displacement")
+	}
+	if !math.IsInf(SizeDeviation(nil, nil, m), 1) {
+		t.Error("no pairs should give +Inf size deviation")
+	}
+}
+
+func TestSizeDeviation(t *testing.T) {
+	truth := []cf.CF{cf.New(1)}
+	truth[0].AddWeightedPoint(vec.Of(0.0), 100)
+	found := []cf.CF{cf.New(1)}
+	found[0].AddWeightedPoint(vec.Of(0.0), 95)
+	m := MatchClusters(found, truth)
+	if got := SizeDeviation(found, truth, m); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("size deviation = %g, want 0.05", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cs := []cf.CF{
+		clusterOf(vec.Of(0.0), vec.Of(2.0)),
+		cf.New(1), // empty: not counted
+		clusterOf(vec.Of(5.0)),
+	}
+	r := Summarize(cs)
+	if r.Clusters != 2 || r.Points != 3 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.WeightedDiameter <= 0 || r.WeightedRadius <= 0 {
+		t.Fatalf("zero quality metrics: %+v", r)
+	}
+}
+
+// TestQuickDiameterBounds: D̄ is within [min Dᵢ, max Dᵢ] of the non-empty
+// clusters.
+func TestQuickWeightedDiameterBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		cs := make([]cf.CF, k)
+		minD, maxD := math.Inf(1), math.Inf(-1)
+		for i := range cs {
+			n := 2 + r.Intn(10)
+			pts := make([]vec.Vector, n)
+			for j := range pts {
+				pts[j] = vec.Of(r.Float64()*10, r.Float64()*10)
+			}
+			cs[i] = cf.FromPoints(pts)
+			d := cs[i].Diameter()
+			minD = math.Min(minD, d)
+			maxD = math.Max(maxD, d)
+		}
+		got := WeightedAvgDiameter(cs)
+		return got >= minD-1e-9 && got <= maxD+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+
+	"birch/internal/vec"
+)
+
+// Silhouette computes the (optionally sampled) mean silhouette
+// coefficient of a labeled point set: for each point, a = mean distance
+// to its own cluster's members, b = lowest mean distance to another
+// cluster's members, s = (b − a) / max(a, b). The mean over points lies
+// in [−1, 1]; higher is better. It complements the paper's weighted
+// average diameter with a separation-aware internal index.
+//
+// The exact computation is O(n²); sampleSize > 0 evaluates the
+// coefficient on a deterministic uniform sample of that many points
+// (against all points), the standard estimator for large n. Points with
+// label < 0 (outliers) are excluded both as subjects and as neighbors;
+// singleton clusters contribute s = 0 per convention.
+func Silhouette(points []vec.Vector, labels []int, sampleSize int, seed int64) float64 {
+	if len(points) != len(labels) {
+		panic("quality: points and labels length mismatch")
+	}
+	// Index cluster membership.
+	byCluster := make(map[int][]int)
+	for i, l := range labels {
+		if l >= 0 {
+			byCluster[l] = append(byCluster[l], i)
+		}
+	}
+	if len(byCluster) < 2 {
+		return 0 // silhouette undefined without at least two clusters
+	}
+
+	subjects := make([]int, 0, len(points))
+	for i, l := range labels {
+		if l >= 0 {
+			subjects = append(subjects, i)
+		}
+	}
+	if sampleSize > 0 && sampleSize < len(subjects) {
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(subjects), func(a, b int) {
+			subjects[a], subjects[b] = subjects[b], subjects[a]
+		})
+		subjects = subjects[:sampleSize]
+	}
+
+	var sum float64
+	var counted int
+	for _, i := range subjects {
+		own := labels[i]
+		if len(byCluster[own]) < 2 {
+			counted++ // singleton: s = 0
+			continue
+		}
+		a := meanDistTo(points, i, byCluster[own], true)
+		b := math.Inf(1)
+		for l, members := range byCluster {
+			if l == own {
+				continue
+			}
+			if d := meanDistTo(points, i, members, false); d < b {
+				b = d
+			}
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			sum += (b - a) / denom
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// meanDistTo averages the distance from point i to the given members,
+// excluding i itself when excludeSelf is set.
+func meanDistTo(points []vec.Vector, i int, members []int, excludeSelf bool) float64 {
+	var sum float64
+	n := 0
+	for _, j := range members {
+		if excludeSelf && j == i {
+			continue
+		}
+		sum += vec.Dist(points[i], points[j])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

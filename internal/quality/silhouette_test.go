@@ -1,0 +1,100 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+func labeledBlobs(seed int64, k, n int, sep, sd float64) ([]vec.Vector, []int) {
+	r := rand.New(rand.NewSource(seed))
+	var pts []vec.Vector
+	var labels []int
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			pts = append(pts, vec.Of(float64(c)*sep+r.NormFloat64()*sd, r.NormFloat64()*sd))
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	pts, labels := labeledBlobs(1, 3, 50, 100, 1)
+	s := Silhouette(pts, labels, 0, 0)
+	if s < 0.9 {
+		t.Fatalf("silhouette of well-separated blobs = %g, want > 0.9", s)
+	}
+}
+
+func TestSilhouetteBadLabelingLower(t *testing.T) {
+	pts, good := labeledBlobs(2, 2, 60, 50, 1)
+	// A deliberately scrambled labeling.
+	r := rand.New(rand.NewSource(3))
+	bad := make([]int, len(good))
+	for i := range bad {
+		bad[i] = r.Intn(2)
+	}
+	sg := Silhouette(pts, good, 0, 0)
+	sb := Silhouette(pts, bad, 0, 0)
+	if sb >= sg {
+		t.Fatalf("scrambled labeling silhouette %g ≥ correct %g", sb, sg)
+	}
+	if sb > 0.2 {
+		t.Fatalf("scrambled labeling silhouette %g should be near 0", sb)
+	}
+}
+
+func TestSilhouetteSampledCloseToExact(t *testing.T) {
+	pts, labels := labeledBlobs(4, 4, 200, 60, 2)
+	exact := Silhouette(pts, labels, 0, 0)
+	sampled := Silhouette(pts, labels, 150, 7)
+	diff := exact - sampled
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.1 {
+		t.Fatalf("sampled %g vs exact %g", sampled, exact)
+	}
+}
+
+func TestSilhouetteSingleClusterZero(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0), vec.Of(1), vec.Of(2)}
+	if got := Silhouette(pts, []int{0, 0, 0}, 0, 0); got != 0 {
+		t.Fatalf("single-cluster silhouette = %g", got)
+	}
+}
+
+func TestSilhouetteIgnoresOutliers(t *testing.T) {
+	pts, labels := labeledBlobs(5, 2, 30, 80, 1)
+	// Add far outliers with label -1: they must not affect the score.
+	base := Silhouette(pts, labels, 0, 0)
+	pts2 := append(append([]vec.Vector{}, pts...), vec.Of(1e6, 1e6), vec.Of(-1e6, 0))
+	labels2 := append(append([]int{}, labels...), -1, -1)
+	with := Silhouette(pts2, labels2, 0, 0)
+	if base != with {
+		t.Fatalf("outliers changed silhouette: %g vs %g", base, with)
+	}
+}
+
+func TestSilhouetteSingletonClusterConvention(t *testing.T) {
+	// Two-point cluster plus a singleton cluster: the singleton
+	// contributes 0, the others are well separated.
+	pts := []vec.Vector{vec.Of(0), vec.Of(0.1), vec.Of(100)}
+	labels := []int{0, 0, 1}
+	s := Silhouette(pts, labels, 0, 0)
+	// Two near-perfect (≈1) and one 0 → about 2/3.
+	if s < 0.6 || s > 0.7 {
+		t.Fatalf("silhouette = %g, want ≈ 0.666", s)
+	}
+}
+
+func TestSilhouetteMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Silhouette([]vec.Vector{vec.Of(1)}, []int{0, 1}, 0, 0)
+}

@@ -1,0 +1,226 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	v := New(3)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("component %d = %g, want 0", i, x)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestOf(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	v := Of(xs...)
+	xs[0] = 99 // Of must copy.
+	if v[0] != 1 {
+		t.Errorf("Of did not copy its arguments: v[0] = %g", v[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Of(1, 2)
+	w := v.Clone()
+	w[0] = 42
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %g", v[0])
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Of(1, 2, 3)
+	w := Of(4, 5, 6)
+	if got := Add(v, w); !Equal(got, Of(5, 7, 9)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(w, v); !Equal(got, Of(3, 3, 3)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(v, 2); !Equal(got, Of(2, 4, 6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	// In-place variants.
+	u := v.Clone()
+	u.AddInPlace(w)
+	if !Equal(u, Of(5, 7, 9)) {
+		t.Errorf("AddInPlace = %v", u)
+	}
+	u.SubInPlace(w)
+	if !Equal(u, v) {
+		t.Errorf("SubInPlace = %v", u)
+	}
+	u.ScaleInPlace(0)
+	if !Equal(u, Of(0, 0, 0)) {
+		t.Errorf("ScaleInPlace(0) = %v", u)
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Add(Of(1), Of(1, 2))
+}
+
+func TestDotAndNorms(t *testing.T) {
+	v := Of(3, 4)
+	if got := Dot(v, v); got != 25 {
+		t.Errorf("Dot = %g, want 25", got)
+	}
+	if got := v.SqNorm(); got != 25 {
+		t.Errorf("SqNorm = %g, want 25", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	v := Of(0, 0)
+	w := Of(3, 4)
+	if got := Dist(v, w); got != 5 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+	if got := SqDist(v, w); got != 25 {
+		t.Errorf("SqDist = %g, want 25", got)
+	}
+	if got := ManhattanDist(v, w); got != 7 {
+		t.Errorf("ManhattanDist = %g, want 7", got)
+	}
+}
+
+func TestEqualAndApproxEqual(t *testing.T) {
+	if Equal(Of(1), Of(1, 2)) {
+		t.Error("Equal across dims should be false")
+	}
+	if !ApproxEqual(Of(1, 2), Of(1+1e-12, 2), 1e-9) {
+		t.Error("ApproxEqual should tolerate small error")
+	}
+	if ApproxEqual(Of(1, 2), Of(1.1, 2), 1e-9) {
+		t.Error("ApproxEqual should reject large error")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Of(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if Of(math.NaN()).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if Of(math.Inf(1)).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{Of(0, 0), Of(2, 4)})
+	if !Equal(m, Of(1, 2)) {
+		t.Errorf("Mean = %v, want (1, 2)", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of empty slice did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestString(t *testing.T) {
+	got := Of(1, 2.5).String()
+	if got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randVec draws a bounded random vector so quick-check properties are not
+// dominated by overflow.
+func randVec(r *rand.Rand, d int) Vector {
+	v := New(d)
+	for i := range v {
+		v[i] = r.NormFloat64() * 100
+	}
+	return v
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(8)
+		a, b, c := randVec(r, d), randVec(r, d), randVec(r, d)
+		// d(a,c) ≤ d(a,b) + d(b,c), with small fp slack.
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(8)
+		a, b := randVec(r, d), randVec(r, d)
+		return Dist(a, b) == Dist(b, a) && ManhattanDist(a, b) == ManhattanDist(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickManhattanDominatesEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(8)
+		a, b := randVec(r, d), randVec(r, d)
+		return ManhattanDist(a, b)+1e-9 >= Dist(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(8)
+		a, b := randVec(r, d), randVec(r, d)
+		return ApproxEqual(Sub(Add(a, b), b), a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSqDist(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v, w := randVec(r, 16), randVec(r, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SqDist(v, w)
+	}
+}

@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"birch/internal/cf"
+)
+
+// WriteClustersSVG renders clusters as true vector graphics: one circle
+// per cluster (centroid-centered, radius = cluster radius, stroke width
+// scaled by weight) with a small centroid cross — the publication-quality
+// twin of PlotClusters' terminal output for Figures 6–8. The SVG is
+// self-contained (no external CSS) and sized width×height pixels.
+func WriteClustersSVG(w io.Writer, clusters []cf.CF, width, height int) error {
+	if width < 64 || height < 64 {
+		return fmt.Errorf("viz: SVG canvas %dx%d too small", width, height)
+	}
+	type circle struct {
+		x, y, r float64
+		n       int64
+	}
+	var cs []circle
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	var maxN int64
+	for i := range clusters {
+		if clusters[i].N == 0 {
+			continue
+		}
+		if clusters[i].Dim() != 2 {
+			return errors.New("viz: WriteClustersSVG requires 2-d clusters")
+		}
+		c := clusters[i].Centroid()
+		r := clusters[i].Radius()
+		cs = append(cs, circle{c[0], c[1], r, clusters[i].N})
+		minX = math.Min(minX, c[0]-r)
+		maxX = math.Max(maxX, c[0]+r)
+		minY = math.Min(minY, c[1]-r)
+		maxY = math.Max(maxY, c[1]+r)
+		if clusters[i].N > maxN {
+			maxN = clusters[i].N
+		}
+	}
+	if len(cs) == 0 {
+		return errors.New("viz: no non-empty clusters")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	const margin = 16.0
+	sx := (float64(width) - 2*margin) / (maxX - minX)
+	sy := (float64(height) - 2*margin) / (maxY - minY)
+	scale := math.Min(sx, sy)
+	tx := func(x float64) float64 { return margin + (x-minX)*scale }
+	ty := func(y float64) float64 { return margin + (maxY-y)*scale } // y-up
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	for _, c := range cs {
+		cx, cy := tx(c.x), ty(c.y)
+		pr := c.r * scale
+		if pr < 1 {
+			pr = 1 // singletons still visible
+		}
+		// Stroke weight hints at cluster population.
+		sw := 0.75 + 1.5*float64(c.n)/float64(maxN)
+		fmt.Fprintf(bw,
+			`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="black" stroke-width="%.2f"/>`+"\n",
+			cx, cy, pr, sw)
+		const cross = 2.5
+		fmt.Fprintf(bw,
+			`<path d="M %.2f %.2f H %.2f M %.2f %.2f V %.2f" stroke="black" stroke-width="0.75"/>`+"\n",
+			cx-cross, cy, cx+cross, cx, cy-cross, cy+cross)
+	}
+	fmt.Fprintf(bw, `<text x="%.0f" y="%.0f" font-family="monospace" font-size="11">%d clusters</text>`+"\n",
+		margin, float64(height)-4, len(cs))
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}

@@ -1,0 +1,231 @@
+// Package viz renders the paper's figures in terminal-friendly form:
+// cluster plots drawn as centroid-centered circles on an ASCII grid
+// (Figures 6–8 present the DS1 clusters exactly this way, "a cluster is
+// represented as a circle whose center is the centroid, whose radius is
+// the cluster radius"), simple ASCII line charts for the scalability
+// curves (Figures 4–5), and PGM image output for the NIR/VIS scenes
+// (Figures 9–10).
+package viz
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"birch/internal/cf"
+)
+
+// PlotClusters draws each non-empty cluster as a circle (centroid +
+// radius) on a cols×rows character grid, auto-scaled to the clusters'
+// bounding box. Circle interiors are left empty; ring cells are drawn
+// with a per-cluster letter so overlapping clusters remain readable, and
+// centroids are marked '+'.
+func PlotClusters(w io.Writer, clusters []cf.CF, cols, rows int) error {
+	if cols < 8 || rows < 4 {
+		return fmt.Errorf("viz: grid %dx%d too small", cols, rows)
+	}
+	type circle struct {
+		x, y, r float64
+		glyph   byte
+	}
+	var cs []circle
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range clusters {
+		if clusters[i].N == 0 {
+			continue
+		}
+		if clusters[i].Dim() != 2 {
+			return errors.New("viz: PlotClusters requires 2-d clusters")
+		}
+		c := clusters[i].Centroid()
+		r := clusters[i].Radius()
+		cs = append(cs, circle{c[0], c[1], r, glyphFor(len(cs))})
+		minX = math.Min(minX, c[0]-r)
+		maxX = math.Max(maxX, c[0]+r)
+		minY = math.Min(minY, c[1]-r)
+		maxY = math.Max(maxY, c[1]+r)
+	}
+	if len(cs) == 0 {
+		return errors.New("viz: no non-empty clusters")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = make([]byte, cols)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	// Terminal cells are ~2× taller than wide; plotting y at half
+	// resolution keeps circles round-ish.
+	sx := float64(cols-1) / (maxX - minX)
+	sy := float64(rows-1) / (maxY - minY)
+
+	toCell := func(x, y float64) (int, int) {
+		cx := int(math.Round((x - minX) * sx))
+		cy := int(math.Round((maxY - y) * sy)) // screen y grows downward
+		return cx, cy
+	}
+	for _, c := range cs {
+		// Ring: sample the circumference densely.
+		steps := 64
+		for s := 0; s < steps; s++ {
+			a := 2 * math.Pi * float64(s) / float64(steps)
+			px, py := toCell(c.x+c.r*math.Cos(a), c.y+c.r*math.Sin(a))
+			if px >= 0 && px < cols && py >= 0 && py < rows {
+				grid[py][px] = c.glyph
+			}
+		}
+		cx, cy := toCell(c.x, c.y)
+		if cx >= 0 && cx < cols && cy >= 0 && cy < rows {
+			grid[cy][cx] = '+'
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, row := range grid {
+		bw.Write(row)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "[%d clusters; x: %.2f..%.2f, y: %.2f..%.2f]\n",
+		len(cs), minX, maxX, minY, maxY)
+	return bw.Flush()
+}
+
+// glyphFor cycles through letters for cluster rings.
+func glyphFor(i int) byte {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	return letters[i%len(letters)]
+}
+
+// Series is one labeled curve of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart draws the series on a shared-axis ASCII chart of the given
+// size, one glyph per series — the terminal rendition of Figures 4–5.
+func LineChart(w io.Writer, series []Series, cols, rows int) error {
+	if cols < 16 || rows < 6 {
+		return fmt.Errorf("viz: chart %dx%d too small", cols, rows)
+	}
+	if len(series) == 0 {
+		return errors.New("viz: no series")
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("viz: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return errors.New("viz: series have no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = make([]byte, cols)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	for si, s := range series {
+		g := glyphFor(si)
+		for i := range s.X {
+			px := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(cols-1)))
+			py := int(math.Round((maxY - s.Y[i]) / (maxY - minY) * float64(rows-1)))
+			grid[py][px] = g
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%*.4g ┬\n", 10, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(bw, "%10s │", "")
+		bw.Write(row)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "%*.4g └%s\n", 10, minY, repeat('─', cols))
+	fmt.Fprintf(bw, "%11s%-*.4g%*.4g\n", "", cols/2, minX, cols-cols/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(bw, "%11s%c = %s\n", "", glyphFor(si), s.Name)
+	}
+	return bw.Flush()
+}
+
+func repeat(b rune, n int) string {
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = b
+	}
+	return string(out)
+}
+
+// WritePGM writes a binary 8-bit PGM (P5) grayscale image; pixels are
+// row-major with values clamped to [0, 255].
+func WritePGM(w io.Writer, pixels []float64, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("viz: bad PGM dimensions %dx%d", width, height)
+	}
+	if len(pixels) != width*height {
+		return fmt.Errorf("viz: %d pixels for %dx%d image", len(pixels), width, height)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", width, height)
+	for _, p := range pixels {
+		v := int(math.Round(p))
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		bw.WriteByte(byte(v))
+	}
+	return bw.Flush()
+}
+
+// LabelImage maps per-pixel integer labels to distinct gray levels and
+// writes the result as PGM — the Figure 10 "filtered parts" rendition.
+// Label -1 (outlier/background) renders black.
+func LabelImage(w io.Writer, labels []int, width, height, numLabels int) error {
+	if len(labels) != width*height {
+		return fmt.Errorf("viz: %d labels for %dx%d image", len(labels), width, height)
+	}
+	pixels := make([]float64, len(labels))
+	for i, l := range labels {
+		if l < 0 {
+			pixels[i] = 0
+			continue
+		}
+		if numLabels <= 1 {
+			pixels[i] = 255
+			continue
+		}
+		pixels[i] = 55 + 200*float64(l%numLabels)/float64(numLabels-1)
+	}
+	return WritePGM(w, pixels, width, height)
+}

@@ -1,0 +1,213 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+func twoClusters() []cf.CF {
+	a := cf.FromPoints([]vec.Vector{vec.Of(0, 0), vec.Of(2, 0), vec.Of(0, 2), vec.Of(2, 2)})
+	b := cf.FromPoints([]vec.Vector{vec.Of(10, 10), vec.Of(12, 10), vec.Of(10, 12), vec.Of(12, 12)})
+	return []cf.CF{a, b}
+}
+
+func TestPlotClusters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotClusters(&buf, twoClusters(), 60, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 21 { // 20 grid rows + legend
+		t.Fatalf("lines = %d, want 21", len(lines))
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("no centroid markers")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing cluster ring glyphs")
+	}
+	if !strings.Contains(lines[20], "2 clusters") {
+		t.Errorf("legend = %q", lines[20])
+	}
+}
+
+func TestPlotClustersErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PlotClusters(&buf, twoClusters(), 4, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if err := PlotClusters(&buf, nil, 60, 20); err == nil {
+		t.Error("no clusters accepted")
+	}
+	empty := []cf.CF{cf.New(2)}
+	if err := PlotClusters(&buf, empty, 60, 20); err == nil {
+		t.Error("all-empty clusters accepted")
+	}
+	three := []cf.CF{cf.FromPoint(vec.Of(1, 2, 3))}
+	if err := PlotClusters(&buf, three, 60, 20); err == nil {
+		t.Error("3-d clusters accepted")
+	}
+}
+
+func TestPlotSingletonCluster(t *testing.T) {
+	// Radius 0 must not divide by zero or vanish.
+	var buf bytes.Buffer
+	single := []cf.CF{cf.FromPoint(vec.Of(5, 5))}
+	if err := PlotClusters(&buf, single, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+") {
+		t.Error("singleton centroid not plotted")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "DS1", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "DS2", X: []float64{1, 2, 3}, Y: []float64{15, 25, 35}},
+	}
+	if err := LineChart(&buf, series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a = DS1") || !strings.Contains(out, "b = DS2") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("series glyphs missing")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LineChart(&buf, nil, 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := LineChart(&buf, []Series{{Name: "x"}}, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	bad := []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}
+	if err := LineChart(&buf, bad, 40, 10); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	good := []Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}
+	if err := LineChart(&buf, good, 4, 2); err == nil {
+		t.Error("tiny chart accepted")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	var buf bytes.Buffer
+	s := []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}
+	if err := LineChart(&buf, s, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	pixels := []float64{0, 128, 255, 300, -5, 42}
+	if err := WritePGM(&buf, pixels, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("header = %q", out[:12])
+	}
+	body := out[len("P5\n3 2\n255\n"):]
+	want := []byte{0, 128, 255, 255, 0, 42} // clamped
+	if !bytes.Equal(body, want) {
+		t.Fatalf("body = %v, want %v", body, want)
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, []float64{1}, 0, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if err := WritePGM(&buf, []float64{1, 2}, 3, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLabelImage(t *testing.T) {
+	var buf bytes.Buffer
+	labels := []int{0, 1, 2, -1}
+	if err := LabelImage(&buf, labels, 2, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[len("P5\n2 2\n255\n"):]
+	if body[3] != 0 {
+		t.Errorf("outlier pixel = %d, want 0 (black)", body[3])
+	}
+	if body[0] == body[1] || body[1] == body[2] {
+		t.Error("labels not mapped to distinct grays")
+	}
+}
+
+func TestLabelImageSingleLabel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LabelImage(&buf, []int{0, 0}, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[len("P5\n2 1\n255\n"):]
+	if body[0] != 255 {
+		t.Errorf("single label gray = %d, want 255", body[0])
+	}
+}
+
+func TestLabelImageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LabelImage(&buf, []int{0}, 2, 2, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWriteClustersSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClustersSVG(&buf, twoClusters(), 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "2 clusters", `width="400"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 2 {
+		t.Errorf("circle count = %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestWriteClustersSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClustersSVG(&buf, twoClusters(), 10, 10); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+	if err := WriteClustersSVG(&buf, nil, 400, 300); err == nil {
+		t.Error("no clusters accepted")
+	}
+	three := []cf.CF{cf.FromPoint(vec.Of(1, 2, 3))}
+	if err := WriteClustersSVG(&buf, three, 400, 300); err == nil {
+		t.Error("3-d accepted")
+	}
+}
+
+func TestWriteClustersSVGSingleton(t *testing.T) {
+	var buf bytes.Buffer
+	single := []cf.CF{cf.FromPoint(vec.Of(5, 5))}
+	if err := WriteClustersSVG(&buf, single, 200, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 clusters") {
+		t.Error("legend wrong for singleton")
+	}
+}

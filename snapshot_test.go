@@ -1,0 +1,249 @@
+package birch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func noRefineConfig(k int) Config {
+	cfg := DefaultConfig(2, k)
+	cfg.Refine = false
+	return cfg
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	pts := blobPoints(31, 3, 400, 60, 1)
+	half := len(pts) / 2
+
+	// Stream half, checkpoint, resume, stream the rest.
+	c1, err := New(noRefineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:half] {
+		if err := c1.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := ResumeSnapshot(&buf, noRefineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[half:] {
+		if err := c2.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	var mass int64
+	for i := range res.Clusters {
+		mass += res.Clusters[i].N
+	}
+	if mass != int64(len(pts)) {
+		t.Fatalf("mass %d, want %d", mass, len(pts))
+	}
+
+	// Quality comparable to an uncheckpointed run.
+	direct, err := New(noRefineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := direct.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dres, err := direct.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Clusters {
+		want := dres.Clusters[i].Diameter()
+		got := res.Clusters[i].Diameter()
+		if math.Abs(got-want) > 0.3*(want+0.1) {
+			t.Fatalf("cluster %d diameter %g vs direct %g", i, got, want)
+		}
+	}
+}
+
+func TestSnapshotSizeIsTreeBound(t *testing.T) {
+	// 10× the points must not mean 10× the snapshot: its size is bound by
+	// the tree, not the stream.
+	sizeFor := func(n int) int {
+		c, err := New(noRefineConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range blobPoints(32, 4, n, 50, 1) {
+			if err := c.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := c.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	small := sizeFor(2000)
+	large := sizeFor(20000)
+	if large > 3*small {
+		t.Fatalf("snapshot grew with the stream: %d -> %d bytes", small, large)
+	}
+}
+
+func TestSnapshotAfterFinishFails(t *testing.T) {
+	c, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(33, 2, 100, 50, 1) {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err == nil {
+		t.Fatal("WriteSnapshot after Finish accepted")
+	}
+}
+
+func TestResumeSnapshotValidation(t *testing.T) {
+	c, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Refine on is rejected.
+	if _, err := ResumeSnapshot(bytes.NewReader(good), DefaultConfig(2, 2)); err == nil {
+		t.Fatal("Refine=true accepted")
+	}
+	// Dimension mismatch is rejected.
+	cfg3 := DefaultConfig(3, 2)
+	cfg3.Refine = false
+	if _, err := ResumeSnapshot(bytes.NewReader(good), cfg3); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Bad magic is rejected.
+	bad := append([]byte("NOTBIRCH"), good[8:]...)
+	if _, err := ResumeSnapshot(bytes.NewReader(bad), noRefineConfig(2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated data is rejected.
+	if _, err := ResumeSnapshot(bytes.NewReader(good[:len(good)-4]), noRefineConfig(2)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// Empty stream is rejected.
+	if _, err := ResumeSnapshot(bytes.NewReader(nil), noRefineConfig(2)); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+}
+
+func TestResumeSnapshotCorruptCF(t *testing.T) {
+	c, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Point{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the CF payload (flip the SS field to garbage that violates
+	// Cauchy–Schwarz): header is 8 magic + 24 header bytes; N is next 8,
+	// SS the 8 after.
+	for i := 8 + 24 + 8; i < 8+24+16; i++ {
+		data[i] = 0
+	}
+	if _, err := ResumeSnapshot(bytes.NewReader(data), noRefineConfig(2)); err == nil {
+		t.Fatal("corrupt CF accepted")
+	}
+}
+
+func TestClusterParallelPublicAPI(t *testing.T) {
+	pts := blobPoints(34, 4, 500, 50, 1)
+	res, err := ClusterParallel(pts, DefaultConfig(2, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	if len(res.Labels) != len(pts) {
+		t.Fatalf("labels = %d", len(res.Labels))
+	}
+}
+
+// failingWriter errors after n bytes, exercising WriteSnapshot's error
+// propagation.
+type failingWriter struct{ left int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errFull
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errFull
+	}
+	return n, nil
+}
+
+var errFull = errors.New("disk full")
+
+func TestWriteSnapshotPropagatesErrors(t *testing.T) {
+	c, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(61, 2, 200, 50, 1) {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, budget := range []int{0, 4, 20, 100} {
+		if err := c.WriteSnapshot(&failingWriter{left: budget}); err == nil {
+			t.Errorf("write with %d-byte budget succeeded", budget)
+		}
+	}
+	// A full buffer still works afterwards (no state corruption).
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSnapshot(&buf, noRefineConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
