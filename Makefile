@@ -1,0 +1,38 @@
+# Development and CI entry points. `make check` is the full local gate;
+# CI (.github/workflows/ci.yml) runs the same targets.
+
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: all build vet lint test race fuzz-smoke check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# birchlint is the repo's own static-analysis suite (cmd/birchlint):
+# float-equality, unclamped-sqrt, CF-mutation, stdlib-only and unchecked
+# I/O error checks. Must exit 0.
+lint:
+	$(GO) run ./cmd/birchlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz burst over every fuzz target; catches codec and tree
+# regressions without the cost of a long campaign.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzResumeSnapshot -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
+
+check: build vet lint test race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

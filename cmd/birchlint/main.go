@@ -1,0 +1,170 @@
+// Command birchlint runs the BIRCH repository's static-analysis suite:
+// stdlib-only passes that enforce the numeric and invariant discipline
+// the CF algebra depends on (see internal/lint).
+//
+// Usage:
+//
+//	birchlint [flags] [packages]
+//
+// With no arguments (or "./..."), the whole module containing the current
+// directory is analyzed. A directory argument restricts output to that
+// package; a directory under a testdata tree is loaded as a standalone
+// fixture package against the module (used by the lint self-tests).
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on usage
+// or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"birch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("birchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		withTests = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		passNames = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		list      = fs.Bool("list", false, "list available passes and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, p := range lint.AllPasses() {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name(), p.Doc())
+		}
+		return 0
+	}
+
+	passes := lint.AllPasses()
+	if *passNames != "" {
+		var err error
+		passes, err = lint.PassesByName(strings.Split(*passNames, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "birchlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "birchlint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root, lint.LoadOptions{Tests: *withTests})
+	if err != nil {
+		fmt.Fprintln(stderr, "birchlint:", err)
+		return 2
+	}
+
+	targets, code := resolveTargets(mod, fs.Args(), stderr)
+	if code != 0 {
+		return code
+	}
+
+	diags := lint.Run(mod, passes, targets)
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Pass    string `json:"pass"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relPath(root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Pass: d.Pass, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "birchlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n",
+				relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "birchlint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// resolveTargets maps command-line package arguments to loaded packages.
+func resolveTargets(mod *lint.Module, args []string, stderr io.Writer) ([]*lint.Package, int) {
+	if len(args) == 0 {
+		return mod.Packages, 0
+	}
+	var targets []*lint.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "." && len(args) == 1 {
+			return mod.Packages, 0
+		}
+		dir := strings.TrimSuffix(arg, "/...")
+		recursive := dir != arg
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "birchlint:", err)
+			return nil, 2
+		}
+		if strings.Contains(abs, string(filepath.Separator)+"testdata"+string(filepath.Separator)) ||
+			strings.HasSuffix(abs, string(filepath.Separator)+"testdata") {
+			pkg, err := mod.LoadDir(abs)
+			if err != nil {
+				fmt.Fprintln(stderr, "birchlint:", err)
+				return nil, 2
+			}
+			targets = append(targets, pkg)
+			continue
+		}
+		matched := false
+		for _, pkg := range mod.Packages {
+			if pkg.Dir == abs || (recursive && strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator))) {
+				targets = append(targets, pkg)
+				matched = true
+			}
+		}
+		if !matched {
+			fmt.Fprintf(stderr, "birchlint: no module package in %s\n", arg)
+			return nil, 2
+		}
+	}
+	return targets, 0
+}
+
+// relPath renders filenames relative to the module root when possible.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

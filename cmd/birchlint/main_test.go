@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the CLI-level self-check: the repository must be
+// lint-clean and the driver must exit 0 on it.
+func TestRepoClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("birchlint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no diagnostics, got:\n%s", out.String())
+	}
+}
+
+// TestFixturesFail asserts the driver exits non-zero on every violation
+// fixture — the contract the CI lint gate relies on.
+func TestFixturesFail(t *testing.T) {
+	for _, name := range []string{"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck"} {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			dir := "../../internal/lint/testdata/src/" + name
+			code := run([]string{"-passes", name, dir}, &out, &errOut)
+			if code != 1 {
+				t.Fatalf("birchlint %s = exit %d, want 1\nstderr:\n%s", dir, code, errOut.String())
+			}
+			if !strings.Contains(out.String(), "["+name+"]") {
+				t.Errorf("output missing [%s] diagnostics:\n%s", name, out.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput checks the -json encoding is a parseable array with the
+// expected fields.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	dir := "../../internal/lint/testdata/src/floateq"
+	if code := run([]string{"-json", "-passes", "floateq", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("empty diagnostics array")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Pass != "floateq" || d.Message == "" {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestListPasses checks -list names every pass.
+func TestListPasses(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownPass checks usage errors exit 2.
+func TestUnknownPass(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-passes", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown pass exit %d, want 2", code)
+	}
+}

@@ -54,6 +54,20 @@ func FromPoints(points []vec.Vector) CF {
 	return c
 }
 
+// FromComponents builds a CF from raw (N, LS, SS) components — the
+// deserialization entry point (snapshot restore, wire decode). It owns
+// the only sanctioned path for materializing a CF from untrusted parts:
+// the triple is validated so a corrupt or hand-rolled summary cannot
+// enter the additivity algebra. The vector is not copied; the caller
+// yields ownership of ls.
+func FromComponents(n int64, ls vec.Vector, ss float64) (CF, error) {
+	c := CF{N: n, LS: ls, SS: ss}
+	if err := c.Validate(); err != nil {
+		return CF{}, err
+	}
+	return c, nil
+}
+
 // Dim returns the dimensionality of the feature, or 0 for an
 // uninitialized CF.
 func (c *CF) Dim() int { return len(c.LS) }

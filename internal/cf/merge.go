@@ -9,10 +9,10 @@ package cf
 
 // MergedRadiusSq returns R² of the cluster a ∪ b.
 func MergedRadiusSq(a, b *CF) float64 {
-	n := float64(a.N + b.N)
-	if n == 0 {
+	if a.N+b.N == 0 {
 		return 0
 	}
+	n := float64(a.N + b.N)
 	ss := a.SS + b.SS
 	var lsSq float64
 	for i := range a.LS {

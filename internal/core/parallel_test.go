@@ -125,3 +125,38 @@ func TestRunParallelMemoryPressure(t *testing.T) {
 		t.Fatal("expected shard rebuilds under pressure")
 	}
 }
+
+// TestRunParallelConcurrentRuns is the race-gate regression test: several
+// RunParallel invocations share one immutable points slice, each spawning
+// its own worker pool, exactly how a serving layer would drive the
+// library. Any shared mutable state between engines (shard outputs,
+// pager counters, merge trees) shows up under `go test -race`.
+func TestRunParallelConcurrentRuns(t *testing.T) {
+	pts, _ := gaussianBlobs(23, 5, 400, 25, 1)
+	cfg := DefaultConfig(2, 5)
+	const runs = 4
+	type out struct {
+		res *Result
+		err error
+	}
+	outs := make([]out, runs)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			res, err := RunParallel(pts, cfg, 3)
+			outs[i] = out{res, err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			t.Fatalf("run %d: %v", i, outs[i].err)
+		}
+		if got := outs[i].res.Stats.Phase1.Points; got != int64(len(pts)) {
+			t.Errorf("run %d: %d points accounted, want %d", i, got, len(pts))
+		}
+	}
+}

@@ -110,7 +110,7 @@ func (e *Engine) Condense() Phase2Stats {
 			newT = dmin
 		}
 		if newT <= curT {
-			if curT == 0 {
+			if curT <= 0 {
 				newT = 1e-3
 			} else {
 				newT = curT * forcedExpansion
@@ -206,7 +206,7 @@ func refine(e *Engine, points []vec.Vector, seeds []cf.CF, res *Result) error {
 	discard := 0.0
 	if e.cfg.RefineDiscardOutliers {
 		discard = e.cfg.RefineDiscardFactor * quality.WeightedAvgRadius(seeds)
-		if discard == 0 {
+		if discard <= 0 {
 			discard = e.cfg.RefineDiscardFactor * e.tree.Threshold()
 		}
 	}

@@ -86,7 +86,7 @@ func (te *thresholdEstimator) next(tree *cftree.Tree, curT float64, absorbed int
 
 	// Guard rails: strictly increase, from a sane floor.
 	if next <= curT {
-		if curT == 0 {
+		if curT <= 0 {
 			// No information at all (e.g. all points identical so far):
 			// fall back to the average leaf radius or a tiny constant.
 			if st := tree.Stats(); st.AvgRadius > 0 {

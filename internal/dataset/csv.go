@@ -14,19 +14,21 @@ import (
 // ground-truth label as the last column when withLabels is set. The
 // format round-trips through ReadCSV.
 func WriteCSV(w io.Writer, ds *Dataset, withLabels bool) error {
+	// bufio errors are sticky: the checked Flush below surfaces any write
+	// failure, so intermediate errors are explicitly discarded.
 	bw := bufio.NewWriter(w)
 	for i, p := range ds.Points {
 		for j, x := range p {
 			if j > 0 {
-				bw.WriteByte(',')
+				_ = bw.WriteByte(',')
 			}
-			bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+			_, _ = bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
 		}
 		if withLabels {
-			bw.WriteByte(',')
-			bw.WriteString(strconv.Itoa(ds.Labels[i]))
+			_ = bw.WriteByte(',')
+			_, _ = bw.WriteString(strconv.Itoa(ds.Labels[i]))
 		}
-		bw.WriteByte('\n')
+		_ = bw.WriteByte('\n')
 	}
 	return bw.Flush()
 }

@@ -81,6 +81,9 @@ func (t *Tree) build(idx []int32, depth int) int32 {
 	})
 	mid := len(idx) / 2
 	// Walk left so equal coordinates end up on the right subtree only.
+	// Exact equality is intended: these are stored input coordinates
+	// compared for identity, not cancellation-prone derived quantities.
+	//birchlint:ignore floateq identity comparison of stored input coordinates
 	for mid > 0 && t.points[idx[mid-1]][axis] == t.points[idx[mid]][axis] {
 		mid--
 	}

@@ -140,7 +140,7 @@ func Cluster(items []cf.CF, opts Options) (*Result, error) {
 		}
 		var maxMove float64
 		for c := 0; c < k; c++ {
-			if ws[c] == 0 {
+			if ws[c] <= 0 {
 				// Empty cluster: re-seed at the item farthest from its
 				// center, the standard repair.
 				centers[c] = pts[farthestItem(pts, centers, assign)].Clone()
@@ -198,7 +198,7 @@ func seedPlusPlus(pts []vec.Vector, wts []float64, k int, r *rand.Rand) []vec.Ve
 			sum += weights[i]
 		}
 		var next int
-		if sum == 0 {
+		if sum <= 0 {
 			next = r.Intn(len(pts)) // all points coincide with centers
 		} else {
 			next = weightedPick(weights, sum, r)

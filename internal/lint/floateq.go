@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags direct ==/!= comparisons on floating-point operands.
+//
+// Exact float equality is meaningless for quantities derived through the
+// CF algebra: R², D², and the D0–D4 distances all suffer catastrophic
+// cancellation, so two mathematically equal values rarely compare equal
+// bit-for-bit. Comparisons must go through an approved helper (a function
+// whose name contains "Equal" or ends in "Eq", e.g. vec.Equal or a local
+// approxEq) or use an explicit tolerance.
+//
+// Comparisons where both operands are compile-time constants are allowed.
+// A self-comparison x != x is flagged with a pointer to math.IsNaN.
+type FloatEq struct{}
+
+// Name implements Pass.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Pass.
+func (FloatEq) Doc() string {
+	return "flags ==/!= on floating-point operands outside approved equality helpers"
+}
+
+// Run implements Pass.
+func (p FloatEq) Run(m *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant fold: exact by definition
+			}
+			if insideApprovedHelper(stack) {
+				return true
+			}
+			msg := fmt.Sprintf("%s on floating-point operands; compare with a tolerance or an approved *Equal helper", be.Op)
+			if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+				msg = "x != x NaN test on floats; use math.IsNaN"
+			}
+			out = append(out, Diagnostic{
+				Pos:     m.Fset.Position(be.OpPos),
+				Pass:    p.Name(),
+				Message: msg,
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// insideApprovedHelper reports whether the comparison sits inside a
+// function whose name marks it as a sanctioned equality helper.
+func insideApprovedHelper(stack []ast.Node) bool {
+	for _, name := range enclosingFuncNames(stack) {
+		lower := strings.ToLower(name)
+		if strings.Contains(lower, "equal") || strings.HasSuffix(name, "Eq") || strings.HasSuffix(lower, "eq") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// walkWithStack traverses the file keeping the ancestor stack, calling fn
+// before descending into each node. fn returning false prunes the subtree.
+func walkWithStack(file *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// constValue returns the expression's compile-time constant value, if any.
+func constValue(pkg *Package, e ast.Expr) constant.Value {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// isNonNegativeConst reports whether e is a constant known to be ≥ 0.
+func isNonNegativeConst(pkg *Package, e ast.Expr) bool {
+	v := constValue(pkg, e)
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		zero := constant.MakeInt64(0)
+		return constant.Compare(v, token.GEQ, zero)
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions, and calls through function-typed values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isCallTo reports whether the call invokes the package-level function
+// with the given fully qualified name (e.g. "math.Sqrt").
+func isCallTo(pkg *Package, call *ast.CallExpr, fullName string) bool {
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.FullName() == fullName
+}
+
+// isBuiltin reports whether the call invokes the named builtin (max, min,
+// len, ...).
+func isBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// (declaration or literal) on the stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDecls returns the names of all enclosing function
+// declarations, innermost last (literals contribute nothing).
+func enclosingFuncNames(stack []ast.Node) []string {
+	var names []string
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			names = append(names, fd.Name.Name)
+		}
+	}
+	return names
+}
+
+// objectOf resolves an identifier to its object via Uses then Defs.
+func objectOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// hasErrorResult reports whether the signature returns an error in any
+// position.
+func hasErrorResult(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedCFField reports whether sel selects field N, LS, or SS of
+// birch/internal/cf.CF, returning the field name.
+func namedCFField(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != cfPkgPath || obj.Name() != "CF" {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name == "N" || name == "LS" || name == "SS" {
+		return name, true
+	}
+	return "", false
+}

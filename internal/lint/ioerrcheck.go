@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ioScopePackages are the stdlib packages whose error returns carry I/O
+// outcomes a BIRCH run must not ignore: a swallowed pager or snapshot
+// write error silently truncates state that a resumed Clusterer will
+// later trust.
+var ioScopePackages = map[string]bool{
+	"os":              true,
+	"io":              true,
+	"bufio":           true,
+	"encoding/binary": true,
+	"encoding/gob":    true,
+	"encoding/json":   true,
+	"encoding/csv":    true,
+	"compress/gzip":   true,
+	"image/png":       true,
+}
+
+// IOErrCheck flags statements that silently drop an error returned by a
+// module-internal function or by the I/O-bearing stdlib packages
+// (os, io, bufio, encoding/*, ...).
+//
+// The scope deliberately covers every module-local callee, not just
+// internal/pager and the snapshot codec: an unchecked error from any
+// engine path (Add, AddCF, FinishPhase1) can mask a failed spill or a
+// budget violation. Deferred calls (`defer f.Close()`) are exempt — Go
+// offers no non-clunky way to check them and the write path must already
+// have Flush/Sync checked explicitly — and assigning to blank
+// (`_ = f()`) is treated as an explicit, reviewable acknowledgment.
+type IOErrCheck struct{}
+
+// Name implements Pass.
+func (IOErrCheck) Name() string { return "ioerrcheck" }
+
+// Doc implements Pass.
+func (IOErrCheck) Doc() string {
+	return "flags silently dropped error returns on pager/snapshot/engine and stdlib I/O calls"
+}
+
+// Run implements Pass.
+func (p IOErrCheck) Run(m *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+			if !ok || !hasErrorResult(sig) {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			inModule := path == m.Path || strings.HasPrefix(path, m.Path+"/")
+			if !inModule && !ioScopePackages[path] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:  m.Fset.Position(call.Pos()),
+				Pass: p.Name(),
+				Message: fmt.Sprintf("error result of %s dropped; check it or assign to _ explicitly (I/O errors here corrupt snapshot/pager state silently)",
+					fn.FullName()),
+			})
+			return true
+		})
+	}
+	return out
+}

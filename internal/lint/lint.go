@@ -1,0 +1,118 @@
+// Package lint implements birchlint: a stdlib-only multi-pass static
+// analyzer that enforces the numeric and invariant discipline BIRCH's CF
+// algebra depends on.
+//
+// The CF Additivity Theorem (paper §4.1) and the D0–D4 distance metrics
+// only stay exact if every code path observes three disciplines:
+//
+//  1. no raw ==/!= on floating-point values (cancellation makes exact
+//     equality meaningless for derived quantities),
+//  2. no math.Sqrt on an expression of the SS − N·‖X0‖² shape without a
+//     clamp-to-zero guard (the radicand can go slightly negative from
+//     floating-point cancellation — the instability BETULA documents as
+//     corrupting classic (N, LS, SS) CF-trees),
+//  3. no mutation of cf.CF fields outside internal/cf (additivity must
+//     flow through AddPoint/Merge/Unmerge so every CF stays a valid
+//     summary).
+//
+// Two more passes guard the engineering constraints: the module must stay
+// dependency-free (stdlib-only imports), and pager/snapshot I/O error
+// returns must never be silently dropped.
+//
+// Each check is a pluggable Pass. The driver in cmd/birchlint loads the
+// whole module with go/parser + go/types (no external tooling), applies
+// the passes, honors //birchlint:ignore suppression comments, and exits
+// non-zero when diagnostics remain.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is a single finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is one pluggable analysis. A Pass inspects a single type-checked
+// package at a time; the Module gives it access to cross-package facts
+// (function bodies for interprocedural checks, the module import path).
+type Pass interface {
+	// Name is the short identifier used in diagnostics and in
+	// //birchlint:ignore comments.
+	Name() string
+	// Doc is a one-paragraph description shown by `birchlint -list`.
+	Doc() string
+	// Run reports all findings in pkg.
+	Run(m *Module, pkg *Package) []Diagnostic
+}
+
+// AllPasses returns the standard birchlint suite in stable order.
+func AllPasses() []Pass {
+	return []Pass{
+		FloatEq{},
+		SqrtClamp{},
+		CFMutate{},
+		StdlibOnly{},
+		IOErrCheck{},
+	}
+}
+
+// PassesByName resolves a list of pass names against AllPasses.
+func PassesByName(names []string) ([]Pass, error) {
+	all := AllPasses()
+	var out []Pass
+	for _, n := range names {
+		found := false
+		for _, p := range all {
+			if p.Name() == n {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown pass %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Run applies every pass to every package, filters findings suppressed by
+// //birchlint:ignore comments, and returns the rest sorted by position.
+func Run(m *Module, passes []Pass, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, p := range passes {
+			for _, d := range p.Run(m, pkg) {
+				if !pkg.suppressed(d.Pos, p.Name()) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}

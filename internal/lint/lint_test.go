@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"birch/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+var (
+	loadOnce sync.Once
+	loadedM  *lint.Module
+	loadErr  error
+)
+
+// loadModule parses and type-checks the whole module once per test
+// binary; every test shares the result.
+func loadModule(t *testing.T) *lint.Module {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := lint.FindModuleRoot(".")
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loadedM, loadErr = lint.LoadModule(root, lint.LoadOptions{})
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module: %v", loadErr)
+	}
+	return loadedM
+}
+
+// TestPassGolden runs each pass over its fixture package and compares the
+// diagnostics with the checked-in golden file. Each fixture mixes
+// positive cases (in the golden file), negative cases (absent), and
+// suppression examples (absent because suppressed). Regenerate with
+// `go test ./internal/lint -run TestPassGolden -update`.
+func TestPassGolden(t *testing.T) {
+	for _, pass := range lint.AllPasses() {
+		t.Run(pass.Name(), func(t *testing.T) {
+			m := loadModule(t)
+			fixture, err := m.LoadDir(filepath.Join("testdata", "src", pass.Name()))
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := lint.Run(m, []lint.Pass{pass}, []*lint.Package{fixture})
+			if len(diags) == 0 {
+				t.Fatalf("fixture for %s produced no diagnostics; positive cases are broken", pass.Name())
+			}
+			var buf bytes.Buffer
+			for _, d := range diags {
+				fmt.Fprintf(&buf, "%s:%d:%d: [%s] %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+			}
+			golden := filepath.Join("testdata", pass.Name()+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want (%s) ---\n%s", buf.Bytes(), golden, want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the self-check gate: the repository's own packages
+// must produce zero diagnostics under the full suite.
+func TestRepoIsClean(t *testing.T) {
+	m := loadModule(t)
+	diags := lint.Run(m, lint.AllPasses(), m.Packages)
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestModuleTypeChecks asserts the loader produced fully type-checked
+// packages; type errors would silently weaken every type-driven pass.
+func TestModuleTypeChecks(t *testing.T) {
+	m := loadModule(t)
+	if len(m.Packages) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range m.Packages {
+		for _, err := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, err)
+		}
+	}
+}
+
+// TestPassesByName covers subset selection and the unknown-pass error.
+func TestPassesByName(t *testing.T) {
+	got, err := lint.PassesByName([]string{"floateq", "cfmutate"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("PassesByName(floateq,cfmutate) = %v, %v", got, err)
+	}
+	if got[0].Name() != "floateq" || got[1].Name() != "cfmutate" {
+		t.Fatalf("wrong passes resolved: %v", got)
+	}
+	if _, err := lint.PassesByName([]string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown pass")
+	}
+}
+
+// TestPassDocs makes sure every pass documents itself for -list.
+func TestPassDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range lint.AllPasses() {
+		if p.Name() == "" || p.Doc() == "" {
+			t.Errorf("pass %T missing Name or Doc", p)
+		}
+		if seen[p.Name()] {
+			t.Errorf("duplicate pass name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}

@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module (or an extra fixture
+// directory loaded with LoadDir).
+type Package struct {
+	// Path is the import path ("birch/internal/cf"); fixture packages get
+	// a synthetic path outside the module.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir  string
+	Name string
+	// Files and Filenames are parallel: Filenames[i] is the absolute path
+	// of Files[i].
+	Files     []*ast.File
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+	// TypeErrors collects type-checking problems; passes still run on a
+	// partially-checked package so one bad file does not hide findings
+	// elsewhere.
+	TypeErrors []error
+
+	sources  map[string][]byte
+	suppress map[string]map[int]map[string]bool // filename -> line -> pass set
+}
+
+// Module is the fully loaded target of one birchlint run.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	Fset *token.FileSet
+	// Packages holds the module's packages in dependency order.
+	Packages []*Package
+
+	byPath    map[string]*Package
+	funcDecls map[*types.Func]*ast.FuncDecl
+	declPkg   map[*types.Func]*Package
+	gcImport  types.Importer
+	srcImport types.Importer
+	riskMemo  map[*types.Func]bool
+
+	opts LoadOptions
+}
+
+// LoadOptions tunes module loading.
+type LoadOptions struct {
+	// Tests includes in-package _test.go files in the analysis. External
+	// test packages (package foo_test) are never loaded.
+	Tests bool
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("lint: no go.mod found in any parent directory")
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every package under root using only
+// the standard library (go/parser + go/types; stdlib dependencies are
+// resolved through go/importer). Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, matching the go tool.
+func LoadModule(root string, opts LoadOptions) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modBytes, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	match := moduleLineRE.FindSubmatch(modBytes)
+	if match == nil {
+		return nil, errors.New("lint: go.mod has no module line")
+	}
+
+	m := &Module{
+		Root:      root,
+		Path:      string(match[1]),
+		Fset:      token.NewFileSet(),
+		byPath:    make(map[string]*Package),
+		funcDecls: make(map[*types.Func]*ast.FuncDecl),
+		declPkg:   make(map[*types.Func]*Package),
+		riskMemo:  make(map[*types.Func]bool),
+		opts:      opts,
+	}
+	m.gcImport = importer.Default()
+	m.srcImport = importer.ForCompiler(m.Fset, "source", nil)
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	parsed := make(map[string]*Package) // import path -> parsed pkg
+	for _, dir := range dirs {
+		pkg, err := m.parseDir(dir, m.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			parsed[pkg.Path] = pkg
+		}
+	}
+
+	order, err := topoSort(parsed, m.Path)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range order {
+		m.check(pkg)
+		m.Packages = append(m.Packages, pkg)
+		m.byPath[pkg.Path] = pkg
+	}
+	return m, nil
+}
+
+// LoadDir parses and type-checks one extra directory (typically a lint
+// testdata fixture) against the already-loaded module. The package gets
+// the synthetic import path "birchlint.fixture/<base>" so module-scoped
+// passes treat it as outside the module.
+func (m *Module) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.parseDir(dir, "birchlint.fixture/"+filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	m.check(pkg)
+	return pkg, nil
+}
+
+// importPathFor maps an absolute directory under the module root to its
+// import path.
+func (m *Module) importPathFor(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the non-test (plus, with opts.Tests, in-package test)
+// files of one directory. Returns nil if the directory holds no Go files.
+func (m *Module) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path:     importPath,
+		Dir:      dir,
+		sources:  make(map[string][]byte),
+		suppress: make(map[string]map[int]map[string]bool),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !m.opts.Tests {
+			continue
+		}
+		filename := filepath.Join(dir, name)
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(m.Fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			continue // external test package: out of scope
+		}
+		if pkg.Name == "" {
+			pkg.Name = file.Name.Name
+		}
+		if file.Name.Name != pkg.Name {
+			// Mixed package clauses in one directory (e.g. a main shim next
+			// to a library); keep the first package seen.
+			continue
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.Filenames = append(pkg.Filenames, filename)
+		pkg.sources[filename] = src
+		m.collectSuppressions(pkg, file, src)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// check type-checks pkg with module-internal imports resolved from m and
+// stdlib imports resolved through go/importer, then indexes its function
+// declarations for interprocedural passes.
+func (m *Module) check(pkg *Package) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    &moduleImporter{m: m},
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				m.funcDecls[fn] = fd
+				m.declPkg[fn] = pkg
+			}
+		}
+	}
+}
+
+// moduleImporter resolves imports during type-checking: module-internal
+// paths come from the already-checked packages, stdlib paths from the
+// compiled-export importer (falling back to source), and anything else —
+// which the stdlibonly pass will flag — gets an empty placeholder package
+// so checking can continue.
+type moduleImporter struct {
+	m *Module
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	m := mi.m
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		if pkg, ok := m.byPath[path]; ok && pkg.Types != nil {
+			return pkg.Types, nil
+		}
+		return nil, fmt.Errorf("lint: module package %q not loaded (import cycle?)", path)
+	}
+	if isStdlibPath(path) {
+		if p, err := m.gcImport.Import(path); err == nil {
+			return p, nil
+		}
+		return m.srcImport.Import(path)
+	}
+	// Non-stdlib, non-module: synthesize an empty complete package so the
+	// stdlibonly diagnostic is the only error the user sees.
+	p := types.NewPackage(path, pathBase(path))
+	p.MarkComplete()
+	return p, nil
+}
+
+// isStdlibPath applies the standard heuristic: stdlib import paths never
+// contain a dot in their first segment.
+func isStdlibPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(pkgs map[string]*Package, modPath string) ([]*Package, error) {
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		pkg, ok := pkgs[path]
+		if !ok {
+			return nil
+		}
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %q", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					if err := visit(p); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, pkg)
+		return nil
+	}
+	var paths []string
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// suppressionRE matches //birchlint:ignore <pass>[,<pass>...] [reason].
+// The pass list may be * to suppress every pass.
+var suppressionRE = regexp.MustCompile(`^//birchlint:ignore\s+([\w*,-]+)(?:\s|$)`)
+
+// collectSuppressions records //birchlint:ignore comments. A trailing
+// comment (code precedes it on the line) suppresses its own line; a
+// standalone comment suppresses the following line.
+func (m *Module) collectSuppressions(pkg *Package, file *ast.File, src []byte) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			match := suppressionRE.FindStringSubmatch(c.Text)
+			if match == nil {
+				continue
+			}
+			pos := m.Fset.Position(c.Slash)
+			target := pos.Line + 1
+			if codePrecedes(src, pos.Offset) {
+				target = pos.Line
+			}
+			byLine := pkg.suppress[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int]map[string]bool)
+				pkg.suppress[pos.Filename] = byLine
+			}
+			set := byLine[target]
+			if set == nil {
+				set = make(map[string]bool)
+				byLine[target] = set
+			}
+			for _, name := range strings.Split(match[1], ",") {
+				set[name] = true
+			}
+		}
+	}
+}
+
+// codePrecedes reports whether any non-whitespace byte sits between the
+// start of the line and offset.
+func codePrecedes(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return false
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether a diagnostic of the given pass at pos is
+// covered by an ignore comment.
+func (pkg *Package) suppressed(pos token.Position, pass string) bool {
+	set := pkg.suppress[pos.Filename][pos.Line]
+	return set != nil && (set[pass] || set["*"])
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SqrtClamp flags math.Sqrt calls whose radicand can go negative through
+// floating-point cancellation without a clamp-to-zero guard.
+//
+// The canonical hazard is the paper's R² = SS/N − ‖LS‖²/N²: a difference
+// of two nearly equal accumulated sums. Mathematically non-negative, it
+// dips a few ulps below zero for near-degenerate clusters, and math.Sqrt
+// then returns NaN — which silently poisons every distance comparison
+// downstream (the exact CF-corruption failure BETULA documents).
+//
+// An expression is treated as cancellation-prone when it contains a
+// subtraction (or unary negation) reachable through +, *, /, and
+// parentheses. The pass accepts three guard idioms:
+//
+//   - wrapping the radicand in max(0, ...) or math.Max(0, ...),
+//   - passing a local variable that the enclosing function compares
+//     against 0 (e.g. `if r2 < 0 { r2 = 0 }` or an early return),
+//   - calling a function whose own returns are clamped; module-local
+//     callees are analyzed transitively, so cf.RadiusSq — which clamps —
+//     is safe to Sqrt while a hypothetical unclamped variant is not.
+type SqrtClamp struct{}
+
+// Name implements Pass.
+func (SqrtClamp) Name() string { return "sqrtclamp" }
+
+// Doc implements Pass.
+func (SqrtClamp) Doc() string {
+	return "flags math.Sqrt on cancellation-prone (subtraction-derived) radicands lacking a clamp-to-zero guard"
+}
+
+// Run implements Pass.
+func (p SqrtClamp) Run(m *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCallTo(pkg, call, "math.Sqrt") || len(call.Args) != 1 {
+				return true
+			}
+			rc := riskCtx{m: m, pkg: pkg, body: enclosingFuncBody(stack), seen: make(map[*types.Func]bool)}
+			if rc.risky(call.Args[0]) {
+				out = append(out, Diagnostic{
+					Pos:     m.Fset.Position(call.Pos()),
+					Pass:    p.Name(),
+					Message: "math.Sqrt radicand derives from a subtraction and may cancel below 0; clamp to 0 first (NaN poisons all downstream comparisons)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// riskCtx carries the state for one radicand analysis: the package and
+// enclosing function of the Sqrt call plus a recursion guard for callee
+// analysis.
+type riskCtx struct {
+	m    *Module
+	pkg  *Package
+	body *ast.BlockStmt
+	seen map[*types.Func]bool
+}
+
+// risky reports whether e can evaluate to a negative value via
+// cancellation.
+func (rc *riskCtx) risky(e ast.Expr) bool {
+	e = unparen(e)
+	if v := constValue(rc.pkg, e); v != nil {
+		return !isNonNegativeConst(rc.pkg, e)
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return true
+		case token.MUL:
+			// A square x*x is non-negative however x was derived.
+			if types.ExprString(e.X) == types.ExprString(e.Y) {
+				return false
+			}
+			return rc.risky(e.X) || rc.risky(e.Y)
+		case token.ADD, token.QUO:
+			return rc.risky(e.X) || rc.risky(e.Y)
+		default:
+			return false
+		}
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB
+	case *ast.CallExpr:
+		return rc.riskyCall(e)
+	case *ast.Ident:
+		return rc.riskyIdent(e)
+	default:
+		return false
+	}
+}
+
+// riskyCall analyzes a call appearing in a radicand.
+func (rc *riskCtx) riskyCall(call *ast.CallExpr) bool {
+	// max(0, ...) and math.Max(0, ...) are the canonical clamps.
+	if isBuiltin(rc.pkg, call, "max") || isCallTo(rc.pkg, call, "math.Max") {
+		for _, a := range call.Args {
+			if isNonNegativeConst(rc.pkg, a) {
+				return false
+			}
+		}
+		// max of risky values is still risky without a non-negative floor.
+		for _, a := range call.Args {
+			if rc.risky(a) {
+				return true
+			}
+		}
+		return false
+	}
+	if isCallTo(rc.pkg, call, "math.Abs") {
+		return false
+	}
+	fn := calleeFunc(rc.pkg, call)
+	if fn == nil {
+		return false // builtin, conversion, or indirect call: assume safe
+	}
+	return rc.funcReturnsRisky(fn)
+}
+
+// funcReturnsRisky reports whether a module-local function can return a
+// cancellation-prone value. Functions outside the module (stdlib) are
+// assumed safe. Results are memoized on the Module.
+func (rc *riskCtx) funcReturnsRisky(fn *types.Func) bool {
+	if v, ok := rc.m.riskMemo[fn]; ok {
+		return v
+	}
+	fd := rc.m.funcDecls[fn]
+	declPkg := rc.m.declPkg[fn]
+	if fd == nil || fd.Body == nil || declPkg == nil {
+		return false
+	}
+	if rc.seen[fn] {
+		return false // cycle: optimistic
+	}
+	rc.seen[fn] = true
+	defer delete(rc.seen, fn)
+
+	inner := riskCtx{m: rc.m, pkg: declPkg, body: fd.Body, seen: rc.seen}
+	risky := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if risky {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns are not fn's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if isFloat(declPkg.Info.Types[res].Type) && inner.risky(res) {
+				risky = true
+			}
+		}
+		return true
+	})
+	rc.m.riskMemo[fn] = risky
+	return risky
+}
+
+// riskyIdent reports whether a local variable used as a radicand is
+// assigned a cancellation-prone value without any comparison against 0 in
+// the enclosing function.
+func (rc *riskCtx) riskyIdent(id *ast.Ident) bool {
+	obj := objectOf(rc.pkg, id)
+	v, ok := obj.(*types.Var)
+	if !ok || rc.body == nil {
+		return false
+	}
+	assignedRisky := false
+	guarded := false
+	ast.Inspect(rc.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := unparen(lhs).(*ast.Ident)
+				if !ok || objectOf(rc.pkg, lid) != v {
+					continue
+				}
+				if n.Tok == token.SUB_ASSIGN {
+					assignedRisky = true
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) && rc.risky(n.Rhs[i]) {
+					assignedRisky = true
+				}
+			}
+		case *ast.BinaryExpr:
+			// Any comparison of v against the constant 0 counts as a guard:
+			// the surrounding control flow is aware of the sign.
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				xid, xok := unparen(n.X).(*ast.Ident)
+				yid, yok := unparen(n.Y).(*ast.Ident)
+				if xok && objectOf(rc.pkg, xid) == v && isZeroConst(rc.pkg, n.Y) {
+					guarded = true
+				}
+				if yok && objectOf(rc.pkg, yid) == v && isZeroConst(rc.pkg, n.X) {
+					guarded = true
+				}
+			}
+		}
+		return true
+	})
+	return assignedRisky && !guarded
+}
+
+// isZeroConst reports whether e is the constant 0.
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	v := constValue(pkg, e)
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}

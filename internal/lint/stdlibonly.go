@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly flags any import that is neither standard library nor
+// module-internal.
+//
+// The reproduction is deliberately dependency-free: every algorithm the
+// paper needs (CF algebra, tree maintenance, the Phase 3 global
+// clusterings, the experiment harness) is implemented from the standard
+// library alone, so the module builds anywhere a Go toolchain exists and
+// no supply-chain drift can change numeric behavior under us.
+type StdlibOnly struct{}
+
+// Name implements Pass.
+func (StdlibOnly) Name() string { return "stdlibonly" }
+
+// Doc implements Pass.
+func (StdlibOnly) Doc() string {
+	return "flags non-stdlib, non-module imports; the module must stay dependency-free"
+}
+
+// Run implements Pass.
+func (p StdlibOnly) Run(m *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				continue
+			}
+			if path != "C" && isStdlibPath(path) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:     m.Fset.Position(imp.Pos()),
+				Pass:    p.Name(),
+				Message: fmt.Sprintf("import %q is neither standard library nor module-internal; the module is dependency-free by design", path),
+			})
+		}
+	}
+	return out
+}

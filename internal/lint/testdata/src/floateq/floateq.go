@@ -1,0 +1,53 @@
+// Package fixture exercises the floateq pass. Lines marked "flagged"
+// appear in testdata/floateq.golden; everything else must stay silent.
+package fixture
+
+func rawCompare(a, b float64) bool {
+	return a == b // flagged
+}
+
+func rawCompareNegated(a, b float64) bool {
+	return a != b // flagged
+}
+
+func mixedConst(a float64) bool {
+	return a == 0 // flagged: zero sentinel on a float
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // flagged with a math.IsNaN hint
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // flagged
+}
+
+func intsFine(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+func constFold() bool {
+	const a, b = 1.5, 2.5
+	return a == b // ok: both operands are compile-time constants
+}
+
+func approxEqual(a, b float64) bool {
+	return a == b // ok: approved helper (name contains Equal)
+}
+
+func almostEq(a, b float64) bool {
+	return a == b // ok: approved helper (name ends in Eq)
+}
+
+func viaHelper(a, b float64) bool {
+	return approxEqual(a, b) // ok: comparison through the helper
+}
+
+func suppressedTrailing(a, b float64) bool {
+	return a == b //birchlint:ignore floateq fixture demonstrates trailing suppression
+}
+
+func suppressedStandalone(a, b float64) bool {
+	//birchlint:ignore floateq fixture demonstrates standalone suppression
+	return a == b
+}

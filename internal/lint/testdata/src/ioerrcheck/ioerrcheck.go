@@ -1,0 +1,32 @@
+// Package fixture exercises the ioerrcheck pass. Lines marked "flagged"
+// appear in testdata/ioerrcheck.golden; everything else must stay silent.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"birch/internal/pager"
+)
+
+func dropped(p *pager.Pager, bw *bufio.Writer, f *os.File) {
+	p.WriteOutlier(3) // flagged: module-local error dropped
+	bw.Flush()        // flagged: bufio I/O error dropped
+	f.Close()         // flagged: os I/O error dropped
+	f.Sync()          // flagged
+}
+
+func acknowledged(p *pager.Pager, bw *bufio.Writer, f *os.File) error {
+	defer f.Close()                           // ok: deferred close is exempt
+	_ = bw.Flush()                            // ok: explicit blank assignment
+	if err := p.WriteOutlier(3); err != nil { // ok: checked
+		return err
+	}
+	fmt.Println("fmt is out of scope") // ok: not an I/O-bearing package
+	return bw.Flush()                  // ok: propagated
+}
+
+func suppressed(f *os.File) {
+	f.Close() //birchlint:ignore ioerrcheck fixture demonstrates suppression
+}

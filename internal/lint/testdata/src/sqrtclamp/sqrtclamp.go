@@ -1,0 +1,90 @@
+// Package fixture exercises the sqrtclamp pass. Lines marked "flagged"
+// appear in testdata/sqrtclamp.golden; everything else must stay silent.
+package fixture
+
+import "math"
+
+func inlineDifference(ss, n float64) float64 {
+	return math.Sqrt(ss/n - 1) // flagged: bare cancellation-prone radicand
+}
+
+func unclampedLocal(ss, ls, n float64) float64 {
+	r2 := ss/n - ls/(n*n)
+	return math.Sqrt(r2) // flagged: local never compared against 0
+}
+
+func negation(x float64) float64 {
+	return math.Sqrt(-x) // flagged: unary negation
+}
+
+func subAssign(total, x float64) float64 {
+	total -= x
+	return math.Sqrt(total) // flagged: -= makes the local cancellation-prone
+}
+
+func clampedLocal(ss, ls, n float64) float64 {
+	r2 := ss/n - ls/(n*n)
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2) // ok: clamp guard
+}
+
+func earlyReturnGuard(ss, n float64) float64 {
+	d2 := ss/n - 1
+	if d2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(d2) // ok: sign-aware control flow
+}
+
+func maxBuiltin(ss, n float64) float64 {
+	return math.Sqrt(max(0, ss/n-1)) // ok: clamped via max(0, ...)
+}
+
+func mathMax(ss, n float64) float64 {
+	return math.Sqrt(math.Max(0, ss/n-1)) // ok: clamped via math.Max
+}
+
+func squareOfDifference(a, b float64) float64 {
+	d := a - b
+	return math.Sqrt(d * d) // ok: a square is non-negative
+}
+
+func sumOfSquares(xs, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		d := xs[i] - ys[i]
+		s += d * d
+	}
+	return math.Sqrt(s) // ok: accumulates squares only
+}
+
+func unclampedHelper(ss, n float64) float64 {
+	return ss/n - 1
+}
+
+func throughUnclampedCallee(ss, n float64) float64 {
+	return math.Sqrt(unclampedHelper(ss, n)) // flagged: callee returns a raw difference
+}
+
+func clampedHelper(ss, n float64) float64 {
+	v := ss/n - 1
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func throughClampedCallee(ss, n float64) float64 {
+	return math.Sqrt(clampedHelper(ss, n)) // ok: callee clamps before returning
+}
+
+func stdlibCallee(x float64) float64 {
+	return math.Sqrt(math.Abs(x)) // ok: math.Abs is non-negative
+}
+
+func suppressed(ss, n float64) float64 {
+	//birchlint:ignore sqrtclamp fixture demonstrates suppression
+	return math.Sqrt(ss/n - 1)
+}

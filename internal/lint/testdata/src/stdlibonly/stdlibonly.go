@@ -1,0 +1,18 @@
+// Package fixture exercises the stdlibonly pass. Lines marked "flagged"
+// appear in testdata/stdlibonly.golden; everything else must stay silent.
+package fixture
+
+import (
+	"fmt"  // ok: standard library
+	"math" // ok: standard library
+
+	_ "birch/internal/cf" // ok: module-internal
+
+	_ "example.com/some/dep"    // flagged
+	_ "github.com/acme/widget"  // flagged
+	_ "gopkg.in/yaml.v3"        // flagged
+)
+
+func use() {
+	fmt.Println(math.Pi)
+}

@@ -78,10 +78,13 @@ func AdjustedRandIndex(a, b []int) float64 {
 	total := choose2(n)
 	expected := sumA * sumB / total
 	maxIndex := (sumA + sumB) / 2
-	if maxIndex == expected {
-		return 1 // both partitions degenerate (all singletons or all one)
+	// By AM-GM, maxIndex ≥ expected; a non-positive gap means both
+	// partitions are degenerate (all singletons or all one cluster).
+	denom := maxIndex - expected
+	if denom <= 0 {
+		return 1
 	}
-	return (sumBoth - expected) / (maxIndex - expected)
+	return (sumBoth - expected) / denom
 }
 
 // NMI returns the normalized mutual information (arithmetic-mean
@@ -108,11 +111,11 @@ func NMI(a, b []int) float64 {
 		return h
 	}
 	ha, hb := entropy(aCount), entropy(bCount)
-	if ha == 0 && hb == 0 {
+	if ha <= 0 && hb <= 0 {
 		return 1
 	}
 	denom := (ha + hb) / 2
-	if denom == 0 {
+	if denom <= 0 {
 		return 0
 	}
 	v := mi / denom

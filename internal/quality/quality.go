@@ -20,14 +20,14 @@ import (
 func WeightedAvgDiameter(clusters []cf.CF) float64 {
 	var num, den float64
 	for i := range clusters {
-		n := float64(clusters[i].N)
-		if n == 0 {
+		if clusters[i].N == 0 {
 			continue
 		}
+		n := float64(clusters[i].N)
 		num += n * clusters[i].Diameter()
 		den += n
 	}
-	if den == 0 {
+	if den <= 0 {
 		return 0
 	}
 	return num / den
@@ -37,14 +37,14 @@ func WeightedAvgDiameter(clusters []cf.CF) float64 {
 func WeightedAvgRadius(clusters []cf.CF) float64 {
 	var num, den float64
 	for i := range clusters {
-		n := float64(clusters[i].N)
-		if n == 0 {
+		if clusters[i].N == 0 {
 			continue
 		}
+		n := float64(clusters[i].N)
 		num += n * clusters[i].Radius()
 		den += n
 	}
-	if den == 0 {
+	if den <= 0 {
 		return 0
 	}
 	return num / den
@@ -162,11 +162,11 @@ func SizeDeviation(found, truth []cf.CF, m Match) float64 {
 	}
 	var s float64
 	for _, p := range m.Pairs {
-		nt := float64(truth[p.Truth].N)
-		nf := float64(found[p.Found].N)
-		if nt == 0 {
+		if truth[p.Truth].N == 0 {
 			continue
 		}
+		nt := float64(truth[p.Truth].N)
+		nf := float64(found[p.Found].N)
 		s += math.Abs(nf-nt) / nt
 	}
 	return s / float64(len(m.Pairs))

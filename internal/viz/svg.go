@@ -48,10 +48,10 @@ func WriteClustersSVG(w io.Writer, clusters []cf.CF, width, height int) error {
 	if len(cs) == 0 {
 		return errors.New("viz: no non-empty clusters")
 	}
-	if maxX == minX {
+	if maxX-minX <= 0 {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY-minY <= 0 {
 		maxY = minY + 1
 	}
 

@@ -51,10 +51,10 @@ func PlotClusters(w io.Writer, clusters []cf.CF, cols, rows int) error {
 	if len(cs) == 0 {
 		return errors.New("viz: no non-empty clusters")
 	}
-	if maxX == minX {
+	if maxX-minX <= 0 {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY-minY <= 0 {
 		maxY = minY + 1
 	}
 
@@ -91,10 +91,11 @@ func PlotClusters(w io.Writer, clusters []cf.CF, cols, rows int) error {
 		}
 	}
 
+	// bufio errors are sticky; the checked Flush surfaces write failures.
 	bw := bufio.NewWriter(w)
 	for _, row := range grid {
-		bw.Write(row)
-		bw.WriteByte('\n')
+		_, _ = bw.Write(row)
+		_ = bw.WriteByte('\n')
 	}
 	fmt.Fprintf(bw, "[%d clusters; x: %.2f..%.2f, y: %.2f..%.2f]\n",
 		len(cs), minX, maxX, minY, maxY)
@@ -138,10 +139,10 @@ func LineChart(w io.Writer, series []Series, cols, rows int) error {
 	if math.IsInf(minX, 1) {
 		return errors.New("viz: series have no points")
 	}
-	if maxX == minX {
+	if maxX-minX <= 0 {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY-minY <= 0 {
 		maxY = minY + 1
 	}
 
@@ -163,10 +164,11 @@ func LineChart(w io.Writer, series []Series, cols, rows int) error {
 
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%*.4g ┬\n", 10, maxY)
+	// bufio errors are sticky; the checked Flush surfaces write failures.
 	for _, row := range grid {
 		fmt.Fprintf(bw, "%10s │", "")
-		bw.Write(row)
-		bw.WriteByte('\n')
+		_, _ = bw.Write(row)
+		_ = bw.WriteByte('\n')
 	}
 	fmt.Fprintf(bw, "%*.4g └%s\n", 10, minY, repeat('─', cols))
 	fmt.Fprintf(bw, "%11s%-*.4g%*.4g\n", "", cols/2, minX, cols-cols/2, maxX)
@@ -203,7 +205,8 @@ func WritePGM(w io.Writer, pixels []float64, width, height int) error {
 		if v > 255 {
 			v = 255
 		}
-		bw.WriteByte(byte(v))
+		// Sticky bufio error; the checked Flush below surfaces failures.
+		_ = bw.WriteByte(byte(v))
 	}
 	return bw.Flush()
 }

@@ -133,23 +133,24 @@ func writeCF(w io.Writer, c *cf.CF) error {
 	return nil
 }
 
-// readCF parses one CF of dimension d and validates it.
+// readCF parses one CF of dimension d. The components are decoded into
+// locals and assembled through cf.FromComponents, which validates the
+// triple — raw cf.CF field writes outside internal/cf are a birchlint
+// violation (cfmutate).
 func readCF(r io.Reader, dim int) (cf.CF, error) {
-	var c cf.CF
-	if err := binary.Read(r, binary.LittleEndian, &c.N); err != nil {
-		return c, err
+	var n int64
+	var ss float64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return cf.CF{}, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &c.SS); err != nil {
-		return c, err
+	if err := binary.Read(r, binary.LittleEndian, &ss); err != nil {
+		return cf.CF{}, err
 	}
-	c.LS = vec.New(dim)
-	for i := range c.LS {
-		if err := binary.Read(r, binary.LittleEndian, &c.LS[i]); err != nil {
-			return c, err
+	ls := vec.New(dim)
+	for i := range ls {
+		if err := binary.Read(r, binary.LittleEndian, &ls[i]); err != nil {
+			return cf.CF{}, err
 		}
 	}
-	if err := c.Validate(); err != nil {
-		return c, err
-	}
-	return c, nil
+	return cf.FromComponents(n, ls, ss)
 }
