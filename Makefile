@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint test race fuzz-smoke check clean
+.PHONY: all build vet lint test race fuzz-smoke bench bench-smoke check clean
 
 all: build
 
@@ -31,6 +31,19 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzResumeSnapshot -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
+
+# Full benchmark harness: fixed-seed Phase 1 and pipeline workloads,
+# written to BENCH_phase1.json / BENCH_pipeline.json in the repo root.
+# Pass BENCH_BASELINE=<dir> to emit before/after ratios against a saved
+# pair of reports.
+bench:
+	$(GO) run ./cmd/birchbench -out . $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# Reduced-size run for CI: exercises the harness end to end (including
+# its JSON self-validation) without meaningful measurement time. The
+# numbers from shared CI runners are noise; only the exit code matters.
+bench-smoke:
+	$(GO) run ./cmd/birchbench -quick -reps 1 -out $(or $(BENCH_SMOKE_DIR),/tmp/birchbench-smoke)
 
 check: build vet lint test race fuzz-smoke
 

@@ -41,6 +41,19 @@ func FromPoint(p vec.Vector) CF {
 	return CF{N: 1, LS: p.Clone(), SS: p.SqNorm()}
 }
 
+// SetPoint resets c in place to the CF of the single point p, reusing
+// c's LS buffer when the dimension matches. It is the allocation-free
+// counterpart of FromPoint for hot paths that stream points through a
+// scratch CF; the caller retains ownership of p.
+func (c *CF) SetPoint(p vec.Vector) {
+	if len(c.LS) != len(p) {
+		c.LS = vec.New(len(p))
+	}
+	c.N = 1
+	copy(c.LS, p)
+	c.SS = p.SqNorm()
+}
+
 // FromPoints returns the CF summarizing all the given points.
 // It panics if points is empty (use New for an empty CF of known dimension).
 func FromPoints(points []vec.Vector) CF {

@@ -1,0 +1,178 @@
+package cf
+
+import (
+	"math"
+
+	"birch/internal/vec"
+)
+
+// This file provides the metric-specialized distance kernels for the
+// Phase 1 hot path. The closest-entry scan (tree descent and leaf choice,
+// Section 4.2 step 1 "Identifying the appropriate leaf") evaluates the
+// tree's metric against every entry of every node on the root-to-leaf
+// path, so it dominates insertion cost. The generic DistanceSq dispatches
+// on the metric per pair and recomputes the query side's derived terms
+// (centroid components, SS/N) per candidate; a Kernel fixes the metric
+// once at tree construction and a Query hoists the query-side constants
+// once per insertion, leaving only candidate-side work in the inner loop.
+//
+// Exactness contract: for every metric m and non-empty pair (cand, q),
+//
+//	KernelFor(m)(qry bound to q, cand) == DistanceSq(m, cand, q)
+//
+// bit-for-bit. The kernels therefore perform the same floating-point
+// operations in the same order as the generic path — hoisting only whole
+// subexpressions (q.LS[i]/Nq, q.SS/Nq) whose values are unchanged by
+// being computed earlier. kernel_test.go property-checks this for all
+// five metrics, including the cancellation cases the clamp guards exist
+// for, so the specialization cannot drift numerically.
+
+// Kernel computes the squared metric distance between one candidate CF
+// and the query bound into q. Implementations are top-level functions
+// (closure-free): KernelFor resolves the metric switch once, and the
+// per-entry call is a plain indirect call with no captured state.
+type Kernel func(q *Query, cand *CF) float64
+
+// Query holds a copy of a query CF together with its hoisted constant
+// terms. One Query is reused for the lifetime of a tree: Bind recomputes
+// the state in place without allocating. The triple is copied rather
+// than referenced so binding a stack-local CF does not force it to
+// escape to the heap — the zero-allocation contract of the insert path
+// depends on this.
+type Query struct {
+	// ni, ls, ss are the query triple (N as int64, LS copied into an
+	// owned buffer, SS).
+	ni int64
+	ls vec.Vector
+	ss float64
+	// n is float64(N), the conversion hoisted.
+	n float64
+	// ssOverN is SS/N, the query's constant term in D2.
+	ssOverN float64
+	// x0 is the query centroid LS[i]/N, the constant vector in D0, D1
+	// and D4. Each component is the same division the generic path
+	// performs per candidate, done once here.
+	x0 vec.Vector
+}
+
+// NewQuery returns a Query with scratch buffers for dimension dim.
+func NewQuery(dim int) *Query {
+	return &Query{ls: vec.New(dim), x0: vec.New(dim)}
+}
+
+// Bind copies c into the query and refreshes the hoisted terms. c must
+// be non-empty and of the query's dimension. Bind performs no allocation
+// and does not retain c.
+func (q *Query) Bind(c *CF) {
+	if c.N == 0 {
+		panic("cf: binding query to empty CF")
+	}
+	if c.Dim() != len(q.x0) {
+		panic("cf: query dimension mismatch")
+	}
+	q.ni = c.N
+	copy(q.ls, c.LS)
+	q.ss = c.SS
+	q.n = float64(c.N)
+	q.ssOverN = c.SS / q.n
+	for i := range q.x0 {
+		q.x0[i] = c.LS[i] / q.n
+	}
+}
+
+// KernelFor returns the specialized kernel for metric m.
+func KernelFor(m Metric) Kernel {
+	switch m {
+	case D0:
+		return kernelD0
+	case D1:
+		return kernelD1
+	case D2:
+		return kernelD2
+	case D3:
+		return kernelD3
+	case D4:
+		return kernelD4
+	default:
+		panic("cf: invalid metric " + m.String())
+	}
+}
+
+// kernelD0 is DistanceSq(D0, cand, q): squared Euclidean centroid
+// distance. The sqrt-then-square round trip mirrors the generic path
+// exactly — dropping it would change low bits and break bit-equality.
+func kernelD0(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var s float64
+	for i, ls := range cand.LS {
+		d := ls/na - x0[i]
+		s += d * d
+	}
+	d := math.Sqrt(s)
+	return d * d
+}
+
+// kernelD1 is DistanceSq(D1, cand, q): squared Manhattan centroid
+// distance.
+func kernelD1(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var s float64
+	for i, ls := range cand.LS {
+		s += math.Abs(ls/na - x0[i])
+	}
+	return s * s
+}
+
+// kernelD2 is DistanceSq(D2, cand, q): the average inter-cluster squared
+// distance SS1/N1 + SS2/N2 − 2·(LS1·LS2)/(N1·N2), with the query's SS/N
+// hoisted. Cancellation can drive the value slightly negative; clamped
+// to 0 exactly as the generic path does.
+func kernelD2(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	qls := q.ls[:len(cand.LS)] // bounds-check elimination hint
+	var dot float64
+	for i, ls := range cand.LS {
+		dot += ls * qls[i]
+	}
+	v := cand.SS/na + q.ssOverN - 2*dot/(na*q.n)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// kernelD3 is DistanceSq(D3, cand, q): the squared diameter of the merged
+// cluster, computed from the triples without materializing the merge.
+func kernelD3(q *Query, cand *CF) float64 {
+	n := float64(cand.N + q.ni)
+	if n < 2 {
+		return 0
+	}
+	ss := cand.SS + q.ss
+	qls := q.ls[:len(cand.LS)] // bounds-check elimination hint
+	var lsSq float64
+	for i, ls := range cand.LS {
+		s := ls + qls[i]
+		lsSq += s * s
+	}
+	d2 := (2*n*ss - 2*lsSq) / (n * (n - 1))
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// kernelD4 is DistanceSq(D4, cand, q): the variance increase in Ward
+// form (N1·N2/(N1+N2))·‖X01 − X02‖², with the query centroid hoisted.
+func kernelD4(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var cdistSq float64
+	for i, ls := range cand.LS {
+		d := ls/na - x0[i]
+		cdistSq += d * d
+	}
+	return na * q.n / (na + q.n) * cdistSq
+}

@@ -1,0 +1,151 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// randCF builds a valid CF by folding n random points around a center of
+// the given magnitude, so Cauchy–Schwarz holds by construction and large
+// magnitudes exercise the cancellation regime the clamps guard.
+func randCF(r *rand.Rand, dim, n int, magnitude float64) CF {
+	c := New(dim)
+	center := vec.New(dim)
+	for d := range center {
+		center[d] = (r.Float64() - 0.5) * 2 * magnitude
+	}
+	p := vec.New(dim)
+	for i := 0; i < n; i++ {
+		for d := range p {
+			p[d] = center[d] + r.NormFloat64()
+		}
+		c.AddPoint(p)
+	}
+	return c
+}
+
+// kernelCasePairs yields CF pairs covering the regimes that matter:
+// generic random pairs, singletons, identical and near-identical pairs
+// (where SS/N − ‖X0‖²-shaped terms cancel catastrophically), and
+// far-offset large-magnitude pairs.
+func kernelCasePairs(r *rand.Rand, dim int) []([2]CF) {
+	var pairs [][2]CF
+	for trial := 0; trial < 60; trial++ {
+		a := randCF(r, dim, 1+r.Intn(50), 10)
+		b := randCF(r, dim, 1+r.Intn(50), 10)
+		pairs = append(pairs, [2]CF{a, b})
+	}
+	// Singletons against clusters and against each other.
+	s1 := randCF(r, dim, 1, 5)
+	s2 := randCF(r, dim, 1, 5)
+	pairs = append(pairs, [2]CF{s1, s2}, [2]CF{s1, randCF(r, dim, 30, 5)})
+	// Identical pair: every centroid difference cancels exactly.
+	same := randCF(r, dim, 25, 1000)
+	pairs = append(pairs, [2]CF{same, same.Clone()})
+	// Near-identical at large magnitude: the D2 radicand goes slightly
+	// negative from cancellation — the clamp-to-zero case.
+	near := same.Clone()
+	bump := vec.New(dim)
+	bump[0] = 1e-9
+	near.AddPoint(vec.Add(same.Centroid(), bump))
+	pairs = append(pairs, [2]CF{same, near})
+	// Large offsets: dominated terms lose low bits.
+	pairs = append(pairs, [2]CF{randCF(r, dim, 40, 1e8), randCF(r, dim, 40, 1e8)})
+	return pairs
+}
+
+// TestKernelMatchesDistanceSqBitwise is the equivalence property of the
+// specialized kernels: for every metric, the kernel value is bit-identical
+// to the generic DistanceSq on the same operands, so swapping the hot
+// path cannot drift numerically. Comparisons use Float64bits so that the
+// assertion itself is exact (and -0 vs +0 or NaN drift would be caught).
+func TestKernelMatchesDistanceSqBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		kernel := KernelFor(m)
+		for _, dim := range []int{1, 2, 3, 8, 17, 64} {
+			q := NewQuery(dim)
+			for ci, pair := range kernelCasePairs(r, dim) {
+				cand, query := pair[0], pair[1]
+				q.Bind(&query)
+				got := kernel(q, &cand)
+				want := DistanceSq(m, &cand, &query)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%v dim=%d case=%d: kernel %v (bits %x) != generic %v (bits %x)",
+						m, dim, ci, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestKernelClosestIndexMatchesGeneric checks the full scan contract the
+// tree relies on: over a slate of candidates, the kernel scan picks the
+// same index as a generic DistanceSq scan, ties resolving to the lowest
+// index in both.
+func TestKernelClosestIndexMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	const dim = 4
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		kernel := KernelFor(m)
+		q := NewQuery(dim)
+		for trial := 0; trial < 50; trial++ {
+			cands := make([]CF, 1+r.Intn(12))
+			for i := range cands {
+				cands[i] = randCF(r, dim, 1+r.Intn(20), 8)
+			}
+			// Duplicate an entry occasionally to force exact ties.
+			if len(cands) > 2 {
+				cands[len(cands)-1] = cands[0].Clone()
+			}
+			query := randCF(r, dim, 1+r.Intn(20), 8)
+			q.Bind(&query)
+
+			kBest, kD := 0, kernel(q, &cands[0])
+			gBest, gD := 0, DistanceSq(m, &cands[0], &query)
+			for i := 1; i < len(cands); i++ {
+				if d := kernel(q, &cands[i]); d < kD {
+					kBest, kD = i, d
+				}
+				if d := DistanceSq(m, &cands[i], &query); d < gD {
+					gBest, gD = i, d
+				}
+			}
+			if kBest != gBest {
+				t.Fatalf("%v trial=%d: kernel picked %d, generic picked %d", m, trial, kBest, gBest)
+			}
+		}
+	}
+}
+
+// TestQueryBindValidation pins the Bind preconditions.
+func TestQueryBindValidation(t *testing.T) {
+	q := NewQuery(2)
+	empty := New(2)
+	mustPanic(t, "empty CF", func() { q.Bind(&empty) })
+	wrongDim := FromPoint(vec.Of(1, 2, 3))
+	mustPanic(t, "dimension mismatch", func() { q.Bind(&wrongDim) })
+}
+
+// TestKernelForValidation pins the metric switch.
+func TestKernelForValidation(t *testing.T) {
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		if KernelFor(m) == nil {
+			t.Fatalf("KernelFor(%v) = nil", m)
+		}
+	}
+	mustPanic(t, "invalid metric", func() { KernelFor(Metric(99)) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,91 @@
+package cftree
+
+import (
+	"math/rand"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// TestInsertAbsorbAllocs is the allocation-regression gate for the
+// Phase 1 hot path: once a tree has converged (every incoming point is
+// absorbed by an existing leaf entry), Tree.Insert must not touch the
+// heap at all — no query clone, no path slice, no centroid scratch.
+// Future changes that reintroduce per-point garbage fail here.
+func TestInsertAbsorbAllocs(t *testing.T) {
+	// D3 is exercised by the append bound below instead: its closest-
+	// entry criterion is the merged diameter, which routes by subtree
+	// spread rather than proximity, so a duplicate point does not
+	// reliably reach the leaf that could absorb it and the workload
+	// never settles into the pure-absorb steady state. The insert code
+	// path is metric-independent; the absorb assertion here covers it.
+	for _, m := range []cf.Metric{cf.D0, cf.D1, cf.D2, cf.D4} {
+		p := defaultParams()
+		p.Metric = m
+		p.Threshold = 100 // everything near the seeded centers absorbs
+		tr := mustTree(t, p)
+
+		// Seed well-separated entries to force tree height past 1 so the
+		// descent path is exercised.
+		for i := 0; i < 64; i++ {
+			insertPoint(tr, float64(i%8)*1000, float64(i/8)*1000)
+		}
+		if tr.Height() < 2 {
+			t.Fatalf("metric %v: warm-up tree too shallow (height %d)", m, tr.Height())
+		}
+
+		// Routing through nonleaf summaries is approximate, so a fresh
+		// duplicate can land in a leaf without its twin and legitimately
+		// append. Streaming one fixed point until the leaf count settles
+		// guarantees the measured loop below is pure absorbs.
+		scratch := cf.New(2)
+		pt := vec.Of(3000, 4000)
+		for i := 0; i < 200; i++ {
+			scratch.SetPoint(pt)
+			tr.Insert(scratch)
+		}
+
+		leavesBefore := tr.LeafEntries()
+		allocs := testing.AllocsPerRun(500, func() {
+			scratch.SetPoint(pt)
+			tr.Insert(scratch)
+		})
+		// The premise must hold for the assertion to mean anything:
+		// every measured insert was an absorb, not an append.
+		if got := tr.LeafEntries(); got != leavesBefore {
+			t.Fatalf("metric %v: leaf entries grew %d -> %d; measured inserts were not absorbs", m, leavesBefore, got)
+		}
+		if allocs > 0 {
+			t.Fatalf("metric %v: absorb path allocates %.1f allocs/op, want 0", m, allocs)
+		}
+	}
+}
+
+// TestInsertAppendAllocsBounded bounds the append/split path: a point
+// that opens a new leaf entry may clone its CF and occasionally split a
+// node, but the amortized cost must stay a small constant, not grow with
+// tree size or dimensionality.
+func TestInsertAppendAllocsBounded(t *testing.T) {
+	p := defaultParams()
+	p.Threshold = 0 // only duplicates merge: every insert appends
+	tr := mustTree(t, p)
+
+	r := rand.New(rand.NewSource(7))
+	scratch := cf.New(2)
+	pt := vec.New(2)
+	allocs := testing.AllocsPerRun(2000, func() {
+		pt[0] = r.Float64() * 1e6
+		pt[1] = r.Float64() * 1e6
+		scratch.SetPoint(pt)
+		tr.Insert(scratch)
+	})
+	// One CF clone per append plus amortized split machinery. The bound
+	// is deliberately loose enough to survive splitter tweaks but tight
+	// enough to catch accidental per-point garbage (pre-optimization this
+	// path sat at ~4 allocs/op and the absorb path at ~2).
+	const maxAllocs = 4
+	if allocs > maxAllocs {
+		t.Fatalf("append path allocates %.2f allocs/op, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -68,6 +68,16 @@ type Tree struct {
 	nodes       int
 	leafEntries int
 	points      int64 // total N folded into the tree
+
+	// kernel is the metric-specialized distance kernel, resolved once at
+	// construction instead of switching on the metric per candidate pair.
+	kernel cf.Kernel
+	// query carries the incoming entry's hoisted constant terms during
+	// an insertion's closest-entry scans. Reused across insertions.
+	query *cf.Query
+	// path is the descent-path scratch reused across insertions so the
+	// absorb path allocates nothing.
+	path []pathStep
 }
 
 // New creates an empty CF tree whose pages are charged to pgr.
@@ -78,7 +88,12 @@ func New(params Params, pgr *pager.Pager) (*Tree, error) {
 	if pgr == nil {
 		return nil, errors.New("cftree: nil pager")
 	}
-	t := &Tree{params: params, pgr: pgr}
+	t := &Tree{
+		params: params,
+		pgr:    pgr,
+		kernel: cf.KernelFor(params.Metric),
+		query:  cf.NewQuery(params.Dim),
+	}
 	t.root = t.newNode(true, params.LeafCap+1)
 	t.leafHead, t.leafTail = t.root, t.root
 	t.height = 1
@@ -142,19 +157,23 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 	}
 
 	// Phase A: descend to the leaf along the closest-child path,
-	// recording the path so CFs can be updated after the decision.
-	path := make([]pathStep, 0, t.height)
+	// recording the path so CFs can be updated after the decision. The
+	// query constants are bound once here; ent is not mutated until
+	// Phase C, after the last scan.
+	t.query.Bind(&ent)
+	path := t.path[:0]
 	n := t.root
 	for !n.leaf {
-		idx := t.closestEntry(n, &ent)
+		idx := t.closestEntry(n)
 		path = append(path, pathStep{n, idx})
 		n = n.entries[idx].Child
 	}
+	t.path = path // retain grown capacity for the next insertion
 
 	// Phase B: decide at the leaf.
 	absorbIdx := -1
 	if len(n.entries) > 0 {
-		idx := t.closestEntry(n, &ent)
+		idx := t.closestEntry(n)
 		if cf.MergedSatisfiesThreshold(&n.entries[idx].CF, &ent,
 			t.params.ThresholdKind, t.params.Threshold) {
 			absorbIdx = idx
@@ -187,12 +206,15 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 	return nil
 }
 
-// closestEntry returns the index of the entry of n nearest to ent under
-// the tree's metric. n must be non-empty.
-func (t *Tree) closestEntry(n *Node, ent *cf.CF) int {
-	best, bestD := 0, cf.DistanceSq(t.params.Metric, &n.entries[0].CF, ent)
+// closestEntry returns the index of the entry of n nearest to the bound
+// query under the tree's metric, in one pass with the specialized kernel.
+// n must be non-empty and t.query bound. The kernel is bit-identical to
+// cf.DistanceSq and ties keep the lowest index, so the choice matches the
+// generic scan exactly.
+func (t *Tree) closestEntry(n *Node) int {
+	best, bestD := 0, t.kernel(t.query, &n.entries[0].CF)
 	for i := 1; i < len(n.entries); i++ {
-		d := cf.DistanceSq(t.params.Metric, &n.entries[i].CF, ent)
+		d := t.kernel(t.query, &n.entries[i].CF)
 		if d < bestD {
 			best, bestD = i, d
 		}

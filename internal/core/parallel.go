@@ -18,9 +18,20 @@ import (
 // The input is sharded across `workers` goroutines. Each worker runs an
 // independent Phase 1 over its shard with a proportional slice of the
 // memory budget, producing a set of leaf-entry CF summaries. Because CFs
-// add, the shard summaries are then streamed into one merge tree (a
-// second, cheap Phase 1 whose "points" are subclusters), and Phases 2–4
-// proceed unchanged on the merged tree.
+// add, shard summaries can be combined by feeding them through a second,
+// cheap Phase 1 whose "points" are subclusters.
+//
+// The combine step is a pairwise tree reduction rather than one
+// sequential merge engine: at each round, adjacent summary pairs merge
+// concurrently (an odd summary passes through), halving the summary
+// count, so the reduction finishes in ⌈log₂ workers⌉ rounds and the
+// final engine consumes only the last pair. A single merge engine would
+// re-insert every shard's summaries sequentially into one ever-growing
+// tree — an Amdahl bottleneck that caps speedup no matter how many
+// shards run concurrently. Each reduction engine starts from the larger
+// of its pair's final thresholds, so incoming summaries absorb rather
+// than explode the tree; Phases 2–4 then proceed unchanged on the merged
+// tree.
 //
 // The result is not bit-identical to the sequential run — subcluster
 // boundaries depend on insertion grouping — but the paper's own
@@ -54,7 +65,7 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 	shardCfg.Phase2 = false
 
 	type shardOut struct {
-		cfs   []cf.CF
+		sum   shardSummary
 		stats Phase1Stats
 		err   error
 	}
@@ -79,60 +90,158 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 				}
 			}
 			outs[w].stats = eng.FinishPhase1()
-			outs[w].cfs = eng.Tree().LeafCFs()
+			outs[w].sum = shardSummary{
+				cfs:       eng.Tree().LeafCFs(),
+				threshold: outs[w].stats.FinalThreshold,
+			}
 		}(w, points[lo:hi])
 	}
 	wg.Wait()
 
-	// Merge: feed every shard's subcluster summaries into one engine.
-	// The merge tree reuses the shard threshold landscape implicitly —
-	// each incoming CF already satisfies its shard's final threshold, and
-	// the merge engine escalates from the largest of them so summaries
-	// absorb rather than explode the tree.
-	mergeCfg := cfg
-	var maxT float64
-	var spills, discards int64
+	// Collect shard results. truePoints sums the shards' scanned inputs —
+	// the reduction engines below re-feed the same underlying points as
+	// summaries, so their own scanned counters multi-count and must not
+	// leak into the reported stats.
+	sums := make([]shardSummary, 0, workers)
+	var truePoints, spills, discards int64
 	rebuilds := 0
 	for w := range outs {
 		if outs[w].err != nil {
 			return nil, fmt.Errorf("core: parallel shard %d: %w", w, outs[w].err)
 		}
-		if t := outs[w].stats.FinalThreshold; t > maxT {
-			maxT = t
-		}
+		truePoints += outs[w].stats.Points
 		spills += outs[w].stats.OutlierSpills
 		discards += outs[w].stats.OutliersFinal
 		rebuilds += outs[w].stats.Rebuilds
-	}
-	if maxT > mergeCfg.InitialThreshold {
-		mergeCfg.InitialThreshold = maxT
+		sums = append(sums, outs[w].sum)
 	}
 
+	// Pairwise reduction rounds: halve the summary list until at most two
+	// summaries remain for the final engine.
+	for len(sums) > 2 {
+		pairs := len(sums) / 2
+		next := make([]shardSummary, pairs, pairs+1)
+		// Reduction engines at this round run concurrently, so they split
+		// the memory budget the same way the shards did.
+		mem := cfg.Memory / pairs
+		if mem < cfg.PageSize {
+			mem = cfg.PageSize
+		}
+		errs := make([]error, pairs)
+		stats := make([]Phase1Stats, pairs)
+		var rwg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			rwg.Add(1)
+			go func(i int) {
+				defer rwg.Done()
+				next[i], stats[i], errs[i] = mergeShardPair(cfg, sums[2*i], sums[2*i+1], mem)
+			}(i)
+		}
+		rwg.Wait()
+		for i := 0; i < pairs; i++ {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("core: parallel reduction: %w", errs[i])
+			}
+			rebuilds += stats[i].Rebuilds
+		}
+		if len(sums)%2 == 1 {
+			next = append(next, sums[len(sums)-1])
+		}
+		sums = next
+	}
+
+	// Final merge: the last pair (or single summary) feeds the engine
+	// that carries the tree into Phases 2–4 under the caller's full
+	// configuration and memory budget.
+	mergeCfg := cfg
+	for _, s := range sums {
+		if s.threshold > mergeCfg.InitialThreshold {
+			mergeCfg.InitialThreshold = s.threshold
+		}
+	}
 	eng, err := NewEngine(mergeCfg)
 	if err != nil {
 		return nil, err
 	}
 	var merged int64
-	for w := range outs {
-		for i := range outs[w].cfs {
-			if err := eng.AddCF(outs[w].cfs[i]); err != nil {
-				return nil, fmt.Errorf("core: parallel merge: %w", err)
-			}
-			merged += outs[w].cfs[i].N
+	for _, s := range sums {
+		for i := range s.cfs {
+			merged += s.cfs[i].N
 		}
 	}
 	eng.SetExpectedN(merged)
+	for _, s := range sums {
+		for i := range s.cfs {
+			if err := eng.AddCF(s.cfs[i]); err != nil {
+				return nil, fmt.Errorf("core: parallel merge: %w", err)
+			}
+		}
+	}
 
 	res, err := Finish(eng, points)
 	if err != nil {
 		return nil, err
 	}
-	// Surface the aggregate shard work in the Phase 1 stats: rebuilds and
-	// spills are summed across shards plus the merge engine's own.
+	// Surface the aggregate shard and reduction work in the Phase 1
+	// stats, and report the true number of input points scanned: the
+	// final engine's own counter saw condensed summaries, not the data.
 	res.Stats.Phase1.Rebuilds += rebuilds
 	res.Stats.Phase1.OutlierSpills += spills
 	res.Stats.Phase1.OutliersFinal += discards
-	res.Stats.Phase1.Points = int64(len(points))
+	res.Stats.Phase1.Points = truePoints
 	res.Stats.Total = time.Since(total)
 	return res, nil
+}
+
+// shardSummary is one reduction operand: the leaf-entry CFs of a shard
+// (or of an already-merged group of shards) plus the final threshold its
+// tree satisfied.
+type shardSummary struct {
+	cfs       []cf.CF
+	threshold float64
+}
+
+// mergeShardPair combines two summaries through a small Phase 1 engine.
+// The engine starts from the larger of the pair's thresholds (every
+// incoming CF already satisfies its own shard's threshold, so starting
+// lower would only force immediate escalations) and runs with outlier
+// handling off: a reduction step must never discard data, since later
+// rounds and Phase 4 still expect to see every point's mass.
+func mergeShardPair(cfg Config, a, b shardSummary, memory int) (shardSummary, Phase1Stats, error) {
+	mcfg := cfg
+	mcfg.Memory = memory
+	mcfg.Refine = false
+	mcfg.Phase2 = false
+	mcfg.OutlierHandling = false
+	mcfg.DelaySplit = false
+	if a.threshold > mcfg.InitialThreshold {
+		mcfg.InitialThreshold = a.threshold
+	}
+	if b.threshold > mcfg.InitialThreshold {
+		mcfg.InitialThreshold = b.threshold
+	}
+
+	eng, err := NewEngine(mcfg)
+	if err != nil {
+		return shardSummary{}, Phase1Stats{}, err
+	}
+	var n int64
+	for _, s := range [2]shardSummary{a, b} {
+		for i := range s.cfs {
+			n += s.cfs[i].N
+		}
+	}
+	eng.SetExpectedN(n)
+	for _, s := range [2]shardSummary{a, b} {
+		for i := range s.cfs {
+			if err := eng.AddCF(s.cfs[i]); err != nil {
+				return shardSummary{}, Phase1Stats{}, err
+			}
+		}
+	}
+	stats := eng.FinishPhase1()
+	return shardSummary{
+		cfs:       eng.Tree().LeafCFs(),
+		threshold: stats.FinalThreshold,
+	}, stats, nil
 }

@@ -22,8 +22,13 @@ type Engine struct {
 
 	// outlierBuf mirrors the contents of the simulated outlier disk: both
 	// potential outliers extracted during rebuilds and, with delay-split
-	// on, points spilled to postpone a rebuild.
+	// on, points spilled to postpone a rebuild. Entries are owned by the
+	// buffer (spill sites clone), never aliases of caller memory.
 	outlierBuf []cf.CF
+
+	// scratch is the reusable query CF that Add streams each point
+	// through, so the absorb path performs no heap allocation.
+	scratch cf.CF
 
 	scanned   int64 // points fed through Add / AddCF
 	spills    int64
@@ -69,6 +74,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		pgr:     pgr,
 		tree:    tree,
 		est:     thresholdEstimator{dim: cfg.Dim},
+		scratch: cf.New(cfg.Dim),
 		started: time.Now(),
 	}, nil
 }
@@ -84,14 +90,21 @@ func (e *Engine) Pager() *pager.Pager { return e.pgr }
 // Tree exposes the current CF tree (read-only use).
 func (e *Engine) Tree() *cftree.Tree { return e.tree }
 
-// Add streams one data point into Phase 1.
+// Add streams one data point into Phase 1. The point is staged through
+// the engine's scratch CF, so the absorb path — the steady state of a
+// converged tree — performs zero heap allocations.
 func (e *Engine) Add(p vec.Vector) error {
-	return e.AddCF(cf.FromPoint(p))
+	if len(p) != e.cfg.Dim {
+		return fmt.Errorf("core: point dimension %d, config dimension %d", len(p), e.cfg.Dim)
+	}
+	e.scratch.SetPoint(p)
+	return e.AddCF(e.scratch)
 }
 
 // AddCF streams one pre-summarized subcluster into Phase 1. (Phase 1
 // itself only ever feeds single points, but re-clustering an existing
-// summary — e.g. merging two BIRCH runs — uses the same path.)
+// summary — e.g. merging two BIRCH runs — uses the same path.) The
+// engine does not retain ent; paths that must keep it clone it first.
 func (e *Engine) AddCF(ent cf.CF) error {
 	if e.finished {
 		return fmt.Errorf("core: AddCF after FinishPhase1")
@@ -111,7 +124,9 @@ func (e *Engine) AddCF(ent cf.CF) error {
 				return nil
 			}
 			if err := e.pgr.WriteOutlier(e.cfg.Dim); err == nil {
-				e.outlierBuf = append(e.outlierBuf, ent)
+				// Clone: ent may alias the Add scratch buffer, and the
+				// spill outlives this call.
+				e.outlierBuf = append(e.outlierBuf, ent.Clone())
 				e.spills++
 				return nil
 			}

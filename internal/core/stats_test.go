@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPhase1StatsPointsSequential pins Phase1Stats.Points to the true
+// number of input points on the sequential path, including when some of
+// them end up discarded as outliers.
+func TestPhase1StatsPointsSequential(t *testing.T) {
+	pts, _ := gaussianBlobs(31, 6, 500, 30, 1)
+	cfg := DefaultConfig(2, 6)
+	cfg.Memory = 16 * 1024 // force rebuilds and outlier traffic
+	res, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Phase1.Points; got != int64(len(pts)) {
+		t.Fatalf("sequential Phase1.Points = %d, want %d", got, len(pts))
+	}
+}
+
+// TestPhase1StatsPointsParallel pins the same invariant on the parallel
+// path, where the reduction engines re-feed shard summaries whose own
+// scanned counters multi-count the underlying data: the reported Points
+// must still be the true input count, derived from the shards' scans,
+// for any worker count (including ones that leave an odd summary per
+// reduction round).
+func TestPhase1StatsPointsParallel(t *testing.T) {
+	pts, _ := gaussianBlobs(32, 6, 500, 30, 1)
+	for _, workers := range []int{2, 3, 5, 8} {
+		cfg := DefaultConfig(2, 6)
+		cfg.Memory = 64 * 1024
+		res, err := RunParallel(pts, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := res.Stats.Phase1.Points; got != int64(len(pts)) {
+			t.Fatalf("workers=%d: Phase1.Points = %d, want %d", workers, got, len(pts))
+		}
+	}
+}
+
+// TestRunParallelManyWorkersQuality exercises the pairwise reduction at a
+// depth of three rounds (8 shards) and checks the clustering still
+// recovers the planted structure — the reduction must lose neither mass
+// nor geometry.
+func TestRunParallelManyWorkersQuality(t *testing.T) {
+	pts, _ := gaussianBlobs(33, 8, 400, 30, 1)
+	cfg := DefaultConfig(2, 8)
+	res, err := RunParallel(pts, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 8 {
+		t.Fatalf("clusters = %d, want 8", len(res.Clusters))
+	}
+	var mass int64
+	for i := range res.Clusters {
+		mass += res.Clusters[i].N
+	}
+	if mass+res.Outliers != int64(len(pts)) {
+		t.Fatalf("mass %d + outliers %d != %d points", mass, res.Outliers, len(pts))
+	}
+}
