@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint test race fuzz-smoke bench bench-smoke check clean
+.PHONY: all build vet lint test test-stream race fuzz-smoke bench bench-smoke check clean
 
 all: build
 
@@ -23,7 +23,12 @@ lint:
 test:
 	$(GO) test ./...
 
-race:
+# Focused race-detector run of the concurrent streaming engine's proof
+# battery (stress, shutdown, differential, snapshot-immutability tests).
+test-stream:
+	$(GO) test -race ./internal/stream/...
+
+race: test-stream
 	$(GO) test -race ./...
 
 # Short fuzz burst over every fuzz target; catches codec and tree
@@ -31,6 +36,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzResumeSnapshot -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
+	$(GO) test -run '^$$' -fuzz FuzzStreamInsertClose -fuzztime $(FUZZTIME) ./internal/stream
 
 # Full benchmark harness: fixed-seed Phase 1 and pipeline workloads,
 # written to BENCH_phase1.json / BENCH_pipeline.json in the repo root.

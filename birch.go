@@ -25,6 +25,25 @@
 //	}
 //	res, _ := c.Finish()
 //
+// # Concurrent streaming
+//
+// NewStreamClusterer returns an always-on, thread-safe engine: any number
+// of goroutines insert concurrently (points fan out to sharded CF trees,
+// merged losslessly by CF additivity), while readers classify against an
+// atomically-published snapshot without taking a lock.
+//
+//	s, _ := birch.NewStreamClusterer(cfg, birch.StreamOptions{
+//	    Shards:          4,
+//	    CompactInterval: time.Second, // republish clusters every second
+//	})
+//	go func() { // any number of writers
+//	    for p := range source {
+//	        s.Insert(ctx, p)
+//	    }
+//	}()
+//	cluster, dist, ok := s.Classify(query) // lock-free, any goroutine
+//	defer s.Close()
+//
 // The defaults reproduce the paper's Table 2 settings (80 KB of tree
 // memory, 1024-byte pages, D2 metric, diameter threshold starting at 0,
 // outlier handling and delay-split on, agglomerative hierarchical
@@ -36,6 +55,7 @@ import (
 
 	"birch/internal/cf"
 	"birch/internal/core"
+	"birch/internal/stream"
 	"birch/internal/vec"
 )
 
@@ -219,4 +239,55 @@ func (c *Clusterer) Finish() (*Result, error) {
 	res, err := core.Finish(c.eng, c.points)
 	c.points = nil
 	return res, err
+}
+
+// StreamClusterer is the concurrent streaming engine: a thread-safe,
+// always-on BIRCH front end. Writers fan points out to sharded CF trees
+// through batched mailboxes with backpressure; the shard summaries merge
+// losslessly by CF additivity into snapshots that readers query lock-free.
+// See NewStreamClusterer and the package-level "Concurrent streaming"
+// example.
+//
+// Method overview (all safe for concurrent use):
+//
+//   - Insert / InsertBatch stream points in, blocking only on
+//     backpressure (cancellable via context).
+//   - Classify / Centroids / Snapshot serve reads from the current
+//     immutable snapshot with a single atomic load — no locks, safe on
+//     any goroutine at any rate, valid even after Close.
+//   - Flush drains all pending inserts and publishes a fresh snapshot.
+//   - Stats reports per-shard depth/leaf/outlier/page-I/O gauges.
+//   - Close drains, publishes a final snapshot, and stops the engine.
+type StreamClusterer = stream.Engine
+
+// StreamOptions tunes the concurrency shape of a StreamClusterer: shard
+// count, per-shard mailbox depth, and the background compaction interval.
+// The zero value is usable; see the field documentation.
+type StreamOptions = stream.Options
+
+// StreamSnapshot is an immutable published clustering: merged subcluster
+// CFs, global clusters, centroids, and per-shard statistics. Snapshots
+// stay valid (and consistent) forever once obtained.
+type StreamSnapshot = stream.Snapshot
+
+// StreamShardStats is the per-shard gauge set of a StreamClusterer.
+type StreamShardStats = stream.ShardStats
+
+// StreamEngineStats is the engine-wide gauge set of a StreamClusterer.
+// (StreamStats, the older name, describes the single-goroutine
+// Clusterer's Phase 1 state instead.)
+type StreamEngineStats = stream.Stats
+
+// ErrStreamClosed is returned by StreamClusterer operations after Close.
+var ErrStreamClosed = stream.ErrClosed
+
+// NewStreamClusterer creates and starts a concurrent streaming engine.
+// Unlike New (one goroutine, explicit Finish), the returned engine serves
+// inserts and classification queries concurrently for its whole lifetime;
+// there is no terminal Finish, only snapshots that improve as data
+// arrives. Phase 4 refinement never runs on this path (it would require
+// re-scanning an unbounded stream), and shard trees never discard
+// outliers — every accepted point's mass is present in every snapshot.
+func NewStreamClusterer(cfg Config, opts StreamOptions) (*StreamClusterer, error) {
+	return stream.New(cfg, opts)
 }

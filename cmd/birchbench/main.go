@@ -71,6 +71,17 @@ type Workload struct {
 	Workers      int     `json:"workers,omitempty"`
 	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
 	Clusters     int     `json:"clusters,omitempty"`
+
+	// Concurrent-ingest (BENCH_stream.json) fields: wall-clock ingest
+	// throughput across all writers, sampled single-insert latency
+	// percentiles, concurrent classify readers served during ingest, and
+	// the stream engine's throughput ratio over the mutex-wrapped
+	// baseline at the same writer count.
+	Readers        int     `json:"readers,omitempty"`
+	PointsPerSec   float64 `json:"points_per_sec,omitempty"`
+	P50InsertNs    float64 `json:"p50_insert_ns,omitempty"`
+	P99InsertNs    float64 `json:"p99_insert_ns,omitempty"`
+	SpeedupVsMutex float64 `json:"speedup_vs_mutex,omitempty"`
 }
 
 // Comparison is the per-workload baseline-vs-current delta.
@@ -91,6 +102,7 @@ type Report struct {
 const (
 	phase1File   = "BENCH_phase1.json"
 	pipelineFile = "BENCH_pipeline.json"
+	// streamFile (BENCH_stream.json) is declared in stream.go.
 )
 
 func main() {
@@ -116,6 +128,7 @@ func main() {
 
 	phase1 := runPhase1Workloads(*quick, *reps)
 	pipeline := runPipelineWorkloads(*quick, *reps, *workers)
+	streamed := runStreamWorkloads(*quick, *reps)
 
 	if err := writeReport(filepath.Join(*outDir, phase1File), meta, phase1, *baseDir); err != nil {
 		fatal(err)
@@ -123,11 +136,14 @@ func main() {
 	if err := writeReport(filepath.Join(*outDir, pipelineFile), meta, pipeline, *baseDir); err != nil {
 		fatal(err)
 	}
+	if err := writeReport(filepath.Join(*outDir, streamFile), meta, streamed, *baseDir); err != nil {
+		fatal(err)
+	}
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline workloads -> %s\n",
-		len(phase1), len(pipeline), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), *outDir)
 }
 
 func fatal(err error) {
@@ -397,12 +413,17 @@ func verify(dir string, quick bool) error {
 	for _, spec := range phase1Specs(quick) {
 		wantPhase1 = append(wantPhase1, spec.Name)
 	}
+	wantStream := make([]string, 0, 4)
+	for _, spec := range streamSpecs() {
+		wantStream = append(wantStream, spec.Name)
+	}
 	checks := []struct {
 		file string
 		want []string
 	}{
 		{phase1File, wantPhase1},
 		{pipelineFile, []string{"pipeline_seq_ds1"}},
+		{streamFile, wantStream},
 	}
 	for _, c := range checks {
 		rep, err := readReport(filepath.Join(dir, c.file))
@@ -413,6 +434,12 @@ func verify(dir string, quick bool) error {
 			w, ok := rep.Workloads[key]
 			if !ok {
 				return fmt.Errorf("%s: missing workload %q", c.file, key)
+			}
+			if c.file == streamFile {
+				if w.PointsPerSec <= 0 || w.P99InsertNs <= 0 {
+					return fmt.Errorf("%s: workload %q has degenerate measurements", c.file, key)
+				}
+				continue
 			}
 			if w.NsPerPoint <= 0 || w.Points <= 0 {
 				return fmt.Errorf("%s: workload %q has degenerate measurements", c.file, key)

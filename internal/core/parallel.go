@@ -65,7 +65,7 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 	shardCfg.Phase2 = false
 
 	type shardOut struct {
-		sum   shardSummary
+		sum   Summary
 		stats Phase1Stats
 		err   error
 	}
@@ -90,9 +90,9 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 				}
 			}
 			outs[w].stats = eng.FinishPhase1()
-			outs[w].sum = shardSummary{
-				cfs:       eng.Tree().LeafCFs(),
-				threshold: outs[w].stats.FinalThreshold,
+			outs[w].sum = Summary{
+				CFs:       eng.Tree().LeafCFs(),
+				Threshold: outs[w].stats.FinalThreshold,
 			}
 		}(w, points[lo:hi])
 	}
@@ -102,7 +102,7 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 	// the reduction engines below re-feed the same underlying points as
 	// summaries, so their own scanned counters multi-count and must not
 	// leak into the reported stats.
-	sums := make([]shardSummary, 0, workers)
+	sums := make([]Summary, 0, workers)
 	var truePoints, spills, discards int64
 	rebuilds := 0
 	for w := range outs {
@@ -118,45 +118,19 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 
 	// Pairwise reduction rounds: halve the summary list until at most two
 	// summaries remain for the final engine.
-	for len(sums) > 2 {
-		pairs := len(sums) / 2
-		next := make([]shardSummary, pairs, pairs+1)
-		// Reduction engines at this round run concurrently, so they split
-		// the memory budget the same way the shards did.
-		mem := cfg.Memory / pairs
-		if mem < cfg.PageSize {
-			mem = cfg.PageSize
-		}
-		errs := make([]error, pairs)
-		stats := make([]Phase1Stats, pairs)
-		var rwg sync.WaitGroup
-		for i := 0; i < pairs; i++ {
-			rwg.Add(1)
-			go func(i int) {
-				defer rwg.Done()
-				next[i], stats[i], errs[i] = mergeShardPair(cfg, sums[2*i], sums[2*i+1], mem)
-			}(i)
-		}
-		rwg.Wait()
-		for i := 0; i < pairs; i++ {
-			if errs[i] != nil {
-				return nil, fmt.Errorf("core: parallel reduction: %w", errs[i])
-			}
-			rebuilds += stats[i].Rebuilds
-		}
-		if len(sums)%2 == 1 {
-			next = append(next, sums[len(sums)-1])
-		}
-		sums = next
+	sums, redRebuilds, err := ReduceSummaries(cfg, sums, 2)
+	if err != nil {
+		return nil, fmt.Errorf("core: parallel reduction: %w", err)
 	}
+	rebuilds += redRebuilds
 
 	// Final merge: the last pair (or single summary) feeds the engine
 	// that carries the tree into Phases 2–4 under the caller's full
 	// configuration and memory budget.
 	mergeCfg := cfg
 	for _, s := range sums {
-		if s.threshold > mergeCfg.InitialThreshold {
-			mergeCfg.InitialThreshold = s.threshold
+		if s.Threshold > mergeCfg.InitialThreshold {
+			mergeCfg.InitialThreshold = s.Threshold
 		}
 	}
 	eng, err := NewEngine(mergeCfg)
@@ -165,14 +139,12 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 	}
 	var merged int64
 	for _, s := range sums {
-		for i := range s.cfs {
-			merged += s.cfs[i].N
-		}
+		merged += s.Points()
 	}
 	eng.SetExpectedN(merged)
 	for _, s := range sums {
-		for i := range s.cfs {
-			if err := eng.AddCF(s.cfs[i]); err != nil {
+		for i := range s.CFs {
+			if err := eng.AddCF(s.CFs[i]); err != nil {
 				return nil, fmt.Errorf("core: parallel merge: %w", err)
 			}
 		}
@@ -193,55 +165,105 @@ func RunParallel(points []vec.Vector, cfg Config, workers int) (*Result, error) 
 	return res, nil
 }
 
-// shardSummary is one reduction operand: the leaf-entry CFs of a shard
-// (or of an already-merged group of shards) plus the final threshold its
-// tree satisfied.
-type shardSummary struct {
-	cfs       []cf.CF
-	threshold float64
+// Summary is one reduction operand: the leaf-entry CF summaries of one
+// tree (a shard's, or an already-merged group's) plus the final threshold
+// the tree satisfied. It is the unit of the pairwise CF-merge reduction
+// shared by RunParallel and the streaming engine (internal/stream).
+type Summary struct {
+	CFs       []cf.CF
+	Threshold float64
 }
 
-// mergeShardPair combines two summaries through a small Phase 1 engine.
+// Points returns the total data-point mass summarized (Σ N over CFs).
+func (s Summary) Points() int64 {
+	var n int64
+	for i := range s.CFs {
+		n += s.CFs[i].N
+	}
+	return n
+}
+
+// ReduceSummaries pairwise-merges sums until at most target summaries
+// remain, running each round's pair merges concurrently — ⌈log₂ len⌉
+// rounds instead of one sequential Amdahl-bottleneck merge. Reduction
+// engines never discard data (outlier handling off), so the total N/LS/SS
+// mass of the result equals the input's exactly. It returns the reduced
+// list (pair order preserved, so a fixed input order yields a fixed
+// reduction shape) and the number of tree rebuilds the reduction cost.
+func ReduceSummaries(cfg Config, sums []Summary, target int) ([]Summary, int, error) {
+	if target < 1 {
+		target = 1
+	}
+	rebuilds := 0
+	for len(sums) > target {
+		pairs := len(sums) / 2
+		next := make([]Summary, pairs, pairs+1)
+		// Reduction engines at this round run concurrently, so they split
+		// the memory budget the same way the Phase 1 shards do.
+		mem := cfg.Memory / pairs
+		if mem < cfg.PageSize {
+			mem = cfg.PageSize
+		}
+		errs := make([]error, pairs)
+		stats := make([]Phase1Stats, pairs)
+		var rwg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			rwg.Add(1)
+			go func(i int) {
+				defer rwg.Done()
+				next[i], stats[i], errs[i] = mergeSummaryPair(cfg, sums[2*i], sums[2*i+1], mem)
+			}(i)
+		}
+		rwg.Wait()
+		for i := 0; i < pairs; i++ {
+			if errs[i] != nil {
+				return nil, rebuilds, errs[i]
+			}
+			rebuilds += stats[i].Rebuilds
+		}
+		if len(sums)%2 == 1 {
+			next = append(next, sums[len(sums)-1])
+		}
+		sums = next
+	}
+	return sums, rebuilds, nil
+}
+
+// mergeSummaryPair combines two summaries through a small Phase 1 engine.
 // The engine starts from the larger of the pair's thresholds (every
 // incoming CF already satisfies its own shard's threshold, so starting
 // lower would only force immediate escalations) and runs with outlier
 // handling off: a reduction step must never discard data, since later
 // rounds and Phase 4 still expect to see every point's mass.
-func mergeShardPair(cfg Config, a, b shardSummary, memory int) (shardSummary, Phase1Stats, error) {
+func mergeSummaryPair(cfg Config, a, b Summary, memory int) (Summary, Phase1Stats, error) {
 	mcfg := cfg
 	mcfg.Memory = memory
 	mcfg.Refine = false
 	mcfg.Phase2 = false
 	mcfg.OutlierHandling = false
 	mcfg.DelaySplit = false
-	if a.threshold > mcfg.InitialThreshold {
-		mcfg.InitialThreshold = a.threshold
+	if a.Threshold > mcfg.InitialThreshold {
+		mcfg.InitialThreshold = a.Threshold
 	}
-	if b.threshold > mcfg.InitialThreshold {
-		mcfg.InitialThreshold = b.threshold
+	if b.Threshold > mcfg.InitialThreshold {
+		mcfg.InitialThreshold = b.Threshold
 	}
 
 	eng, err := NewEngine(mcfg)
 	if err != nil {
-		return shardSummary{}, Phase1Stats{}, err
+		return Summary{}, Phase1Stats{}, err
 	}
-	var n int64
-	for _, s := range [2]shardSummary{a, b} {
-		for i := range s.cfs {
-			n += s.cfs[i].N
-		}
-	}
-	eng.SetExpectedN(n)
-	for _, s := range [2]shardSummary{a, b} {
-		for i := range s.cfs {
-			if err := eng.AddCF(s.cfs[i]); err != nil {
-				return shardSummary{}, Phase1Stats{}, err
+	eng.SetExpectedN(a.Points() + b.Points())
+	for _, s := range [2]Summary{a, b} {
+		for i := range s.CFs {
+			if err := eng.AddCF(s.CFs[i]); err != nil {
+				return Summary{}, Phase1Stats{}, err
 			}
 		}
 	}
 	stats := eng.FinishPhase1()
-	return shardSummary{
-		cfs:       eng.Tree().LeafCFs(),
-		threshold: stats.FinalThreshold,
+	return Summary{
+		CFs:       eng.Tree().LeafCFs(),
+		Threshold: stats.FinalThreshold,
 	}, stats, nil
 }

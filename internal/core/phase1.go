@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"birch/internal/cf"
@@ -30,10 +31,14 @@ type Engine struct {
 	// through, so the absorb path performs no heap allocation.
 	scratch cf.CF
 
-	scanned   int64 // points fed through Add / AddCF
-	spills    int64
-	rebuilds  int
-	discarded int64 // points dropped as real outliers at the end
+	// The monotone counters are atomics so an observer goroutine (the
+	// streaming engine's Stats path) can sample them while the owner
+	// goroutine streams points through Add. Everything else on Engine
+	// remains single-owner.
+	scanned   atomic.Int64 // points fed through Add / AddCF
+	spills    atomic.Int64
+	rebuilds  atomic.Int64
+	discarded atomic.Int64 // points dropped as real outliers at the end
 	started   time.Time
 	finished  bool
 }
@@ -115,7 +120,7 @@ func (e *Engine) AddCF(ent cf.CF) error {
 	if ent.Dim() != e.cfg.Dim {
 		return fmt.Errorf("core: point dimension %d, config dimension %d", ent.Dim(), e.cfg.Dim)
 	}
-	e.scanned += ent.N
+	e.scanned.Add(ent.N)
 
 	if e.pgr.MemoryFull() {
 		if e.cfg.DelaySplit && e.cfg.OutlierHandling {
@@ -127,7 +132,7 @@ func (e *Engine) AddCF(ent cf.CF) error {
 				// Clone: ent may alias the Add scratch buffer, and the
 				// spill outlives this call.
 				e.outlierBuf = append(e.outlierBuf, ent.Clone())
-				e.spills++
+				e.spills.Add(1)
 				return nil
 			}
 			// Both memory and disk exhausted: rebuild, then retry the
@@ -147,7 +152,12 @@ func (e *Engine) AddCF(ent cf.CF) error {
 func (e *Engine) rebuild() error {
 	curT := e.tree.Threshold()
 	newT := e.est.next(e.tree, curT, e.tree.Points())
+	return e.rebuildAt(newT)
+}
 
+// rebuildAt rebuilds the tree at threshold newT, spilling potential
+// outliers and re-absorbing previously spilled entries that now fit.
+func (e *Engine) rebuildAt(newT float64) error {
 	var isOutlier func(*cf.CF) bool
 	if e.cfg.OutlierHandling {
 		if st := e.tree.Stats(); st.Entries > 0 {
@@ -161,7 +171,7 @@ func (e *Engine) rebuild() error {
 		return err
 	}
 	e.tree = nt
-	e.rebuilds++
+	e.rebuilds.Add(1)
 
 	for _, o := range extracted {
 		if err := e.pgr.WriteOutlier(e.cfg.Dim); err != nil {
@@ -175,7 +185,7 @@ func (e *Engine) rebuild() error {
 			}
 		}
 		e.outlierBuf = append(e.outlierBuf, o)
-		e.spills++
+		e.spills.Add(1)
 	}
 
 	// Post-rebuild re-absorption pass (Figure 2: "Re-absorb potential
@@ -224,7 +234,7 @@ func (e *Engine) FinishPhase1() Phase1Stats {
 			e.outlierBuf = nil
 			for _, o := range remaining {
 				if float64(o.N) < cut {
-					e.discarded += o.N
+					e.discarded.Add(o.N)
 					continue
 				}
 				e.tree.Insert(o)
@@ -234,13 +244,45 @@ func (e *Engine) FinishPhase1() Phase1Stats {
 	}
 	return Phase1Stats{
 		Duration:       time.Since(start),
-		Points:         e.scanned,
-		Rebuilds:       e.rebuilds,
+		Points:         e.scanned.Load(),
+		Rebuilds:       int(e.rebuilds.Load()),
 		FinalThreshold: e.tree.Threshold(),
 		LeafEntries:    e.tree.LeafEntries(),
 		TreeNodes:      e.tree.Nodes(),
 		TreeHeight:     e.tree.Height(),
-		OutlierSpills:  e.spills,
-		OutliersFinal:  e.discarded,
+		OutlierSpills:  e.spills.Load(),
+		OutliersFinal:  e.discarded.Load(),
 	}
+}
+
+// CounterStats returns the monotone Phase 1 counters — points scanned,
+// rebuilds, outlier spills and final discards. Unlike FinishPhase1 it
+// does not end the phase and, because the counters are atomics, it is
+// safe to call from a goroutine other than the engine's owner while the
+// owner streams points through Add. Tree-shape quantities (leaf entries,
+// nodes, height, threshold) are deliberately absent: the tree is
+// single-owner and may only be read from the owning goroutine.
+func (e *Engine) CounterStats() Phase1Stats {
+	return Phase1Stats{
+		Points:        e.scanned.Load(),
+		Rebuilds:      int(e.rebuilds.Load()),
+		OutlierSpills: e.spills.Load(),
+		OutliersFinal: e.discarded.Load(),
+	}
+}
+
+// RaiseThreshold rebuilds the tree at the (strictly larger) threshold
+// newT, skipping the usual growth estimator. The streaming layer uses it
+// to propagate a globally-agreed threshold back into shard engines so
+// their trees re-compact; by the Reducibility Theorem the rebuilt tree is
+// no larger than the current one. A newT at or below the current
+// threshold is a no-op.
+func (e *Engine) RaiseThreshold(newT float64) error {
+	if e.finished {
+		return fmt.Errorf("core: RaiseThreshold after FinishPhase1")
+	}
+	if newT <= e.tree.Threshold() {
+		return nil
+	}
+	return e.rebuildAt(newT)
 }

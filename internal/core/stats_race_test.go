@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// TestCounterStatsConcurrentWithAdd samples CounterStats (and the pager's
+// Stats) from observer goroutines while the owner goroutine streams points
+// through Add. Before the engine's counters were converted to sync/atomic
+// this was a data race — the observer read e.scanned / e.spills /
+// e.rebuilds while Add mutated them — and `go test -race` failed here.
+// The test also pins exactness: after the writer quiesces, the sampled
+// counters must equal the true totals, not an approximation.
+func TestCounterStatsConcurrentWithAdd(t *testing.T) {
+	cfg := DefaultConfig(2, 4)
+	cfg.Memory = 16 << 10 // small budget so rebuild/spill counters move too
+	cfg.Refine = false
+	cfg.Phase2 = false
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 20000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.CounterStats()
+				if st.Points < last {
+					t.Errorf("CounterStats.Points went backwards: %d -> %d", last, st.Points)
+					return
+				}
+				last = st.Points
+				_ = eng.Pager().Stats()
+			}
+		}()
+	}
+
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = vec.Vector{float64(i % 211), float64((i * 7) % 193)}
+	}
+	for _, p := range pts {
+		if err := eng.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := eng.CounterStats().Points; got != n {
+		t.Fatalf("CounterStats.Points = %d after quiesce, want %d", got, n)
+	}
+	final := eng.FinishPhase1()
+	live := eng.CounterStats()
+	if live.Points != final.Points || live.Rebuilds != final.Rebuilds ||
+		live.OutlierSpills != final.OutlierSpills || live.OutliersFinal != final.OutliersFinal {
+		t.Fatalf("CounterStats %+v disagrees with FinishPhase1 %+v", live, final)
+	}
+}

@@ -45,8 +45,20 @@ const forcedExpansion = 1.5
 // next computes T(i+1) given the current tree (not yet rebuilt), the
 // current threshold, and the number of points absorbed so far.
 func (te *thresholdEstimator) next(tree *cftree.Tree, curT float64, absorbed int64) float64 {
-	te.histN = append(te.histN, float64(absorbed))
-	te.histT = append(te.histT, curT)
+	// Back-to-back rebuilds (the tree refilled after absorbing almost
+	// nothing new) carry no growth signal: regressing over two samples a
+	// handful of points apart yields an absurd slope — ΔT over a few
+	// points, extrapolated to N more — that once jumped T by 1500× and
+	// collapsed a 100-cluster dataset into 28 leaf entries. Such a sample
+	// replaces its predecessor instead of extending the history, so the
+	// regression only ever sees meaningfully-spaced (N, T) pairs.
+	if m := len(te.histN); m > 0 && float64(absorbed) < te.histN[m-1]*1.01 {
+		te.histN[m-1] = float64(absorbed)
+		te.histT[m-1] = curT
+	} else {
+		te.histN = append(te.histN, float64(absorbed))
+		te.histT = append(te.histT, curT)
+	}
 
 	// Target point count after the rebuild.
 	nextN := 2 * absorbed

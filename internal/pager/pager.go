@@ -21,7 +21,7 @@ package pager
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Byte-size constants for entry layout accounting. The 1996 paper's
@@ -116,15 +116,29 @@ type Stats struct {
 }
 
 // Pager tracks live page usage against the budgets. It is safe for
-// concurrent use; BIRCH itself is single-threaded per tree, but experiment
-// harnesses probe stats from other goroutines.
+// concurrent use and entirely lock-free: every counter is a sync/atomic,
+// so the hot-path probes (MemoryFull runs once per inserted point) cost an
+// atomic load instead of a mutex round trip, and observer goroutines — the
+// streaming engine's Stats path, experiment harnesses — can sample
+// counters while a tree mutates them. Stats() is a per-counter snapshot:
+// each value is individually exact, but counters incremented by separate
+// operations may be observed mid-flight relative to each other.
 type Pager struct {
-	mu        sync.Mutex
-	cfg       Config
-	livePages int
-	peakPages int
-	diskUsed  int
-	stats     Stats
+	cfg      Config
+	maxPages int64 // cfg.MaxPages(), precomputed for the hot path
+
+	livePages atomic.Int64
+	peakPages atomic.Int64
+	diskUsed  atomic.Int64
+
+	pagesAllocated  atomic.Int64
+	pagesFreed      atomic.Int64
+	pageWrites      atomic.Int64
+	pageReads       atomic.Int64
+	outliersWritten atomic.Int64
+	outliersRead    atomic.Int64
+	rebuilds        atomic.Int64
+	datasetScans    atomic.Int64
 }
 
 // New returns a Pager for the given configuration.
@@ -133,7 +147,7 @@ func New(cfg Config) (*Pager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Pager{cfg: cfg}, nil
+	return &Pager{cfg: cfg, maxPages: int64(cfg.MaxPages())}, nil
 }
 
 // MustNew is New for configurations known valid at compile time; it panics
@@ -153,85 +167,75 @@ func (p *Pager) Config() Config { return p.cfg }
 // succeeds — BIRCH allows the tree to momentarily exceed the budget and
 // reacts by rebuilding — but MemoryFull will report the overflow.
 func (p *Pager) AllocPage() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.livePages++
-	if p.livePages > p.peakPages {
-		p.peakPages = p.livePages
+	n := p.livePages.Add(1)
+	for {
+		peak := p.peakPages.Load()
+		if n <= peak || p.peakPages.CompareAndSwap(peak, n) {
+			break
+		}
 	}
-	p.stats.PagesAllocated++
+	p.pagesAllocated.Add(1)
 }
 
 // FreePage records that one tree node was released.
 func (p *Pager) FreePage() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.livePages == 0 {
+	if p.livePages.Add(-1) < 0 {
 		panic("pager: FreePage with no live pages")
 	}
-	p.livePages--
-	p.stats.PagesFreed++
+	p.pagesFreed.Add(1)
 }
 
 // LivePages returns the number of pages currently held by the tree.
-func (p *Pager) LivePages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.livePages
-}
+func (p *Pager) LivePages() int { return int(p.livePages.Load()) }
 
 // PeakPages returns the highest number of simultaneously live pages ever
 // observed — the quantity the Reducibility Theorem bounds during tree
 // rebuilding ("at most h extra pages").
-func (p *Pager) PeakPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.peakPages
-}
+func (p *Pager) PeakPages() int { return int(p.peakPages.Load()) }
 
 // ResetPeak sets the high-water mark back to the current live count, so
 // a specific operation's transient overhead can be measured in isolation.
+// It is a measurement aid for quiesced trees, not an atomic operation
+// with respect to concurrent AllocPage calls.
 func (p *Pager) ResetPeak() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.peakPages = p.livePages
+	p.peakPages.Store(p.livePages.Load())
 }
 
 // MemoryFull reports whether the tree has reached or exceeded the memory
 // budget — the Phase-1 trigger for rebuilding with a larger threshold.
 func (p *Pager) MemoryFull() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.livePages >= p.cfg.MaxPages()
+	return p.livePages.Load() >= p.maxPages
 }
 
 // HeadroomPages returns how many more pages fit before MemoryFull,
 // which the rebuild algorithm uses to honor the Reducibility Theorem's
 // "at most h extra pages" guarantee.
 func (p *Pager) HeadroomPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	h := p.cfg.MaxPages() - p.livePages
+	h := p.maxPages - p.livePages.Load()
 	if h < 0 {
 		return 0
 	}
-	return h
+	return int(h)
 }
 
 // WriteOutlier accounts for spilling one outlier entry of dimension dim to
 // the outlier disk. It returns ErrDiskFull when the budget would be
-// exceeded, which is the paper's cue to re-absorb outliers early.
+// exceeded, which is the paper's cue to re-absorb outliers early. The
+// budget check-and-reserve is a CAS loop so concurrent writers cannot
+// jointly overshoot the disk budget.
 func (p *Pager) WriteOutlier(dim int) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sz := OutlierEntrySize(dim)
-	if p.cfg.DiskBudget == 0 || p.diskUsed+sz > p.cfg.DiskBudget {
-		return ErrDiskFull
+	sz := int64(OutlierEntrySize(dim))
+	for {
+		cur := p.diskUsed.Load()
+		if p.cfg.DiskBudget == 0 || cur+sz > int64(p.cfg.DiskBudget) {
+			return ErrDiskFull
+		}
+		if p.diskUsed.CompareAndSwap(cur, cur+sz) {
+			p.outliersWritten.Add(1)
+			p.pageWrites.Add(1)
+			return nil
+		}
 	}
-	p.diskUsed += sz
-	p.stats.OutliersWritten++
-	p.stats.PageWrites++
-	return nil
 }
 
 // ReadOutliers accounts for reading back n outlier entries of dimension dim
@@ -240,41 +244,42 @@ func (p *Pager) ReadOutliers(n, dim int) {
 	if n == 0 {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sz := OutlierEntrySize(dim) * n
-	if sz > p.diskUsed {
-		sz = p.diskUsed
+	sz := int64(OutlierEntrySize(dim) * n)
+	for {
+		cur := p.diskUsed.Load()
+		rel := sz
+		if rel > cur {
+			rel = cur
+		}
+		if p.diskUsed.CompareAndSwap(cur, cur-rel) {
+			break
+		}
 	}
-	p.diskUsed -= sz
-	p.stats.OutliersRead += int64(n)
-	p.stats.PageReads += int64(n)
+	p.outliersRead.Add(int64(n))
+	p.pageReads.Add(int64(n))
 }
 
 // DiskUsed returns the bytes currently occupied on the outlier disk.
-func (p *Pager) DiskUsed() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.diskUsed
-}
+func (p *Pager) DiskUsed() int { return int(p.diskUsed.Load()) }
 
 // NoteRebuild counts one tree rebuild.
-func (p *Pager) NoteRebuild() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Rebuilds++
-}
+func (p *Pager) NoteRebuild() { p.rebuilds.Add(1) }
 
 // NoteScan counts one full pass over the dataset.
-func (p *Pager) NoteScan() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.DatasetScans++
-}
+func (p *Pager) NoteScan() { p.datasetScans.Add(1) }
 
-// Stats returns a snapshot of the accumulated counters.
+// Stats returns a snapshot of the accumulated counters. Each counter is
+// loaded atomically; see the Pager doc comment for cross-counter
+// consistency semantics.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		PagesAllocated:  p.pagesAllocated.Load(),
+		PagesFreed:      p.pagesFreed.Load(),
+		PageWrites:      p.pageWrites.Load(),
+		PageReads:       p.pageReads.Load(),
+		OutliersWritten: p.outliersWritten.Load(),
+		OutliersRead:    p.outliersRead.Load(),
+		Rebuilds:        p.rebuilds.Load(),
+		DatasetScans:    p.datasetScans.Load(),
+	}
 }

@@ -1,0 +1,84 @@
+package pager
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCountersRace hammers every counter mutation path from
+// several goroutines while observers sample the read-side API. Run with
+// -race (the CI race gate does) this pins the pager's lock-free design:
+// no data races, and the monotone accounting stays exactly consistent
+// after the writers quiesce.
+func TestConcurrentCountersRace(t *testing.T) {
+	p := MustNew(Config{PageSize: 1024, MemoryBudget: 64 * 1024, DiskBudget: 16 * 1024})
+
+	const (
+		writers = 4
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Observers: poke every read path while writers mutate.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = p.Stats()
+				_ = p.LivePages()
+				_ = p.PeakPages()
+				_ = p.MemoryFull()
+				_ = p.HeadroomPages()
+				_ = p.DiskUsed()
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < rounds; i++ {
+				p.AllocPage()
+				p.NoteRebuild()
+				if err := p.WriteOutlier(2); err == nil {
+					p.ReadOutliers(1, 2)
+				}
+				p.FreePage()
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := p.Stats()
+	if st.PagesAllocated != writers*rounds || st.PagesFreed != writers*rounds {
+		t.Fatalf("page accounting drifted: allocated=%d freed=%d want %d",
+			st.PagesAllocated, st.PagesFreed, writers*rounds)
+	}
+	if p.LivePages() != 0 {
+		t.Fatalf("live pages %d after balanced alloc/free, want 0", p.LivePages())
+	}
+	if st.OutliersWritten != st.OutliersRead {
+		t.Fatalf("outlier accounting drifted: written=%d read=%d",
+			st.OutliersWritten, st.OutliersRead)
+	}
+	if p.DiskUsed() != 0 {
+		t.Fatalf("disk used %d after balanced write/read, want 0", p.DiskUsed())
+	}
+	if st.Rebuilds != writers*rounds {
+		t.Fatalf("rebuilds %d, want %d", st.Rebuilds, writers*rounds)
+	}
+	if p.PeakPages() < 1 || p.PeakPages() > writers {
+		t.Fatalf("peak pages %d outside [1, %d]", p.PeakPages(), writers)
+	}
+}

@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/vec"
+)
+
+// runCompactor periodically merges the shard summaries and republishes
+// the global snapshot, so readers see fresh clusters without any caller
+// ever invoking Flush.
+func (e *Engine) runCompactor() {
+	defer e.compactWG.Done()
+	t := time.NewTicker(e.opts.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-t.C:
+			e.compact()
+		}
+	}
+}
+
+// compact is one background compaction round: snapshot the shards,
+// publish the merged result, and optionally propagate the merged
+// threshold back so shard trees rebuild coarser and stay within their
+// memory slices.
+func (e *Engine) compact() {
+	reports, err := e.syncShards(context.Background())
+	if err != nil {
+		return // engine closing; Close publishes the final snapshot
+	}
+	snap := e.publish(reports)
+	if snap == nil || !e.opts.PropagateThreshold {
+		return
+	}
+	for i, s := range e.shards {
+		if snap.Threshold > reports[i].sum.Threshold {
+			// Advisory: skip rather than stall behind a backed-up shard.
+			e.trySend(s, op{raiseT: snap.Threshold})
+		}
+	}
+}
+
+// publish merges the shard reports into a fresh immutable Snapshot and
+// stores it. publishMu serializes concurrent publishers (Flush callers
+// racing the compactor and Close) so generations stay strictly
+// increasing; readers never touch the mutex. Returns the snapshot, or
+// nil when the merge failed (the error is recorded, the previous
+// snapshot stays current).
+func (e *Engine) publish(reports []shardReport) *Snapshot {
+	e.publishMu.Lock()
+	defer e.publishMu.Unlock()
+	snap := e.buildSnapshot(reports)
+	if snap == nil {
+		return nil
+	}
+	e.gen++
+	snap.Gen = e.gen
+	e.snap.Store(snap)
+	e.compactions.Add(1)
+	return snap
+}
+
+// buildSnapshot runs the merge pipeline over owner-built shard reports:
+// pairwise CF-merge reduction (core.ReduceSummaries) to two summaries, a
+// final merge engine, Phase 2 condensation, and Phase 3 global
+// clustering. Everything in the returned Snapshot is freshly built here,
+// which is what makes publications immutable.
+func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
+	shardStats := make([]ShardStats, len(reports))
+	sums := make([]core.Summary, 0, len(reports))
+	for i, r := range reports {
+		shardStats[i] = r.stats
+		if len(r.sum.CFs) > 0 {
+			sums = append(sums, r.sum)
+		}
+	}
+	if len(sums) == 0 {
+		return &Snapshot{Shards: shardStats}
+	}
+
+	mcfg := e.cfg
+	mcfg.Refine = false // no point access on the serving path
+	mcfg.OutlierHandling = false
+	mcfg.DelaySplit = false
+
+	// Wide fan-outs go through the pairwise CF-merge reduction so the
+	// final engine never absorbs more than a handful of summaries
+	// sequentially. Narrow ones merge directly: each pairwise round
+	// inherits the pair's max threshold and therefore coarsens, so we
+	// only pay that cost when the fan-in is genuinely wide.
+	const directMergeMax = 4
+	if len(sums) > directMergeMax {
+		var err error
+		sums, _, err = core.ReduceSummaries(mcfg, sums, directMergeMax)
+		if err != nil {
+			e.setErr(fmt.Errorf("stream: compaction reduce: %w", err))
+			return nil
+		}
+	}
+	// The final engine keeps the configured initial threshold instead of
+	// inheriting the shards' raised ones: shard leaf CFs then insert as
+	// entries of their own rather than chain-merging at threshold T, so a
+	// W=1 snapshot reproduces the sequential tree exactly and quality
+	// does not degrade through double condensation. If the union
+	// overflows the memory budget, the engine's own rebuild-and-raise
+	// reacts exactly as sequential Phase 1 would.
+	eng, err := core.NewEngine(mcfg)
+	if err != nil {
+		e.setErr(fmt.Errorf("stream: compaction engine: %w", err))
+		return nil
+	}
+	var merged int64
+	for _, s := range sums {
+		merged += s.Points()
+	}
+	eng.SetExpectedN(merged)
+	for _, s := range sums {
+		for i := range s.CFs {
+			if err := eng.AddCF(s.CFs[i]); err != nil {
+				e.setErr(fmt.Errorf("stream: compaction merge: %w", err))
+				return nil
+			}
+		}
+	}
+	eng.FinishPhase1()
+	eng.Condense() // bounds Phase 3 input when cfg.Phase2 is on
+
+	tree := eng.Tree()
+	snap := &Snapshot{
+		Points:      tree.Points(),
+		Threshold:   tree.Threshold(),
+		Subclusters: tree.LeafCFs(),
+		Shards:      shardStats,
+	}
+
+	var p3 core.Phase3Stats
+	clusters, err := eng.GlobalCluster(&p3)
+	if err != nil {
+		// Serve subcluster centroids rather than nothing: Phase 3 can fail
+		// transiently (e.g. fewer leaf entries than K early in the stream).
+		snap.Centroids = centroidsOf(snap.Subclusters)
+		return snap
+	}
+	snap.Clusters = clusters
+	snap.Centroids = centroidsOf(clusters)
+	return snap
+}
+
+func centroidsOf(cfs []cf.CF) []vec.Vector {
+	out := make([]vec.Vector, len(cfs))
+	for i := range cfs {
+		out[i] = cfs[i].Centroid()
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/quality"
+	"birch/internal/vec"
+)
+
+// latticePoints builds a deterministic integer-coordinate workload. With
+// integer coordinates the CF sums (N, ΣLS, ΣSS) are exact in float64 —
+// every partial sum stays far below 2^53 — so the streamed result must
+// conserve mass BIT-EXACTLY against the sequential reference, regardless
+// of how points were interleaved across shards or in what order the
+// pairwise reduction added them. Any discrepancy is a real bug (lost or
+// duplicated mass), never float noise.
+func latticePoints(n int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = vec.Vector{
+			float64((i*37 + 11) % 503),
+			float64((i*53 + 7) % 499),
+		}
+	}
+	return pts
+}
+
+// treeMass sums the CF mass of a set of subclusters.
+func treeMass(cfs []cf.CF, dim int) (n int64, ls vec.Vector, ss float64) {
+	ls = vec.New(dim)
+	for i := range cfs {
+		n += cfs[i].N
+		for d := 0; d < dim; d++ {
+			ls[d] += cfs[i].LS[d]
+		}
+		ss += cfs[i].SS
+	}
+	return n, ls, ss
+}
+
+// sequentialReference runs the same no-discard Phase 1 the stream shards
+// run, in a single thread over the same points, and returns its tree
+// mass. This is the ground truth for conservation: one engine, one
+// goroutine, no merging.
+func sequentialReference(t *testing.T, cfg core.Config, pts []vec.Vector) (int64, vec.Vector, float64) {
+	t.Helper()
+	ref := cfg
+	ref.Refine = false
+	ref.Phase2 = false
+	ref.OutlierHandling = false
+	ref.DelaySplit = false
+	eng, err := core.NewEngine(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := eng.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.FinishPhase1()
+	return treeMass(eng.Tree().LeafCFs(), cfg.Dim)
+}
+
+// TestDifferentialExactConservation is satellite 2's core claim: for
+// W ∈ {1, 2, 4, 8} the streaming engine's published snapshot carries
+// exactly the same total N / LS / SS mass as a single-threaded Phase 1
+// over the same fixed-seed input — bit-exact, because the workload has
+// integer coordinates (see latticePoints).
+func TestDifferentialExactConservation(t *testing.T) {
+	const n = 20000
+	pts := latticePoints(n)
+	cfg := core.DefaultConfig(2, 8)
+	cfg.Refine = false
+	cfg.Phase2 = false
+
+	wantN, wantLS, wantSS := sequentialReference(t, cfg, pts)
+	if wantN != n {
+		t.Fatalf("sequential reference lost mass: %d of %d points", wantN, n)
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("W=%d", w), func(t *testing.T) {
+			eng, err := New(cfg, Options{Shards: w, MailboxDepth: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			// Mixed batch sizes exercise both insert paths and make the
+			// shard interleaving different from the sequential order.
+			for i := 0; i < len(pts); {
+				if i%5 == 0 {
+					if err := eng.Insert(ctx, pts[i]); err != nil {
+						t.Fatal(err)
+					}
+					i++
+					continue
+				}
+				hi := i + 7
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				if err := eng.InsertBatch(ctx, pts[i:hi]); err != nil {
+					t.Fatal(err)
+				}
+				i = hi
+			}
+			if err := eng.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+			snap := eng.Snapshot()
+			gotN, gotLS, gotSS := treeMass(snap.Subclusters, cfg.Dim)
+			if gotN != wantN {
+				t.Fatalf("N: stream %d != sequential %d", gotN, wantN)
+			}
+			for d := range wantLS {
+				if gotLS[d] != wantLS[d] {
+					t.Fatalf("LS[%d]: stream %v != sequential %v (must be bit-exact on integer input)",
+						d, gotLS[d], wantLS[d])
+				}
+			}
+			if gotSS != wantSS {
+				t.Fatalf("SS: stream %v != sequential %v (must be bit-exact on integer input)", gotSS, wantSS)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The final snapshot after Close must conserve too.
+			if got := eng.Snapshot().Points; got != wantN {
+				t.Fatalf("post-Close snapshot mass %d != %d", got, wantN)
+			}
+		})
+	}
+}
+
+// TestDifferentialDatasetQuality compares streamed and sequential
+// clustering on a fixed-seed Gaussian grid workload (a scaled-down DS1):
+// point count is conserved exactly, the LS sums agree to float tolerance
+// (Gaussian coordinates make bit-exactness order-dependent), and the
+// silhouette of the streamed clustering is within tolerance of the
+// sequential pipeline's.
+func TestDifferentialDatasetQuality(t *testing.T) {
+	ds := dataset.ScaledN(dataset.Grid, 100) // 100 clusters × 100 points
+	pts := ds.Points
+	cfg := core.DefaultConfig(2, 100)
+	cfg.Refine = false
+
+	seqN, seqLS, _ := sequentialReference(t, cfg, pts)
+	if seqN != int64(len(pts)) {
+		t.Fatalf("sequential reference lost mass: %d of %d", seqN, len(pts))
+	}
+
+	seqRes, err := core.Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSil := silhouetteAgainst(pts, seqRes.Centroids)
+
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("W=%d", w), func(t *testing.T) {
+			eng, err := New(cfg, Options{Shards: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			for i := 0; i < len(pts); i += 64 {
+				hi := i + 64
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				if err := eng.InsertBatch(ctx, pts[i:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+			snap := eng.Snapshot()
+
+			gotN, gotLS, _ := treeMass(snap.Subclusters, cfg.Dim)
+			if gotN != seqN {
+				t.Fatalf("N: stream %d != sequential %d", gotN, seqN)
+			}
+			for d := range seqLS {
+				rel := math.Abs(gotLS[d]-seqLS[d]) / math.Max(1, math.Abs(seqLS[d]))
+				if rel > 1e-9 {
+					t.Fatalf("LS[%d]: stream %v vs sequential %v (rel err %g > 1e-9)",
+						d, gotLS[d], seqLS[d], rel)
+				}
+			}
+
+			if len(snap.Centroids) == 0 {
+				t.Fatal("snapshot has no centroids")
+			}
+			streamSil := silhouetteAgainst(pts, snap.Centroids)
+			if diff := math.Abs(streamSil - seqSil); diff > 0.15 {
+				t.Fatalf("silhouette drifted: stream %.3f vs sequential %.3f (|Δ| %.3f > 0.15)",
+					streamSil, seqSil, diff)
+			}
+		})
+	}
+}
+
+// silhouetteAgainst labels every point by its nearest centroid and
+// returns the sampled silhouette coefficient of that labeling.
+func silhouetteAgainst(pts []vec.Vector, centroids []vec.Vector) float64 {
+	labels := make([]int, len(pts))
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centroids {
+			if d := vec.SqDist(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+	}
+	return quality.Silhouette(pts, labels, 2000, 1)
+}

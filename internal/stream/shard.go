@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"fmt"
+
+	"birch/internal/core"
+	"birch/internal/vec"
+)
+
+// op is one mailbox message. Exactly one of the fields is meaningful per
+// message; routing everything through the mailbox is what serializes
+// control operations (sync, check, raiseT) with data operations (pts) on
+// the shard's single owner goroutine.
+type op struct {
+	pts    []vec.Vector       // points to insert
+	sync   chan<- shardReport // request an owner-built summary report
+	check  chan<- error       // request a tree invariant check
+	raiseT float64            // >0: raise the shard threshold (advisory)
+}
+
+// shardReport is the owner-built, self-contained view of one shard: a
+// cloned leaf-CF summary (safe to hand across goroutines) plus gauges.
+type shardReport struct {
+	shard int
+	sum   core.Summary
+	stats ShardStats
+}
+
+// shard pairs one single-owner Phase 1 engine with its mailbox. Only the
+// worker goroutine spawned by Engine.runShard touches eng; final is
+// written by that worker just before it exits and read after wg.Wait in
+// Close (a happens-before edge, so no lock is needed).
+type shard struct {
+	id    int
+	eng   *core.Engine
+	mail  chan op
+	final shardReport
+}
+
+// runShard is the worker loop: drain the mailbox until Close closes it,
+// then leave a final report for the closing goroutine.
+func (e *Engine) runShard(s *shard) {
+	defer e.wg.Done()
+	for o := range s.mail {
+		e.applyOp(s, o)
+	}
+	s.final = reportShard(s)
+}
+
+func (e *Engine) applyOp(s *shard, o op) {
+	for _, p := range o.pts {
+		if err := s.eng.Add(p); err != nil {
+			e.setErr(fmt.Errorf("stream: shard %d insert: %w", s.id, err))
+		}
+	}
+	if o.raiseT > 0 {
+		if err := s.eng.RaiseThreshold(o.raiseT); err != nil {
+			e.setErr(fmt.Errorf("stream: shard %d raise threshold: %w", s.id, err))
+		}
+	}
+	if o.check != nil {
+		var err error
+		if terr := s.eng.Tree().CheckInvariants(); terr != nil {
+			err = fmt.Errorf("stream: shard %d: %w", s.id, terr)
+		}
+		o.check <- err
+	}
+	if o.sync != nil {
+		o.sync <- reportShard(s)
+	}
+}
+
+// reportShard builds a shardReport on the owner goroutine. LeafCFs clones
+// every CF, so the summary stays valid while the shard keeps mutating.
+func reportShard(s *shard) shardReport {
+	t := s.eng.Tree()
+	counters := s.eng.CounterStats()
+	return shardReport{
+		shard: s.id,
+		sum:   core.Summary{CFs: t.LeafCFs(), Threshold: t.Threshold()},
+		stats: ShardStats{
+			Shard:         s.id,
+			Points:        t.Points(),
+			Subclusters:   t.LeafEntries(),
+			Nodes:         t.Nodes(),
+			Height:        t.Height(),
+			Threshold:     t.Threshold(),
+			Rebuilds:      counters.Rebuilds,
+			OutlierSpills: counters.OutlierSpills,
+			IO:            s.eng.Pager().Stats(),
+		},
+	}
+}

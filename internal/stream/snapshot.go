@@ -1,0 +1,61 @@
+package stream
+
+import (
+	"math"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// Snapshot is an immutable, atomically-published view of the merged
+// global clustering. Everything reachable from a Snapshot is owned by it
+// alone — CFs and centroids are built fresh during compaction — so any
+// number of readers may hold one across later publications without
+// synchronization. A nil *Snapshot means nothing has been published yet.
+type Snapshot struct {
+	Gen    int64 // publication generation, strictly increasing
+	Points int64 // total data-point mass covered (Σ N over Subclusters)
+
+	Threshold   float64 // threshold of the merged CF tree
+	Subclusters []cf.CF // leaf entries of the merged tree
+	Clusters    []cf.CF // global clusters (empty if Phase 3 failed or K unset)
+	Centroids   []vec.Vector
+	Shards      []ShardStats
+}
+
+// Snapshot returns the current published snapshot, or nil before the
+// first publication. Lock-free: a single atomic pointer load.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Classify assigns p to the nearest cluster centroid of the current
+// snapshot and returns its index and Euclidean distance. ok is false
+// before the first publication or when the snapshot has no centroids.
+// Lock-free; safe to call at any time, including after Close.
+func (e *Engine) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
+	return e.snap.Load().Classify(p)
+}
+
+// Centroids returns the cluster centroids of the current snapshot (nil
+// before the first publication). The slice is shared with the immutable
+// snapshot; callers must not modify it.
+func (e *Engine) Centroids() []vec.Vector {
+	if s := e.snap.Load(); s != nil {
+		return s.Centroids
+	}
+	return nil
+}
+
+// Classify assigns p to the nearest centroid of this snapshot. A nil
+// receiver (nothing published yet) reports ok = false.
+func (s *Snapshot) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
+	if s == nil || len(s.Centroids) == 0 {
+		return -1, 0, false
+	}
+	best, bestD := -1, math.Inf(1)
+	for i, c := range s.Centroids {
+		if d := vec.SqDist(p, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, math.Sqrt(bestD), true
+}

@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"birch/internal/core"
+	"birch/internal/vec"
+)
+
+// goldenCopy deep-copies the observable surface of a snapshot so later
+// mutations anywhere would be detectable by comparison.
+type goldenCopy struct {
+	gen       int64
+	points    int64
+	threshold float64
+	centroids [][]float64
+	subN      []int64
+	subLS     [][]float64
+	subSS     []float64
+}
+
+func copySnapshot(s *Snapshot) goldenCopy {
+	g := goldenCopy{gen: s.Gen, points: s.Points, threshold: s.Threshold}
+	for _, c := range s.Centroids {
+		g.centroids = append(g.centroids, append([]float64(nil), c...))
+	}
+	for i := range s.Subclusters {
+		g.subN = append(g.subN, s.Subclusters[i].N)
+		g.subLS = append(g.subLS, append([]float64(nil), s.Subclusters[i].LS...))
+		g.subSS = append(g.subSS, s.Subclusters[i].SS)
+	}
+	return g
+}
+
+func (g goldenCopy) equal(s *Snapshot) bool {
+	if g.gen != s.Gen || g.points != s.Points || g.threshold != s.Threshold {
+		return false
+	}
+	if len(g.centroids) != len(s.Centroids) || len(g.subN) != len(s.Subclusters) {
+		return false
+	}
+	for i, c := range s.Centroids {
+		for d := range c {
+			if g.centroids[i][d] != c[d] {
+				return false
+			}
+		}
+	}
+	for i := range s.Subclusters {
+		if g.subN[i] != s.Subclusters[i].N || g.subSS[i] != s.Subclusters[i].SS {
+			return false
+		}
+		for d := range s.Subclusters[i].LS {
+			if g.subLS[i][d] != s.Subclusters[i].LS[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSnapshotImmutableAcrossCompaction is satellite 5: a reader that
+// grabbed a snapshot before further ingestion and compaction must keep
+// seeing exactly the tree it grabbed — golden-asserted down to individual
+// CF components and centroid coordinates — while new publications with
+// higher generations appear alongside it.
+func TestSnapshotImmutableAcrossCompaction(t *testing.T) {
+	cfg := core.DefaultConfig(2, 6)
+	cfg.Refine = false
+	eng, err := New(cfg, Options{Shards: 2, CompactInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	mkBatch := func(base, n int) []vec.Vector {
+		batch := make([]vec.Vector, n)
+		for i := range batch {
+			g := base + i
+			batch[i] = vec.Vector{float64(g % 127), float64((g * 17) % 131)}
+		}
+		return batch
+	}
+
+	if err := eng.InsertBatch(ctx, mkBatch(0, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	held := eng.Snapshot()
+	if held == nil || held.Points != 2000 {
+		t.Fatalf("held snapshot = %+v, want 2000 points", held)
+	}
+	golden := copySnapshot(held)
+
+	// Concurrently ingest more data (driving the 1ms compactor) while a
+	// verifier goroutine continuously re-checks the held snapshot against
+	// its golden copy.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !golden.equal(held) {
+				t.Error("held snapshot mutated during concurrent compaction")
+				return
+			}
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		if err := eng.InsertBatch(ctx, mkBatch(2000+round*200, 200)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if !golden.equal(held) {
+		t.Fatal("held snapshot mutated (final check)")
+	}
+	cur := eng.Snapshot()
+	if cur.Gen <= held.Gen {
+		t.Fatalf("current generation %d not past held generation %d", cur.Gen, held.Gen)
+	}
+	if cur.Points != 2000+20*200 {
+		t.Fatalf("current snapshot covers %d points, want %d", cur.Points, 2000+20*200)
+	}
+	// The held snapshot keeps classifying with its old centroids.
+	if _, _, ok := held.Classify(vec.Vector{3, 4}); !ok {
+		t.Fatal("held snapshot cannot classify")
+	}
+}
+
+// TestSnapshotNilBeforeFirstPublish pins the cold-start behavior of the
+// lock-free read paths: before any Flush or compaction, reads answer
+// "nothing yet" instead of blocking or panicking.
+func TestSnapshotNilBeforeFirstPublish(t *testing.T) {
+	cfg := core.DefaultConfig(2, 4)
+	cfg.Refine = false
+	eng, err := New(cfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if s := eng.Snapshot(); s != nil {
+		t.Fatalf("Snapshot before publish = %+v, want nil", s)
+	}
+	if _, _, ok := eng.Classify(vec.Vector{1, 2}); ok {
+		t.Fatal("Classify reported ok before any publication")
+	}
+	if c := eng.Centroids(); c != nil {
+		t.Fatalf("Centroids before publish = %v, want nil", c)
+	}
+	st := eng.Stats()
+	if st.Generation != 0 || st.Published != 0 {
+		t.Fatalf("Stats before publish = %+v, want zero generation/published", st)
+	}
+}
