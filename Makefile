@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint test test-stream race fuzz-smoke bench bench-smoke check clean
+.PHONY: all build vet lint test test-stream race fuzz-smoke bench bench-scan bench-smoke check clean
 
 all: build
 
@@ -36,6 +36,7 @@ race: test-stream
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzResumeSnapshot -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
+	$(GO) test -run '^$$' -fuzz FuzzScanBlockSync -fuzztime $(FUZZTIME) ./internal/cftree
 	$(GO) test -run '^$$' -fuzz FuzzStreamInsertClose -fuzztime $(FUZZTIME) ./internal/stream
 
 # Full benchmark harness: fixed-seed Phase 1 and pipeline workloads,
@@ -44,6 +45,11 @@ fuzz-smoke:
 # pair of reports.
 bench:
 	$(GO) run ./cmd/birchbench -out . $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# Descent-scan workloads only: fused block scan vs the per-entry kernel
+# loop on converged trees, written to BENCH_scan.json in the repo root.
+bench-scan:
+	$(GO) run ./cmd/birchbench -only scan -out .
 
 # Reduced-size run for CI: exercises the harness end to end (including
 # its JSON self-validation) without meaningful measurement time. The

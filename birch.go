@@ -54,6 +54,7 @@ import (
 	"errors"
 
 	"birch/internal/cf"
+	"birch/internal/cftree"
 	"birch/internal/core"
 	"birch/internal/stream"
 	"birch/internal/vec"
@@ -93,6 +94,21 @@ const (
 	ThresholdDiameter = cf.ThresholdDiameter
 	// ThresholdRadius bounds the radius instead.
 	ThresholdRadius = cf.ThresholdRadius
+)
+
+// ScanMode selects how Phase 1 scans a node's entries for the closest
+// one during descent. The two modes are bit-identical in every routing
+// decision; the choice is purely a performance/diagnostics knob.
+type ScanMode = cftree.ScanMode
+
+// Scan modes.
+const (
+	// ScanFused walks the node's contiguous scan block with a fused
+	// per-metric argmin kernel (default).
+	ScanFused = cftree.ScanFused
+	// ScanEntries is the per-entry distance-kernel loop, retained as the
+	// bit-identical reference.
+	ScanEntries = cftree.ScanEntries
 )
 
 // GlobalAlg selects the Phase 3 global clustering algorithm.

@@ -82,6 +82,17 @@ type Workload struct {
 	P50InsertNs    float64 `json:"p50_insert_ns,omitempty"`
 	P99InsertNs    float64 `json:"p99_insert_ns,omitempty"`
 	SpeedupVsMutex float64 `json:"speedup_vs_mutex,omitempty"`
+
+	// Descent-scan (BENCH_scan.json) fields: Metric names the distance
+	// metric the tree descends under; the standard ns/allocs/bytes
+	// columns hold the fused block-scan numbers; EntryScanNsPerPoint is
+	// the per-entry kernel loop on the identical workload, and
+	// FusedVsEntryScan is fused/entries ns (< 1 means the fused scan is
+	// faster). Both modes build bit-identical trees, so the ratio is pure
+	// scan cost.
+	Metric              string  `json:"metric,omitempty"`
+	EntryScanNsPerPoint float64 `json:"entry_scan_ns_per_point,omitempty"`
+	FusedVsEntryScan    float64 `json:"fused_vs_entry_scan,omitempty"`
 }
 
 // Comparison is the per-workload baseline-vs-current delta.
@@ -102,7 +113,8 @@ type Report struct {
 const (
 	phase1File   = "BENCH_phase1.json"
 	pipelineFile = "BENCH_pipeline.json"
-	// streamFile (BENCH_stream.json) is declared in stream.go.
+	// streamFile (BENCH_stream.json) is declared in stream.go and
+	// scanFile (BENCH_scan.json) in descent.go.
 )
 
 func main() {
@@ -111,7 +123,11 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
+	only := flag.String("only", "all", `run a subset: "all" or "scan" (descent-scan workloads only)`)
 	flag.Parse()
+	if *only != "all" && *only != "scan" {
+		fatal(fmt.Errorf("unknown -only value %q (want all or scan)", *only))
+	}
 
 	meta := Meta{
 		GoVersion:  runtime.Version(),
@@ -124,6 +140,18 @@ func main() {
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
+	}
+
+	scan := runDescentWorkloads(*quick, *reps)
+	if err := writeReport(filepath.Join(*outDir, scanFile), meta, scan, *baseDir); err != nil {
+		fatal(err)
+	}
+	if *only == "scan" {
+		if err := verifyScan(*outDir, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d scan workloads -> %s\n", len(scan), *outDir)
+		return
 	}
 
 	phase1 := runPhase1Workloads(*quick, *reps)
@@ -142,8 +170,8 @@ func main() {
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), *outDir)
 }
 
 func fatal(err error) {
@@ -406,9 +434,34 @@ func readReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// verify re-reads both emitted files and checks every expected workload
+// verifyScan re-reads the scan report and checks every descent workload
+// is present with sane measurements on both scan modes.
+func verifyScan(dir string, quick bool) error {
+	rep, err := readReport(filepath.Join(dir, scanFile))
+	if err != nil {
+		return err
+	}
+	for _, spec := range descentSpecs(quick) {
+		w, ok := rep.Workloads[spec.Name]
+		if !ok {
+			return fmt.Errorf("%s: missing workload %q", scanFile, spec.Name)
+		}
+		if w.NsPerPoint <= 0 || w.EntryScanNsPerPoint <= 0 || w.FusedVsEntryScan <= 0 {
+			return fmt.Errorf("%s: workload %q has degenerate measurements", scanFile, spec.Name)
+		}
+	}
+	if rep.Meta.GoVersion == "" {
+		return fmt.Errorf("%s: missing meta.go_version", scanFile)
+	}
+	return nil
+}
+
+// verify re-reads the emitted files and checks every expected workload
 // key is present with sane fields — the bench-smoke contract.
 func verify(dir string, quick bool) error {
+	if err := verifyScan(dir, quick); err != nil {
+		return err
+	}
 	wantPhase1 := make([]string, 0, 4)
 	for _, spec := range phase1Specs(quick) {
 		wantPhase1 = append(wantPhase1, spec.Name)

@@ -1,0 +1,207 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block is a CF-tree node's scan slab: contiguous arrays (plus an []int64
+// for N) holding every entry's candidate-side hoisted terms for the
+// closest-entry scan. Where the per-entry kernel path chases each Entry's
+// separately allocated LS vector and pays an indirect Kernel call per
+// candidate, a Block lets the fused ScanKernel implementations walk one
+// slab linearly with zero calls per candidate.
+//
+// There are two slabs, one per metric family, each packed so a scan is a
+// single contiguous stream with no side lookups:
+//
+//	x0 slab, stride dim+1 per entry:
+//	    x0[0..dim)  — centroid components LS[j]/N (the candidate-side
+//	                  division D0, D1 and D4 perform per component)
+//	    float64(N)  — the conversion D4 performs, hoisted
+//	ls slab, stride dim+3 per entry:
+//	    ls[0..dim)  — the raw linear sum (D2's dot product, D3's merged sum)
+//	    SS/N        — the candidate's constant term in D2
+//	    SS          — the raw square sum (D3's merged square sum)
+//	    float64(N)  — the conversion D2 performs, hoisted
+//
+// D0/D1/D4 stream the x0 slab; D2/D3 stream the ls slab (D3 additionally
+// reads the integer n array, because its kernel adds the counts before
+// converting). Splitting by family matters: an interleaved everything-
+// per-entry layout would drag the unused family's bytes through the cache
+// on every scan, which costs more than the indirect calls it saves.
+//
+// The hoisted values are computed by exactly the floating-point
+// operations the kernels would perform (v/float64(N), SS/float64(N),
+// float64(N)) on the same operands, so consuming a slot is bit-identical
+// to recomputing from the entry's CF — the exactness contract CheckSync
+// enforces and the cftree fuzzer drives.
+//
+// A Block is maintained incrementally: owners refresh the one slot whose
+// entry changed (Set after a merge, Append for a new entry) and never
+// rebuild the slab wholesale on the hot path. Set writes in place and the
+// backing arrays are pre-sized at construction, so slot maintenance on the
+// absorb path performs zero heap allocations.
+type Block struct {
+	dim int
+	n   []int64
+	x0  []float64 // dim+1 floats per entry: centroid, float64(N)
+	ls  []float64 // dim+3 floats per entry: raw LS, SS/N, SS, float64(N)
+}
+
+// Slab strides per entry.
+func (b *Block) x0Stride() int { return b.dim + 1 }
+func (b *Block) lsStride() int { return b.dim + 3 }
+
+// NewBlock returns an empty Block for entries of dimension dim, pre-sized
+// so the first capEntries appends do not reallocate.
+func NewBlock(dim, capEntries int) *Block {
+	if dim <= 0 {
+		panic("cf: NewBlock with non-positive dimension")
+	}
+	return &Block{
+		dim: dim,
+		n:   make([]int64, 0, capEntries),
+		x0:  make([]float64, 0, capEntries*(dim+1)),
+		ls:  make([]float64, 0, capEntries*(dim+3)),
+	}
+}
+
+// Len returns the number of entry slots currently in the block.
+func (b *Block) Len() int { return len(b.n) }
+
+// Dim returns the dimensionality the block was built for.
+func (b *Block) Dim() int { return b.dim }
+
+// EntryN returns slot i's point count.
+func (b *Block) EntryN(i int) int64 { return b.n[i] }
+
+// Set recomputes slot i from c. c must be non-empty and of the block's
+// dimension; this is the only place slot values are derived, so every
+// slot always carries exactly the bits a kernel would recompute.
+func (b *Block) Set(i int, c *CF) {
+	if c.N <= 0 {
+		panic("cf: Block.Set with empty CF")
+	}
+	if len(c.LS) != b.dim {
+		panic("cf: Block.Set dimension mismatch")
+	}
+	n := float64(c.N)
+	d := b.dim
+	xoff := i * (d + 1)
+	loff := i * (d + 3)
+	x0 := b.x0[xoff : xoff+d : xoff+d]
+	ls := b.ls[loff : loff+d : loff+d]
+	for j, v := range c.LS {
+		x0[j] = v / n
+		ls[j] = v
+	}
+	b.x0[xoff+d] = n
+	b.ls[loff+d] = c.SS / n
+	b.ls[loff+d+1] = c.SS
+	b.ls[loff+d+2] = n
+	b.n[i] = c.N
+}
+
+// Append adds a slot for c at the end of the block.
+func (b *Block) Append(c *CF) {
+	b.n = append(b.n, 0)
+	b.x0 = appendZeros(b.x0, b.dim+1)
+	b.ls = appendZeros(b.ls, b.dim+3)
+	b.Set(len(b.n)-1, c)
+}
+
+// appendZeros extends s by k zeroed elements. Within capacity (the
+// common case — NewBlock pre-sizes the slabs for a node's fan-out) this
+// is a reslice plus an explicit clear, never a temporary allocation:
+// Set overwrites the slot immediately, but the zeroing keeps a partially
+// grown slab well-defined if Set panics on a bad CF.
+func appendZeros(s []float64, k int) []float64 {
+	n := len(s)
+	if cap(s)-n >= k {
+		s = s[:n+k]
+		clear(s[n:])
+		return s
+	}
+	return append(s, make([]float64, k)...)
+}
+
+// Remove deletes slot i, shifting later slots down — the counterpart of
+// deleting entry i from a node's entry slice.
+func (b *Block) Remove(i int) {
+	xs, ls := b.x0Stride(), b.lsStride()
+	copy(b.x0[i*xs:], b.x0[(i+1)*xs:])
+	copy(b.ls[i*ls:], b.ls[(i+1)*ls:])
+	b.x0 = b.x0[:len(b.x0)-xs]
+	b.ls = b.ls[:len(b.ls)-ls]
+	b.n = append(b.n[:i], b.n[i+1:]...)
+}
+
+// Truncate drops the block to its first k slots, retaining capacity.
+func (b *Block) Truncate(k int) {
+	b.n = b.n[:k]
+	b.x0 = b.x0[:k*b.x0Stride()]
+	b.ls = b.ls[:k*b.lsStride()]
+}
+
+// AppendCFs decodes every slot into a freshly allocated CF appended to
+// dst. The raw triple components (N, LS, SS) are stored verbatim in the
+// ls slab, so the decoded CFs are bit-identical to the entries the block
+// summarizes — and the copy source is one contiguous array rather than a
+// pointer chase per entry, which is why snapshot builders prefer this
+// over walking entries.
+func (b *Block) AppendCFs(dst []CF) []CF {
+	d := b.dim
+	stride := b.lsStride()
+	for i, n := range b.n {
+		off := i * stride
+		ls := make([]float64, d)
+		copy(ls, b.ls[off:off+d])
+		dst = append(dst, CF{N: n, LS: ls, SS: b.ls[off+d+1]})
+	}
+	return dst
+}
+
+// CheckSync verifies that slot i is bit-identical to recomputation from c
+// — the maintenance invariant every block-mutating code path must
+// preserve. Comparisons use Float64bits so even sign-of-zero drift is
+// caught.
+func (b *Block) CheckSync(i int, c *CF) error {
+	if i < 0 || i >= len(b.n) {
+		return fmt.Errorf("cf: block slot %d out of range (len %d)", i, len(b.n))
+	}
+	if c.N <= 0 {
+		return fmt.Errorf("cf: block slot %d backed by empty CF", i)
+	}
+	if len(c.LS) != b.dim {
+		return fmt.Errorf("cf: block dim %d, entry dim %d", b.dim, len(c.LS))
+	}
+	if b.n[i] != c.N {
+		return fmt.Errorf("cf: block slot %d N=%d, entry N=%d", i, b.n[i], c.N)
+	}
+	n := float64(c.N)
+	d := b.dim
+	xoff := i * b.x0Stride()
+	loff := i * b.lsStride()
+	for j, v := range c.LS {
+		if math.Float64bits(b.x0[xoff+j]) != math.Float64bits(v/n) {
+			return fmt.Errorf("cf: block slot %d x0[%d]=%g, want %g", i, j, b.x0[xoff+j], v/n)
+		}
+		if math.Float64bits(b.ls[loff+j]) != math.Float64bits(v) {
+			return fmt.Errorf("cf: block slot %d ls[%d]=%g, want %g", i, j, b.ls[loff+j], v)
+		}
+	}
+	if math.Float64bits(b.x0[xoff+d]) != math.Float64bits(n) {
+		return fmt.Errorf("cf: block slot %d x0-slab N=%g, want %g", i, b.x0[xoff+d], n)
+	}
+	if math.Float64bits(b.ls[loff+d]) != math.Float64bits(c.SS/n) {
+		return fmt.Errorf("cf: block slot %d SS/N=%g, want %g", i, b.ls[loff+d], c.SS/n)
+	}
+	if math.Float64bits(b.ls[loff+d+1]) != math.Float64bits(c.SS) {
+		return fmt.Errorf("cf: block slot %d SS=%g, want %g", i, b.ls[loff+d+1], c.SS)
+	}
+	if math.Float64bits(b.ls[loff+d+2]) != math.Float64bits(n) {
+		return fmt.Errorf("cf: block slot %d ls-slab N=%g, want %g", i, b.ls[loff+d+2], n)
+	}
+	return nil
+}

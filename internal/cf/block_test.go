@@ -1,0 +1,132 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// TestBlockSetAppendSync pins the maintenance invariant: after any
+// sequence of Append/Set/Remove/Truncate, every slot is bit-identical to
+// recomputation from the CF it mirrors.
+func TestBlockSetAppendSync(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, dim := range []int{1, 2, 7, 32} {
+		b := NewBlock(dim, 4)
+		var mirror []CF
+		for i := 0; i < 12; i++ {
+			c := randCF(r, dim, 1+r.Intn(30), 50)
+			b.Append(&c)
+			mirror = append(mirror, c)
+		}
+		checkMirror(t, b, mirror)
+
+		// Merge into a few slots and refresh them, as the absorb path does.
+		for i := 0; i < 6; i++ {
+			idx := r.Intn(len(mirror))
+			add := randCF(r, dim, 1+r.Intn(5), 50)
+			mirror[idx].Merge(&add)
+			b.Set(idx, &mirror[idx])
+		}
+		checkMirror(t, b, mirror)
+
+		// Remove from the middle, then truncate.
+		b.Remove(3)
+		mirror = append(mirror[:3], mirror[4:]...)
+		checkMirror(t, b, mirror)
+		b.Truncate(5)
+		mirror = mirror[:5]
+		checkMirror(t, b, mirror)
+
+		// Refill after truncation: capacity reuse must not corrupt slots.
+		extra := randCF(r, dim, 3, 50)
+		b.Append(&extra)
+		mirror = append(mirror, extra)
+		checkMirror(t, b, mirror)
+	}
+}
+
+func checkMirror(t *testing.T, b *Block, mirror []CF) {
+	t.Helper()
+	if b.Len() != len(mirror) {
+		t.Fatalf("block len %d, mirror len %d", b.Len(), len(mirror))
+	}
+	for i := range mirror {
+		if err := b.CheckSync(i, &mirror[i]); err != nil {
+			t.Fatalf("slot %d out of sync: %v", i, err)
+		}
+		if b.EntryN(i) != mirror[i].N {
+			t.Fatalf("slot %d EntryN %d, want %d", i, b.EntryN(i), mirror[i].N)
+		}
+	}
+}
+
+// TestBlockCheckSyncDetectsDrift makes sure the sync checker actually
+// fails on a stale slot — otherwise the fuzzer's oracle is vacuous.
+func TestBlockCheckSyncDetectsDrift(t *testing.T) {
+	c := FromPoints([]vec.Vector{vec.Of(1, 2), vec.Of(3, 4)})
+	b := NewBlock(2, 2)
+	b.Append(&c)
+	drifted := c.Clone()
+	drifted.AddPoint(vec.Of(5, 6))
+	if err := b.CheckSync(0, &drifted); err == nil {
+		t.Fatal("CheckSync accepted a stale slot")
+	}
+	if err := b.CheckSync(0, &c); err != nil {
+		t.Fatalf("CheckSync rejected a synced slot: %v", err)
+	}
+	if err := b.CheckSync(5, &c); err == nil {
+		t.Fatal("CheckSync accepted an out-of-range slot")
+	}
+}
+
+// TestBlockAppendCFs verifies round-tripping slots back into CFs is
+// bit-exact (N, LS, SS are stored verbatim in the slab).
+func TestBlockAppendCFs(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	const dim = 5
+	b := NewBlock(dim, 2)
+	var want []CF
+	for i := 0; i < 9; i++ {
+		c := randCF(r, dim, 1+r.Intn(20), 1e6)
+		b.Append(&c)
+		want = append(want, c)
+	}
+	got := b.AppendCFs(nil)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d CFs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].N != want[i].N {
+			t.Fatalf("CF %d: N=%d, want %d", i, got[i].N, want[i].N)
+		}
+		if math.Float64bits(got[i].SS) != math.Float64bits(want[i].SS) {
+			t.Fatalf("CF %d: SS=%g, want %g", i, got[i].SS, want[i].SS)
+		}
+		for j := range want[i].LS {
+			if math.Float64bits(got[i].LS[j]) != math.Float64bits(want[i].LS[j]) {
+				t.Fatalf("CF %d: LS[%d]=%g, want %g", i, j, got[i].LS[j], want[i].LS[j])
+			}
+		}
+		// Decoded CFs must be independent copies, not slab aliases.
+		got[i].LS[0]++
+		if err := b.CheckSync(i, &want[i]); err != nil {
+			t.Fatalf("mutating a decoded CF corrupted the block: %v", err)
+		}
+		got[i].LS[0]--
+	}
+}
+
+// TestBlockValidation pins the constructor and Set preconditions.
+func TestBlockValidation(t *testing.T) {
+	mustPanic(t, "zero dim", func() { NewBlock(0, 4) })
+	b := NewBlock(2, 4)
+	empty := New(2)
+	one := FromPoint(vec.Of(1, 2))
+	b.Append(&one)
+	mustPanic(t, "empty CF", func() { b.Set(0, &empty) })
+	wrong := FromPoint(vec.Of(1, 2, 3))
+	mustPanic(t, "dimension mismatch", func() { b.Set(0, &wrong) })
+}

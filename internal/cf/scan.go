@@ -1,0 +1,193 @@
+package cf
+
+import "math"
+
+// This file provides the fused argmin scan kernels: the second stage of
+// the closest-entry-scan specialization. PR 2's Kernel removed the
+// per-pair metric switch and the query-side recomputation; what remained
+// was one indirect call per candidate plus a pointer chase to each
+// entry's separately allocated LS vector. A ScanKernel walks a node's
+// contiguous Block instead — the whole candidate loop is one function, so
+// there are zero indirect calls per candidate, and each metric streams
+// exactly one packed slab (x0 for D0/D1/D4, ls for D2/D3) so every byte
+// pulled through the cache is a byte the metric reads.
+//
+// Exactness contract: for every metric m, non-empty query q and Block blk
+// whose slots are in sync with entries e_0..e_k (Block.CheckSync),
+//
+//	ScanKernelFor(m)(qry bound to q, blk)
+//
+// returns exactly the (index, distance) the per-entry loop
+//
+//	best, bestD := 0, KernelFor(m)(qry, &e_0)
+//	for i := 1..k { if d := KernelFor(m)(qry, &e_i); d < bestD { ... } }
+//
+// would produce — bit-for-bit distances, ties keeping the lowest index.
+// The scan bodies perform the same floating-point operations in the same
+// order as the kernels (and therefore as the generic DistanceSq); the
+// only hoisted values are whole subexpressions (LS[j]/N, SS/N,
+// float64(N)) stored in the block by the very operations the kernels
+// would perform, so no reassociation occurs anywhere. scan_test.go
+// property-checks this with Float64bits comparisons for all five
+// metrics, including the cancellation cases.
+//
+// Each scan evaluates candidate 0 inside the same `i == 0 || d < bestD`
+// update as the rest, which is exactly the reference loop's behaviour for
+// every input, including non-finite distances from overflowing (but
+// valid) CFs.
+
+// ScanKernel returns the index of the block slot closest to the query
+// bound into q, together with its squared metric distance. The block must
+// be non-empty and slot-synced with the entries it summarizes.
+type ScanKernel func(q *Query, b *Block) (idx int, d float64)
+
+// ScanKernelFor returns the fused argmin scan for metric m.
+func ScanKernelFor(m Metric) ScanKernel {
+	switch m {
+	case D0:
+		return scanD0
+	case D1:
+		return scanD1
+	case D2:
+		return scanD2
+	case D3:
+		return scanD3
+	case D4:
+		return scanD4
+	default:
+		panic("cf: invalid metric " + m.String())
+	}
+}
+
+// scanD0 fuses kernelD0 over the block: squared Euclidean centroid
+// distance, candidate centroids streamed straight from the x0 slab.
+func scanD0(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	qx := q.x0[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := v - qx[j]
+			s += d * d
+		}
+		d := math.Sqrt(s)
+		d = d * d
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanD1 fuses kernelD1: squared Manhattan centroid distance.
+func scanD1(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	qx := q.x0[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			s += math.Abs(v - qx[j])
+		}
+		d := s * s
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanD2 fuses kernelD2: SS1/N1 + SS2/N2 − 2·(LS1·LS2)/(N1·N2), one
+// linear pass over the ls slab — raw LS for the dot product, then the
+// packed SS/N and float64(N) tail words. Clamped to 0 exactly as the
+// kernel is.
+func scanD2(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 3
+	k := len(b.n)
+	slab := b.ls
+	qls := q.ls[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cls := slab[off : off+dim : off+dim]
+		var dot float64
+		for j, v := range cls {
+			dot += v * qls[j]
+		}
+		d := slab[off+dim] + q.ssOverN - 2*dot/(slab[off+dim+2]*q.n)
+		if d < 0 {
+			d = 0
+		}
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanD3 fuses kernelD3: the squared diameter of the merged cluster from
+// the raw triples in the ls slab. The count sum n1+n2 is added in integer
+// form exactly as the kernel does, so this scan also reads the n array.
+func scanD3(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 3
+	nn := b.n
+	slab := b.ls
+	qls := q.ls[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < len(nn); i, off = i+1, off+stride {
+		cls := slab[off : off+dim : off+dim]
+		var lsSq float64
+		for j, v := range cls {
+			s := v + qls[j]
+			lsSq += s * s
+		}
+		var d float64
+		if n := float64(nn[i] + q.ni); n >= 2 {
+			ss := slab[off+dim+1] + q.ss
+			d = (2*n*ss - 2*lsSq) / (n * (n - 1))
+			if d < 0 {
+				d = 0
+			}
+		}
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanD4 fuses kernelD4: the Ward-form variance increase with both
+// centroids hoisted, one linear pass over the x0 slab (the candidate's
+// float64(N) is the slab's tail word).
+func scanD4(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	qx := q.x0[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var cdistSq float64
+		for j, v := range cx {
+			d := v - qx[j]
+			cdistSq += d * d
+		}
+		na := slab[off+dim]
+		d := na * q.n / (na + q.n) * cdistSq
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

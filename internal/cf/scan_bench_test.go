@@ -1,0 +1,67 @@
+package cf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCands builds k random candidate CFs of dimension dim plus a block
+// and query over them, for the scan-vs-loop microbenchmarks.
+func benchCands(dim, k int) ([]CF, *Block, *Query) {
+	rng := rand.New(rand.NewSource(42))
+	cands := make([]CF, k)
+	for i := range cands {
+		c := New(dim)
+		for p := 0; p < 3+rng.Intn(5); p++ {
+			pt := make([]float64, dim)
+			for j := range pt {
+				pt[j] = rng.NormFloat64() * 10
+			}
+			c.AddPoint(pt)
+		}
+		cands[i] = c
+	}
+	blk := NewBlock(dim, k)
+	for i := range cands {
+		blk.Append(&cands[i])
+	}
+	q := NewQuery(dim)
+	qc := cands[k/2].Clone()
+	q.Bind(&qc)
+	return cands, blk, q
+}
+
+func benchmarkScan(b *testing.B, m Metric, dim, k int) {
+	cands, blk, q := benchCands(dim, k)
+	kern := KernelFor(m)
+	scan := ScanKernelFor(m)
+
+	b.Run("entries", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			best, bestD := 0, kern(q, &cands[0])
+			for j := 1; j < len(cands); j++ {
+				if d := kern(q, &cands[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			sink += best
+		}
+		_ = sink
+	})
+	b.Run("fused", func(b *testing.B) {
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			best, _ := scan(q, blk)
+			sink += best
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkScanD2Dim2K64(b *testing.B)  { benchmarkScan(b, D2, 2, 64) }
+func BenchmarkScanD2Dim8K48(b *testing.B)  { benchmarkScan(b, D2, 8, 48) }
+func BenchmarkScanD2Dim32K14(b *testing.B) { benchmarkScan(b, D2, 32, 14) }
+func BenchmarkScanD0Dim8K48(b *testing.B)  { benchmarkScan(b, D0, 8, 48) }
+func BenchmarkScanD3Dim8K48(b *testing.B)  { benchmarkScan(b, D3, 8, 48) }
+func BenchmarkScanD4Dim32K14(b *testing.B) { benchmarkScan(b, D4, 32, 14) }

@@ -1,0 +1,153 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// blockOf builds a slot-synced Block over the candidate CFs.
+func blockOf(dim int, cands []CF) *Block {
+	b := NewBlock(dim, len(cands))
+	for i := range cands {
+		b.Append(&cands[i])
+	}
+	return b
+}
+
+// referenceArgmin is the per-entry kernel loop ScanArgmin replaces: the
+// exact code shape Tree.closestEntry used before blocks, down to the
+// strict-< tie rule.
+func referenceArgmin(k Kernel, q *Query, cands []CF) (int, float64) {
+	best, bestD := 0, k(q, &cands[0])
+	for i := 1; i < len(cands); i++ {
+		if d := k(q, &cands[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// TestScanMatchesKernelLoopBitwise is the fused-scan equivalence
+// property: for every metric, over candidate slates spanning the same
+// regimes as the kernel tests (random, singleton, identical,
+// near-identical cancellation, large magnitude), the fused block scan
+// returns the same index and the bit-identical distance as the per-entry
+// kernel loop.
+func TestScanMatchesKernelLoopBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		kernel := KernelFor(m)
+		scan := ScanKernelFor(m)
+		for _, dim := range []int{1, 2, 3, 8, 17, 64} {
+			q := NewQuery(dim)
+			for trial := 0; trial < 40; trial++ {
+				cands := make([]CF, 1+r.Intn(12))
+				for i := range cands {
+					switch trial % 4 {
+					case 0:
+						cands[i] = randCF(r, dim, 1+r.Intn(40), 10)
+					case 1:
+						cands[i] = randCF(r, dim, 1, 5) // singletons
+					case 2:
+						cands[i] = randCF(r, dim, 1+r.Intn(40), 1000)
+					default:
+						cands[i] = randCF(r, dim, 1+r.Intn(40), 1e8)
+					}
+				}
+				// Force exact ties so the lowest-index rule is exercised.
+				if len(cands) > 2 {
+					cands[len(cands)-1] = cands[0].Clone()
+				}
+				query := randCF(r, dim, 1+r.Intn(30), 10)
+				if trial%4 == 2 {
+					// Query ≈ a candidate at large magnitude: the D2
+					// radicand cancels (slightly) negative — the clamp case.
+					query = cands[0].Clone()
+					query.AddPoint(vec.Add(cands[0].Centroid(), smallBump(dim)))
+				}
+				q.Bind(&query)
+				b := blockOf(dim, cands)
+
+				gotIdx, gotD := scan(q, b)
+				wantIdx, wantD := referenceArgmin(kernel, q, cands)
+				if gotIdx != wantIdx {
+					t.Fatalf("%v dim=%d trial=%d: scan picked %d, kernel loop picked %d",
+						m, dim, trial, gotIdx, wantIdx)
+				}
+				if math.Float64bits(gotD) != math.Float64bits(wantD) {
+					t.Fatalf("%v dim=%d trial=%d: scan d=%v (bits %x) != kernel loop d=%v (bits %x)",
+						m, dim, trial, gotD, math.Float64bits(gotD), wantD, math.Float64bits(wantD))
+				}
+			}
+		}
+	}
+}
+
+func smallBump(dim int) vec.Vector {
+	b := vec.New(dim)
+	b[0] = 1e-9
+	return b
+}
+
+// TestScanAfterIncrementalMaintenance checks the property that matters to
+// the tree: after slots are refreshed incrementally (Set after merges,
+// Append, Remove), the scan still agrees bit-for-bit with the kernel loop
+// over the mirrored entries — i.e. incremental maintenance is
+// indistinguishable from rebuilding the slab.
+func TestScanAfterIncrementalMaintenance(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	const dim = 6
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		kernel := KernelFor(m)
+		scan := ScanKernelFor(m)
+		q := NewQuery(dim)
+
+		cands := make([]CF, 8)
+		for i := range cands {
+			cands[i] = randCF(r, dim, 1+r.Intn(20), 20)
+		}
+		b := blockOf(dim, cands)
+
+		for step := 0; step < 200; step++ {
+			switch r.Intn(4) {
+			case 0: // absorb: merge into a slot, refresh it
+				i := r.Intn(len(cands))
+				add := randCF(r, dim, 1+r.Intn(4), 20)
+				cands[i].Merge(&add)
+				b.Set(i, &cands[i])
+			case 1: // append a fresh entry
+				c := randCF(r, dim, 1+r.Intn(20), 20)
+				cands = append(cands, c)
+				b.Append(&cands[len(cands)-1])
+			case 2: // remove, keeping at least one entry
+				if len(cands) > 1 {
+					i := r.Intn(len(cands))
+					cands = append(cands[:i], cands[i+1:]...)
+					b.Remove(i)
+				}
+			default: // scan and compare
+				query := randCF(r, dim, 1+r.Intn(10), 20)
+				q.Bind(&query)
+				gotIdx, gotD := scan(q, b)
+				wantIdx, wantD := referenceArgmin(kernel, q, cands)
+				if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) {
+					t.Fatalf("%v step=%d: scan (%d, %v) != kernel loop (%d, %v)",
+						m, step, gotIdx, gotD, wantIdx, wantD)
+				}
+			}
+		}
+	}
+}
+
+// TestScanKernelForValidation pins the metric switch.
+func TestScanKernelForValidation(t *testing.T) {
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		if ScanKernelFor(m) == nil {
+			t.Fatalf("ScanKernelFor(%v) = nil", m)
+		}
+	}
+	mustPanic(t, "invalid metric", func() { ScanKernelFor(Metric(99)) })
+}

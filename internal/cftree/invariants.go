@@ -14,7 +14,7 @@ import (
 //
 // Invariants checked:
 //  1. Every nonleaf entry's CF equals the sum of its child's entry CFs
-//     (CF Additivity along the tree).
+//     (CF Additivity along the tree), verified in place via SummaryInto.
 //  2. No node exceeds its capacity (B for nonleaf, L for leaf), and every
 //     node except the root holds at least one entry.
 //  3. All leaves are at the same depth (height balance).
@@ -23,7 +23,9 @@ import (
 //     not match in-order tree traversal: splits redistribute entries
 //     between sibling nodes, so the chain reflects split history.)
 //  5. Every leaf entry satisfies the threshold condition.
-//  6. Aggregate counters (nodes, leafEntries, points, height) match the
+//  6. Every node's scan block is bit-identical to recomputation from its
+//     entries (the fused-descent maintenance contract).
+//  7. Aggregate counters (nodes, leafEntries, points, height) match the
 //     actual structure.
 func (t *Tree) CheckInvariants() error {
 	if t.root == nil {
@@ -35,67 +37,68 @@ func (t *Tree) CheckInvariants() error {
 		leafEntries = 0
 		points      int64
 		chainLeaves []*Node
+		scratch     = cf.New(t.params.Dim)
 	)
 
-	var walk func(n *Node, depth int) (cf.CF, error)
-	walk = func(n *Node, depth int) (cf.CF, error) {
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
 		nodeCount++
 		if n != t.root && len(n.entries) == 0 {
-			return cf.CF{}, fmt.Errorf("cftree: empty non-root node at depth %d", depth)
+			return fmt.Errorf("cftree: empty non-root node at depth %d", depth)
 		}
 		if len(n.entries) > t.capacityOf(n) {
-			return cf.CF{}, fmt.Errorf("cftree: node at depth %d has %d entries, capacity %d",
+			return fmt.Errorf("cftree: node at depth %d has %d entries, capacity %d",
 				depth, len(n.entries), t.capacityOf(n))
 		}
-		sum := cf.New(t.params.Dim)
+		if err := n.checkBlockSync(); err != nil {
+			return fmt.Errorf("cftree: node at depth %d: %w", depth, err)
+		}
 		if n.leaf {
 			if leafDepth == -1 {
 				leafDepth = depth
 			} else if depth != leafDepth {
-				return cf.CF{}, fmt.Errorf("cftree: leaf at depth %d, expected %d (unbalanced)",
+				return fmt.Errorf("cftree: leaf at depth %d, expected %d (unbalanced)",
 					depth, leafDepth)
 			}
 			chainLeaves = append(chainLeaves, n)
 			for i := range n.entries {
 				e := &n.entries[i]
 				if e.Child != nil {
-					return cf.CF{}, fmt.Errorf("cftree: leaf entry %d has a child", i)
+					return fmt.Errorf("cftree: leaf entry %d has a child", i)
 				}
 				if err := e.CF.Validate(); err != nil {
-					return cf.CF{}, fmt.Errorf("cftree: leaf entry %d: %w", i, err)
+					return fmt.Errorf("cftree: leaf entry %d: %w", i, err)
 				}
 				if !cf.SatisfiesThreshold(&e.CF, t.params.ThresholdKind, t.params.Threshold+1e-9) {
-					return cf.CF{}, fmt.Errorf(
+					return fmt.Errorf(
 						"cftree: leaf entry %d violates threshold %g (kind %v): D=%g R=%g",
 						i, t.params.Threshold, t.params.ThresholdKind,
 						e.CF.Diameter(), e.CF.Radius())
 				}
 				leafEntries++
 				points += e.CF.N
-				sum.Merge(&e.CF)
 			}
-			return sum, nil
+			return nil
 		}
 		for i := range n.entries {
 			e := &n.entries[i]
 			if e.Child == nil {
-				return cf.CF{}, fmt.Errorf("cftree: nonleaf entry %d has nil child", i)
+				return fmt.Errorf("cftree: nonleaf entry %d has nil child", i)
 			}
-			childSum, err := walk(e.Child, depth+1)
-			if err != nil {
-				return cf.CF{}, err
+			if err := walk(e.Child, depth+1); err != nil {
+				return err
 			}
-			if !cfApproxEqual(&e.CF, &childSum) {
-				return cf.CF{}, fmt.Errorf(
+			e.Child.SummaryInto(&scratch)
+			if !cfApproxEqual(&e.CF, &scratch) {
+				return fmt.Errorf(
 					"cftree: nonleaf entry %d CF %v does not summarize child %v",
-					i, e.CF.String(), childSum.String())
+					i, e.CF.String(), scratch.String())
 			}
-			sum.Merge(&e.CF)
 		}
-		return sum, nil
+		return nil
 	}
 
-	if _, err := walk(t.root, 1); err != nil {
+	if err := walk(t.root, 1); err != nil {
 		return err
 	}
 

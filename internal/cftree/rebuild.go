@@ -77,13 +77,18 @@ func (t *Tree) freeInterior(n *Node) {
 // LeafCFs returns a copy of every leaf entry's CF in chain order. Phase 3
 // clusters these directly.
 func (t *Tree) LeafCFs() []cf.CF {
-	out := make([]cf.CF, 0, t.leafEntries)
+	return t.AppendLeafCFs(make([]cf.CF, 0, t.leafEntries))
+}
+
+// AppendLeafCFs appends a copy of every leaf entry's CF in chain order to
+// dst. The copies are decoded from each leaf's contiguous scan block —
+// whose slots store the raw (N, LS, SS) triples verbatim — so snapshot
+// builders read one slab per leaf instead of chasing a pointer per entry.
+func (t *Tree) AppendLeafCFs(dst []cf.CF) []cf.CF {
 	for leaf := t.leafHead; leaf != nil; leaf = leaf.next {
-		for i := range leaf.entries {
-			out = append(out, leaf.entries[i].CF.Clone())
-		}
+		dst = leaf.blk.AppendCFs(dst)
 	}
-	return out
+	return dst
 }
 
 // LeafEntryStats summarizes the population of leaf entries. Phase 1's

@@ -17,8 +17,7 @@ func (t *Tree) splitNode(n *Node) *Node {
 	if n.leaf {
 		t.linkAfter(n, sibling)
 	}
-	old := n.entries
-	n.entries = make([]Entry, 0, t.capacityOf(n)+1)
+	old := n.takeEntries(t.capacityOf(n) + 1)
 	t.redistribute(old, n, sibling)
 	return sibling
 }
@@ -34,8 +33,12 @@ func (t *Tree) redistribute(entries []Entry, a, b *Node) {
 	seedA, seedB := t.farthestPair(entries)
 	capacity := t.capacityOf(a)
 
-	a.entries = append(a.entries[:0], entries[seedA])
-	b.entries = append(b.entries[:0], entries[seedB])
+	a.resetEntries()
+	b.resetEntries()
+	a.appendEntry(entries[seedA])
+	b.appendEntry(entries[seedB])
+	// Stable: a and b are pre-sized past capacity, so the appends below
+	// never reallocate the entry slices out from under these pointers.
 	cfA := &a.entries[0].CF
 	cfB := &b.entries[0].CF
 
@@ -52,9 +55,9 @@ func (t *Tree) redistribute(entries []Entry, a, b *Node) {
 			toA = true
 		}
 		if toA {
-			a.entries = append(a.entries, e)
+			a.appendEntry(e)
 		} else {
-			b.entries = append(b.entries, e)
+			b.appendEntry(e)
 		}
 	}
 }
@@ -101,22 +104,25 @@ func (t *Tree) mergingRefinement(parent *Node, splitIdxA, splitIdxB int) {
 
 	if len(combined) <= t.capacityOf(childI) {
 		// Merge into childI, free childJ.
-		childI.entries = append(childI.entries[:0], combined...)
+		childI.resetEntries()
+		for _, e := range combined {
+			childI.appendEntry(e)
+		}
 		if childJ.leaf {
 			t.unlink(childJ)
 		}
 		t.freeNode(childJ)
 		t.nodes--
-		parent.entries[ci].CF = childI.summaryCF(t.params.Dim)
-		parent.entries = append(parent.entries[:cj], parent.entries[cj+1:]...)
+		parent.refreshSummary(ci)
+		parent.removeEntry(cj)
 		return
 	}
 
 	// Resplit the union across the two existing children; seeds are the
 	// farthest pair, so both nodes end up better packed.
 	t.redistribute(combined, childI, childJ)
-	parent.entries[ci].CF = childI.summaryCF(t.params.Dim)
-	parent.entries[cj].CF = childJ.summaryCF(t.params.Dim)
+	parent.refreshSummary(ci)
+	parent.refreshSummary(cj)
 }
 
 // closestPair returns the indices (i < j) of the two closest entries under

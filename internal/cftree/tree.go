@@ -27,6 +27,38 @@ type Params struct {
 	// MergingRefinement enables the split-ameliorating merge step of
 	// Section 4.3 (on by default in the paper's algorithm description).
 	MergingRefinement bool
+	// Scan selects the closest-entry scan implementation. The default
+	// ScanFused walks each node's contiguous scan block with the fused
+	// argmin kernel; ScanEntries keeps the per-entry kernel loop as the
+	// reference path for differential tests and benchmark baselines. Both
+	// produce bit-identical trees.
+	Scan ScanMode
+}
+
+// ScanMode selects how the closest-entry scan is executed.
+type ScanMode int
+
+const (
+	// ScanFused walks the node's contiguous scan block with the fused
+	// per-metric argmin kernel — no indirect call per candidate, linear
+	// slab reads (the default).
+	ScanFused ScanMode = iota
+	// ScanEntries evaluates the specialized kernel per entry, chasing
+	// each entry's own LS vector. Kept as the bit-exact reference
+	// implementation.
+	ScanEntries
+)
+
+// String names the scan mode.
+func (s ScanMode) String() string {
+	switch s {
+	case ScanFused:
+		return "fused"
+	case ScanEntries:
+		return "entries"
+	default:
+		return fmt.Sprintf("ScanMode(%d)", int(s))
+	}
 }
 
 // Validate reports parameter errors.
@@ -45,6 +77,9 @@ func (p Params) Validate() error {
 	}
 	if !p.Metric.Valid() {
 		return fmt.Errorf("cftree: invalid metric %v", p.Metric)
+	}
+	if p.Scan != ScanFused && p.Scan != ScanEntries {
+		return fmt.Errorf("cftree: invalid scan mode %v", p.Scan)
 	}
 	return nil
 }
@@ -72,6 +107,10 @@ type Tree struct {
 	// kernel is the metric-specialized distance kernel, resolved once at
 	// construction instead of switching on the metric per candidate pair.
 	kernel cf.Kernel
+	// scan is the fused argmin kernel that walks a node's scan block in
+	// one call; nil when params.Scan is ScanEntries, in which case
+	// closestEntry falls back to the per-entry kernel loop.
+	scan cf.ScanKernel
 	// query carries the incoming entry's hoisted constant terms during
 	// an insertion's closest-entry scans. Reused across insertions.
 	query *cf.Query
@@ -93,6 +132,9 @@ func New(params Params, pgr *pager.Pager) (*Tree, error) {
 		pgr:    pgr,
 		kernel: cf.KernelFor(params.Metric),
 		query:  cf.NewQuery(params.Dim),
+	}
+	if params.Scan == ScanFused {
+		t.scan = cf.ScanKernelFor(params.Metric)
 	}
 	t.root = t.newNode(true, params.LeafCap+1)
 	t.leafHead, t.leafTail = t.root, t.root
@@ -184,18 +226,19 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 	}
 
 	// Phase C: apply. Update CFs along the path first — they summarize
-	// the whole subtree regardless of how the leaf accommodates ent.
+	// the whole subtree regardless of how the leaf accommodates ent. Each
+	// step refreshes the touched scan-block slot in place.
 	for _, st := range path {
-		st.node.entries[st.idx].CF.Merge(&ent)
+		st.node.mergeEntry(st.idx, &ent)
 	}
 	t.points += ent.N
 
 	if absorbIdx >= 0 {
-		n.entries[absorbIdx].CF.Merge(&ent)
+		n.mergeEntry(absorbIdx, &ent)
 		return nil
 	}
 
-	n.entries = append(n.entries, Entry{CF: ent.Clone()})
+	n.appendEntry(Entry{CF: ent.Clone()})
 	t.leafEntries++
 	if len(n.entries) <= t.params.LeafCap {
 		return nil
@@ -207,11 +250,18 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 }
 
 // closestEntry returns the index of the entry of n nearest to the bound
-// query under the tree's metric, in one pass with the specialized kernel.
-// n must be non-empty and t.query bound. The kernel is bit-identical to
-// cf.DistanceSq and ties keep the lowest index, so the choice matches the
-// generic scan exactly.
+// query under the tree's metric. n must be non-empty and t.query bound.
+// The default path is one fused argmin call over the node's contiguous
+// scan block; ScanEntries keeps the per-entry kernel loop as the
+// reference. Both are bit-identical to cf.DistanceSq per pair and keep
+// the lowest index on ties, so the choice always matches the generic
+// scan exactly (scan_test.go and the ScanMode differential test pin
+// this).
 func (t *Tree) closestEntry(n *Node) int {
+	if t.scan != nil {
+		idx, _ := t.scan(t.query, n.blk)
+		return idx
+	}
 	best, bestD := 0, t.kernel(t.query, &n.entries[0].CF)
 	for i := 1; i < len(n.entries); i++ {
 		d := t.kernel(t.query, &n.entries[i].CF)
@@ -242,10 +292,8 @@ func (t *Tree) splitAndPropagate(n *Node, path []pathStep) {
 			// n was the root: grow a new root above n and sibling.
 			newRoot := t.newNode(false, t.params.Branching+1)
 			t.nodes++
-			newRoot.entries = append(newRoot.entries,
-				Entry{CF: n.summaryCF(t.params.Dim), Child: n},
-				Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling},
-			)
+			newRoot.appendEntry(Entry{CF: n.summaryCF(t.params.Dim), Child: n})
+			newRoot.appendEntry(Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling})
 			t.root = newRoot
 			t.height++
 			return
@@ -255,10 +303,10 @@ func (t *Tree) splitAndPropagate(n *Node, path []pathStep) {
 		idx := path[len(path)-1].idx
 		path = path[:len(path)-1]
 
-		// Refresh the CF for the shrunken n and add an entry for sibling.
-		parent.entries[idx].CF = n.summaryCF(t.params.Dim)
-		parent.entries = append(parent.entries,
-			Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling})
+		// Refresh the CF for the shrunken n in place and add an entry for
+		// sibling.
+		parent.refreshSummary(idx)
+		parent.appendEntry(Entry{CF: sibling.summaryCF(t.params.Dim), Child: sibling})
 
 		if len(parent.entries) <= t.params.Branching {
 			// Propagation stops here; optionally run merging refinement

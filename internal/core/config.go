@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"birch/internal/cf"
+	"birch/internal/cftree"
 )
 
 // GlobalAlg selects the Phase 3 algorithm.
@@ -69,6 +70,12 @@ type Config struct {
 	// MergingRefinement toggles the Section 4.3 split amelioration
 	// (default on).
 	MergingRefinement bool
+	// Scan selects the Phase 1 closest-entry scan implementation. The
+	// zero value (cftree.ScanFused) walks each node's contiguous scan
+	// block with the fused argmin kernel; cftree.ScanEntries keeps the
+	// per-entry kernel loop as the bit-identical reference path, useful
+	// for differential testing and as a benchmark baseline.
+	Scan cftree.ScanMode
 	// OutlierHandling toggles the Section 5.1.4 outlier disk (default on).
 	OutlierHandling bool
 	// OutlierFraction defines a potential outlier as a leaf entry with

@@ -68,6 +68,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		ThresholdKind:     cfg.ThresholdKind,
 		Metric:            cfg.Metric,
 		MergingRefinement: cfg.MergingRefinement,
+		Scan:              cfg.Scan,
 	}, pgr)
 	if err != nil {
 		return nil, err

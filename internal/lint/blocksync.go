@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// blockSyncMutators are the cf.CF methods that change the CF's summary.
+// Calling one of them on an entry CF without refreshing the node's scan
+// block leaves the block stale.
+var blockSyncMutators = map[string]bool{
+	"Merge":            true,
+	"Unmerge":          true,
+	"AddPoint":         true,
+	"AddWeightedPoint": true,
+	"SetPoint":         true,
+	"Reset":            true,
+}
+
+// blockSyncExemptFile is the one file allowed to touch node entries
+// directly: it defines the sanctioned mutation helpers (mergeEntry,
+// appendEntry, removeEntry, resetEntries, takeEntries, refreshSummary)
+// that pair every entry mutation with its scan-block refresh.
+const blockSyncExemptFile = "node.go"
+
+// BlockSync flags direct mutation of a CF-tree node's entries outside the
+// sanctioned helpers in node.go.
+//
+// Every cftree node carries a scan block — a contiguous slab mirroring
+// its entries' hoisted candidate terms — that the fused argmin descent
+// kernel reads instead of the entries themselves. The block is maintained
+// incrementally: each mutation helper in node.go updates the slots it
+// touches. Any other code path that assigns through `entries`, applies
+// ++/--, or calls a CF-mutating method (Merge, Unmerge, AddPoint,
+// AddWeightedPoint, SetPoint, Reset) on an entry CF would desynchronize
+// the block silently — descent would then rank candidates by stale
+// geometry while the tree's CFs say otherwise. The pass is syntactic
+// (any expression rooted at a selector or identifier named `entries`)
+// so it also covers helpers that alias entries locally.
+//
+// Reading entries is fine; test files and node.go itself are exempt.
+type BlockSync struct{}
+
+// Name implements Pass.
+func (BlockSync) Name() string { return "blocksync" }
+
+// Doc implements Pass.
+func (BlockSync) Doc() string {
+	return "flags direct mutation of cftree node entries outside node.go's helpers; every entry write must refresh the node's scan block"
+}
+
+// Run implements Pass.
+func (p BlockSync) Run(m *Module, pkg *Package) []Diagnostic {
+	// The invariant belongs to the cftree package (matched by name so the
+	// fixture package, which declares its own local Node/entries types,
+	// exercises the same code path).
+	if pkg.Name != "cftree" {
+		return nil
+	}
+	var out []Diagnostic
+	flag := func(pos token.Pos, how string) {
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(pos),
+			Pass: p.Name(),
+			Message: fmt.Sprintf("%s mutates node entries outside node.go; route it through the node's mutation helpers so the scan block stays in sync",
+				how),
+		})
+	}
+	for i, file := range pkg.Files {
+		base := filepath.Base(pkg.Filenames[i])
+		if base == blockSyncExemptFile || strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if entriesRooted(lhs) {
+						flag(lhs.Pos(), "assignment")
+					}
+				}
+			case *ast.IncDecStmt:
+				if entriesRooted(n.X) {
+					flag(n.X.Pos(), n.Tok.String())
+				}
+			case *ast.CallExpr:
+				sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || !blockSyncMutators[sel.Sel.Name] {
+					return true
+				}
+				if entriesRooted(sel.X) {
+					flag(n.Pos(), "calling "+sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// entriesRooted reports whether the expression dereferences through a
+// node's entries — an identifier or field selection named "entries",
+// possibly behind indexing, further selection, parentheses, or pointer
+// operations.
+func entriesRooted(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name == "entries"
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "entries" {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

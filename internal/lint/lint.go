@@ -15,6 +15,12 @@
 //     flow through AddPoint/Merge/Unmerge so every CF stays a valid
 //     summary).
 //
+// A fourth discipline guards the cache-resident tree layout: cftree node
+// entries may only be mutated through the sanctioned helpers in node.go,
+// which pair every entry write with the refresh of the node's contiguous
+// scan block (the slab the fused argmin descent kernel reads). The
+// blocksync pass flags any other entry mutation in the package.
+//
 // Two more passes guard the engineering constraints: the module must stay
 // dependency-free (stdlib-only imports), and pager/snapshot I/O error
 // returns must never be silently dropped.
@@ -63,6 +69,7 @@ func AllPasses() []Pass {
 		FloatEq{},
 		SqrtClamp{},
 		CFMutate{},
+		BlockSync{},
 		StdlibOnly{},
 		IOErrCheck{},
 	}

@@ -1,0 +1,56 @@
+// Package cftree (fixture) exercises the blocksync pass with a local
+// mock of the real package's shapes: a Node with unexported entries, an
+// Entry carrying a CF with the real mutator method names. The pass is
+// syntactic and matches packages named "cftree", so these local types
+// drive exactly the code path that guards the real tree.
+//
+// This file plays the role of the real node.go: it is exempt, so the
+// sanctioned helpers below must produce no diagnostics even though they
+// mutate entries directly.
+package cftree
+
+// CF mirrors the mutator surface of cf.CF.
+type CF struct {
+	N  int64
+	LS []float64
+	SS float64
+}
+
+func (c *CF) Merge(o *CF)                           {}
+func (c *CF) Unmerge(o *CF)                         {}
+func (c *CF) AddPoint(p []float64)                  {}
+func (c *CF) AddWeightedPoint(p []float64, w int64) {}
+func (c *CF) SetPoint(p []float64)                  {}
+func (c *CF) Reset()                                {}
+func (c *CF) Radius() float64                       { return 0 }
+
+// Block stands in for cf.Block.
+type Block struct{}
+
+func (b *Block) Set(i int, c *CF) {}
+func (b *Block) Append(c *CF)     {}
+func (b *Block) Remove(i int)     {}
+
+// Entry and Node mirror the real node shapes.
+type Entry struct {
+	CF    CF
+	Child *Node
+}
+
+type Node struct {
+	entries []Entry
+	blk     *Block
+}
+
+// mergeEntry is a sanctioned helper: entry mutation paired with its
+// scan-block refresh, allowed because this file is node.go.
+func (n *Node) mergeEntry(i int, ent *CF) {
+	n.entries[i].CF.Merge(ent) // ok: node.go is the sanctioned site
+	n.blk.Set(i, &n.entries[i].CF)
+}
+
+// appendEntry likewise.
+func (n *Node) appendEntry(e Entry) {
+	n.entries = append(n.entries, e) // ok: node.go
+	n.blk.Append(&n.entries[len(n.entries)-1].CF)
+}

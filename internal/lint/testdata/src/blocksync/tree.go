@@ -1,0 +1,43 @@
+package cftree
+
+// Lines marked "flagged" appear in testdata/blocksync.golden; everything
+// else must stay silent.
+
+func violations(n *Node, ent *CF, e Entry) {
+	n.entries[0].CF.Merge(ent)                  // flagged: mutator call on an entry CF
+	n.entries[1].CF.Reset()                     // flagged: Reset desyncs the block too
+	n.entries[0].CF.AddPoint(ent.LS)            // flagged: AddPoint
+	n.entries[0].CF.AddWeightedPoint(ent.LS, 2) // flagged: AddWeightedPoint
+	n.entries[0].CF.SetPoint(ent.LS)            // flagged: SetPoint
+	n.entries[0].CF.Unmerge(ent)                // flagged: Unmerge
+	n.entries = append(n.entries, e)            // flagged: append bypasses appendEntry
+	n.entries[2].CF = *ent                      // flagged: whole-CF overwrite
+	n.entries[0].CF.SS = 1                      // flagged: field write through entries
+	n.entries[0].CF.N++                         // flagged: ++
+	n.entries = n.entries[:0]                   // flagged: truncation bypasses resetEntries
+}
+
+func aliasedRoot(n *Node, ent *CF) {
+	entries := n.entries
+	entries[0].CF.Merge(ent) // flagged: the alias is still named entries
+}
+
+func reads(n *Node, other *CF) float64 {
+	r := 0.0
+	for i := range n.entries {
+		e := &n.entries[i] // ok: taking an entry's address for reading
+		r += e.CF.Radius() // ok: non-mutating method
+		_ = e.Child
+	}
+	_ = n.entries[0].CF.N   // ok: field read
+	_ = len(n.entries)      // ok
+	other.Merge(other)      // ok: not rooted at entries
+	sink := n.entries[0].CF // ok: copying out, entries on the RHS only
+	_ = sink
+	return r
+}
+
+func helpersInUse(n *Node, ent *CF, e Entry) {
+	n.mergeEntry(0, ent) // ok: the sanctioned route
+	n.appendEntry(e)     // ok
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 
+	"birch/internal/cf"
 	"birch/internal/core"
 	"birch/internal/vec"
 )
@@ -70,14 +71,17 @@ func (e *Engine) applyOp(s *shard, o op) {
 	}
 }
 
-// reportShard builds a shardReport on the owner goroutine. LeafCFs clones
-// every CF, so the summary stays valid while the shard keeps mutating.
+// reportShard builds a shardReport on the owner goroutine. The snapshot
+// decodes each leaf's contiguous scan block in one pass (AppendLeafCFs),
+// cloning every CF so the summary stays valid while the shard keeps
+// mutating.
 func reportShard(s *shard) shardReport {
 	t := s.eng.Tree()
 	counters := s.eng.CounterStats()
+	leaves := t.AppendLeafCFs(make([]cf.CF, 0, t.LeafEntries()))
 	return shardReport{
 		shard: s.id,
-		sum:   core.Summary{CFs: t.LeafCFs(), Threshold: t.Threshold()},
+		sum:   core.Summary{CFs: leaves, Threshold: t.Threshold()},
 		stats: ShardStats{
 			Shard:         s.id,
 			Points:        t.Points(),
