@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint test test-stream race fuzz-smoke bench bench-scan bench-smoke check clean
+.PHONY: all build vet lint test test-stream test-tail race fuzz-smoke bench bench-scan bench-tail bench-smoke check clean
 
 all: build
 
@@ -28,7 +28,13 @@ test:
 test-stream:
 	$(GO) test -race ./internal/stream/...
 
-race: test-stream
+# Focused race-detector run of the parallel-tail determinism battery:
+# worker-sweep bit-exactness of Phase 4 assignment, parallel Lloyd, the
+# closest-pair scan, and the batch serving paths.
+test-tail:
+	$(GO) test -race -run 'TailWorkers|TestAssign|TestCluster|ClosestLeafPairDistanceWorkers|ClassifyBatch|NearestBatch' ./internal/kmeans ./internal/cftree ./internal/core ./internal/stream
+
+race: test-stream test-tail
 	$(GO) test -race ./...
 
 # Short fuzz burst over every fuzz target; catches codec and tree
@@ -50,6 +56,13 @@ bench:
 # loop on converged trees, written to BENCH_scan.json in the repo root.
 bench-scan:
 	$(GO) run ./cmd/birchbench -only scan -out .
+
+# Parallel-tail workloads only: Phase 4 refinement passes (reference vs
+# chunked Assigner at 1 and 8 workers) and the classify serving path
+# (brute/fused/kd/batch per-query cost), written to BENCH_tail.json in
+# the repo root.
+bench-tail:
+	$(GO) run ./cmd/birchbench -only tail -out .
 
 # Reduced-size run for CI: exercises the harness end to end (including
 # its JSON self-validation) without meaningful measurement time. The

@@ -93,6 +93,23 @@ type Workload struct {
 	Metric              string  `json:"metric,omitempty"`
 	EntryScanNsPerPoint float64 `json:"entry_scan_ns_per_point,omitempty"`
 	FusedVsEntryScan    float64 `json:"fused_vs_entry_scan,omitempty"`
+
+	// Parallel-tail (BENCH_tail.json) fields. Refine workloads: K is the
+	// centroid count; RefNsPerPoint is the pre-parallel reference
+	// assignment, the standard ns column is the production Assigner at one
+	// worker, ParNsPerPoint the Assigner at the configured worker count,
+	// and SpeedupVsRef = ref/par (> 1 means the production path is
+	// faster). Classify workloads: per-query ns under each Finder mode
+	// plus the batch path; the fused-vs-kd columns across K locate the
+	// kmeans.FusedKDThreshold crossover.
+	K               int     `json:"k,omitempty"`
+	RefNsPerPoint   float64 `json:"ref_ns_per_point,omitempty"`
+	ParNsPerPoint   float64 `json:"par_ns_per_point,omitempty"`
+	SpeedupVsRef    float64 `json:"speedup_vs_ref,omitempty"`
+	BruteNsPerQuery float64 `json:"brute_ns_per_query,omitempty"`
+	FusedNsPerQuery float64 `json:"fused_ns_per_query,omitempty"`
+	KDNsPerQuery    float64 `json:"kd_ns_per_query,omitempty"`
+	BatchNsPerQuery float64 `json:"batch_ns_per_query,omitempty"`
 }
 
 // Comparison is the per-workload baseline-vs-current delta.
@@ -123,10 +140,10 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
-	only := flag.String("only", "all", `run a subset: "all" or "scan" (descent-scan workloads only)`)
+	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only) or "tail" (parallel-tail workloads only)`)
 	flag.Parse()
-	if *only != "all" && *only != "scan" {
-		fatal(fmt.Errorf("unknown -only value %q (want all or scan)", *only))
+	if *only != "all" && *only != "scan" && *only != "tail" {
+		fatal(fmt.Errorf("unknown -only value %q (want all, scan or tail)", *only))
 	}
 
 	meta := Meta{
@@ -140,6 +157,18 @@ func main() {
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
+	}
+
+	if *only == "tail" {
+		tail := runTailWorkloads(*quick, *reps, *workers)
+		if err := writeReport(filepath.Join(*outDir, tailFile), meta, tail, *baseDir); err != nil {
+			fatal(err)
+		}
+		if err := verifyTail(*outDir, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d tail workloads -> %s\n", len(tail), *outDir)
+		return
 	}
 
 	scan := runDescentWorkloads(*quick, *reps)
@@ -157,6 +186,7 @@ func main() {
 	phase1 := runPhase1Workloads(*quick, *reps)
 	pipeline := runPipelineWorkloads(*quick, *reps, *workers)
 	streamed := runStreamWorkloads(*quick, *reps)
+	tail := runTailWorkloads(*quick, *reps, *workers)
 
 	if err := writeReport(filepath.Join(*outDir, phase1File), meta, phase1, *baseDir); err != nil {
 		fatal(err)
@@ -167,11 +197,14 @@ func main() {
 	if err := writeReport(filepath.Join(*outDir, streamFile), meta, streamed, *baseDir); err != nil {
 		fatal(err)
 	}
+	if err := writeReport(filepath.Join(*outDir, tailFile), meta, tail, *baseDir); err != nil {
+		fatal(err)
+	}
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), len(scan), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d tail workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), len(tail), *outDir)
 }
 
 func fatal(err error) {
@@ -460,6 +493,9 @@ func verifyScan(dir string, quick bool) error {
 // key is present with sane fields — the bench-smoke contract.
 func verify(dir string, quick bool) error {
 	if err := verifyScan(dir, quick); err != nil {
+		return err
+	}
+	if err := verifyTail(dir, quick); err != nil {
 		return err
 	}
 	wantPhase1 := make([]string, 0, 4)

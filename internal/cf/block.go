@@ -3,6 +3,8 @@ package cf
 import (
 	"fmt"
 	"math"
+
+	"birch/internal/vec"
 )
 
 // Block is a CF-tree node's scan slab: contiguous arrays (plus an []int64
@@ -109,6 +111,45 @@ func (b *Block) Append(c *CF) {
 	b.x0 = appendZeros(b.x0, b.dim+1)
 	b.ls = appendZeros(b.ls, b.dim+3)
 	b.Set(len(b.n)-1, c)
+}
+
+// SetPoint writes slot i as the singleton CF of point p — (1, p, ‖p‖²) —
+// without materializing the CF. The stored bits are exactly what
+// Set(i, FromPoint(p)) would store: with N = 1 the hoisted divisions
+// LS[j]/N and SS/N reproduce their operands bit-for-bit (IEEE division
+// by 1.0 is exact), so CheckSync against FromPoint(p) holds. Flat
+// centroid blocks — the serving-path packing behind the nearest-centroid
+// argmin of Phase 4 assignment, Lloyd iteration and Classify — use this
+// to re-pack moving centroids in place with zero allocations.
+func (b *Block) SetPoint(i int, p vec.Vector) {
+	if len(p) != b.dim {
+		panic("cf: Block.SetPoint dimension mismatch")
+	}
+	d := b.dim
+	xoff := i * (d + 1)
+	loff := i * (d + 3)
+	ss := p.SqNorm()
+	x0 := b.x0[xoff : xoff+d : xoff+d]
+	ls := b.ls[loff : loff+d : loff+d]
+	for j, v := range p {
+		x0[j] = v
+		ls[j] = v
+	}
+	b.x0[xoff+d] = 1
+	b.ls[loff+d] = ss // SS/N with N = 1
+	b.ls[loff+d+1] = ss
+	b.ls[loff+d+2] = 1
+	b.n[i] = 1
+}
+
+// AppendPoint adds a singleton-CF slot for p at the end of the block,
+// the SetPoint counterpart of Append. Within the block's pre-sized
+// capacity it performs no heap allocation.
+func (b *Block) AppendPoint(p vec.Vector) {
+	b.n = append(b.n, 0)
+	b.x0 = appendZeros(b.x0, b.dim+1)
+	b.ls = appendZeros(b.ls, b.dim+3)
+	b.SetPoint(len(b.n)-1, p)
 }
 
 // appendZeros extends s by k zeroed elements. Within capacity (the

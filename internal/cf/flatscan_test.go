@@ -1,0 +1,127 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// bruteNearest is the reference loop ScanNearestX0 replaces: the flat
+// O(K) vec.SqDist scan shared by Phase 4 assignment, Lloyd iteration and
+// Classify, down to the strict-< lowest-index tie rule.
+func bruteNearest(q vec.Vector, centroids []vec.Vector) (int, float64) {
+	best, bestD := 0, vec.SqDist(q, centroids[0])
+	for i := 1; i < len(centroids); i++ {
+		if d := vec.SqDist(q, centroids[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// centroidBlock packs the centroids one singleton slot each.
+func centroidBlock(dim int, centroids []vec.Vector) *Block {
+	b := NewBlock(dim, len(centroids))
+	for _, c := range centroids {
+		b.AppendPoint(c)
+	}
+	return b
+}
+
+// TestScanNearestX0MatchesBruteBitwise is the flat-scan equivalence
+// property: over random centroid slates (including exact duplicates, so
+// the lowest-index tie rule is exercised) the fused scan returns the same
+// index and the bit-identical squared distance as the brute vec.SqDist
+// loop.
+func TestScanNearestX0MatchesBruteBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, dim := range []int{1, 2, 3, 8, 17, 64} {
+		for trial := 0; trial < 60; trial++ {
+			k := 1 + r.Intn(40)
+			centroids := make([]vec.Vector, k)
+			for i := range centroids {
+				c := vec.New(dim)
+				scale := math.Pow(10, float64(r.Intn(7)-3))
+				for j := range c {
+					c[j] = (r.Float64() - 0.5) * scale
+				}
+				centroids[i] = c
+			}
+			// Duplicate a centroid so exact ties occur.
+			if k > 2 {
+				centroids[k-1] = centroids[r.Intn(k-1)].Clone()
+			}
+			b := centroidBlock(dim, centroids)
+			for qi := 0; qi < 20; qi++ {
+				q := vec.New(dim)
+				for j := range q {
+					q[j] = (r.Float64() - 0.5) * 100
+				}
+				if qi%5 == 0 {
+					q = centroids[r.Intn(k)].Clone() // distance-zero tie case
+				}
+				wantI, wantD := bruteNearest(q, centroids)
+				gotI, gotD := ScanNearestX0(q, b)
+				if gotI != wantI {
+					t.Fatalf("dim=%d k=%d: fused index %d, brute %d", dim, k, gotI, wantI)
+				}
+				if math.Float64bits(gotD) != math.Float64bits(wantD) {
+					t.Fatalf("dim=%d k=%d: fused d=%x, brute d=%x",
+						dim, k, math.Float64bits(gotD), math.Float64bits(wantD))
+				}
+			}
+		}
+	}
+}
+
+// TestBlockSetPointMatchesSet verifies the SetPoint fast path stores
+// exactly the bits Set(FromPoint(p)) would, via the CheckSync contract.
+func TestBlockSetPointMatchesSet(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for _, dim := range []int{1, 2, 7, 33} {
+		b := NewBlock(dim, 8)
+		ref := NewBlock(dim, 8)
+		for i := 0; i < 8; i++ {
+			p := vec.New(dim)
+			for j := range p {
+				p[j] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(9)-4))
+			}
+			b.AppendPoint(p)
+			c := FromPoint(p)
+			ref.Append(&c)
+			if err := b.CheckSync(i, &c); err != nil {
+				t.Fatalf("dim=%d slot %d: SetPoint out of sync with FromPoint: %v", dim, i, err)
+			}
+		}
+	}
+}
+
+// TestBlockSetPointZeroAlloc pins the serving-path contract: re-packing
+// moving centroids into an existing block allocates nothing.
+func TestBlockSetPointZeroAlloc(t *testing.T) {
+	const dim, k = 8, 32
+	b := NewBlock(dim, k)
+	centroids := make([]vec.Vector, k)
+	for i := range centroids {
+		c := vec.New(dim)
+		for j := range c {
+			c[j] = float64(i*dim + j)
+		}
+		centroids[i] = c
+		b.AppendPoint(c)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Truncate(0)
+		for _, c := range centroids {
+			b.AppendPoint(c)
+		}
+		for i, c := range centroids {
+			b.SetPoint(i, c)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("re-packing a centroid block allocates %.1f times per pass, want 0", allocs)
+	}
+}

@@ -1,6 +1,10 @@
 package cf
 
-import "math"
+import (
+	"math"
+
+	"birch/internal/vec"
+)
 
 // This file provides the fused argmin scan kernels: the second stage of
 // the closest-entry-scan specialization. PR 2's Kernel removed the
@@ -57,6 +61,44 @@ func ScanKernelFor(m Metric) ScanKernel {
 	default:
 		panic("cf: invalid metric " + m.String())
 	}
+}
+
+// ScanNearestX0 is the fused flat-scan serving kernel: the argmin over
+// the block's x0 slab of the plain squared Euclidean distance ‖q − X0ᵢ‖²,
+// returning the winning slot index and that squared distance.
+//
+// Unlike scanD0 it performs no sqrt-then-square round trip, because its
+// reference loop is not DistanceSq(D0) but the flat nearest-centroid
+// brute loop over vec.SqDist that Phase 4 assignment, Lloyd iteration,
+// Result.Classify and the exact k-d tree all minimize. The agreement is
+// bit-for-bit: each slot's term (v − q[j])² equals the brute loop's
+// (q[j] − v)² exactly (IEEE negation is exact), sums accumulate in the
+// same component order, and ties keep the lowest index just as a strict
+// `<` scan from slot 0 does. flatscan_test.go property-checks this with
+// Float64bits comparisons.
+//
+// The block must be non-empty; centroid blocks pack one point per slot
+// via SetPoint/AppendPoint, but any slot-synced block works — the x0
+// slab always carries the entry centroids.
+func ScanNearestX0(q vec.Vector, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	qx := q[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := v - qx[j]
+			s += d * d
+		}
+		if i == 0 || s < bestD {
+			best, bestD = i, s
+		}
+	}
+	return best, bestD
 }
 
 // scanD0 fuses kernelD0 over the block: squared Euclidean centroid

@@ -3,6 +3,8 @@ package cftree
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"birch/internal/cf"
 )
@@ -130,6 +132,14 @@ func (t *Tree) Stats() LeafEntryStats {
 	return s
 }
 
+// closestPairChunk is the fixed number of leaves each parallel chunk of
+// ClosestLeafPairDistance scans. The grid depends only on the leaf count,
+// never on the worker count; a min-reduction over non-NaN distances is
+// associative and commutative even in floating point, so the fold order
+// cannot change the result anyway — the fixed grid just keeps the scan's
+// structure identical to the other deterministic tail loops.
+const closestPairChunk = 32
+
 // ClosestLeafPairDistance returns the minimum distance (under the tree's
 // metric) between any two leaf entries that share a leaf node, and whether
 // such a pair exists. The threshold heuristic of Section 5.1.2 uses this
@@ -138,18 +148,73 @@ func (t *Tree) Stats() LeafEntryStats {
 // larger threshold would fuse. Restricting the search to co-resident
 // entries keeps it cheap and matches the locality argument of the paper
 // ("the most crowded leaf").
-func (t *Tree) ClosestLeafPairDistance() (float64, bool) {
-	best := 0.0
-	found := false
+//
+// workers bounds the goroutines scanning leaves; values ≤ 1 run inline.
+// The all-pairs scan inside each leaf is independent of every other leaf,
+// so leaves fan out whole. The result is identical for every worker
+// count.
+func (t *Tree) ClosestLeafPairDistance(workers int) (float64, bool) {
+	var leaves []*Node
 	for leaf := t.leafHead; leaf != nil; leaf = leaf.next {
-		for i := 0; i < len(leaf.entries); i++ {
-			for j := i + 1; j < len(leaf.entries); j++ {
-				d := cf.DistanceSq(t.params.Metric,
-					&leaf.entries[i].CF, &leaf.entries[j].CF)
-				if !found || d < best {
-					best, found = d, true
+		leaves = append(leaves, leaf)
+	}
+	n := len(leaves)
+	if n == 0 {
+		return 0, false
+	}
+	chunks := (n + closestPairChunk - 1) / closestPairChunk
+
+	bests := make([]float64, chunks)
+	founds := make([]bool, chunks)
+	scan := func(c int) {
+		lo := c * closestPairChunk
+		hi := min(lo+closestPairChunk, n)
+		best := 0.0
+		found := false
+		for _, leaf := range leaves[lo:hi] {
+			for i := 0; i < len(leaf.entries); i++ {
+				for j := i + 1; j < len(leaf.entries); j++ {
+					d := cf.DistanceSq(t.params.Metric,
+						&leaf.entries[i].CF, &leaf.entries[j].CF)
+					if !found || d < best {
+						best, found = d, true
+					}
 				}
 			}
+		}
+		bests[c], founds[c] = best, found
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			scan(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					scan(c)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	best := 0.0
+	found := false
+	for c := 0; c < chunks; c++ {
+		if founds[c] && (!found || bests[c] < best) {
+			best, found = bests[c], true
 		}
 	}
 	if !found {

@@ -378,16 +378,16 @@ func TestClosestLeafPairDistance(t *testing.T) {
 	p.Threshold = 0
 	p.Metric = cf.D0
 	tr := mustTree(t, p)
-	if _, ok := tr.ClosestLeafPairDistance(); ok {
+	if _, ok := tr.ClosestLeafPairDistance(1); ok {
 		t.Fatal("empty tree reported a closest pair")
 	}
 	insertPoint(tr, 0, 0)
-	if _, ok := tr.ClosestLeafPairDistance(); ok {
+	if _, ok := tr.ClosestLeafPairDistance(1); ok {
 		t.Fatal("single entry reported a closest pair")
 	}
 	insertPoint(tr, 1, 0)
 	insertPoint(tr, 3, 0)
-	d, ok := tr.ClosestLeafPairDistance()
+	d, ok := tr.ClosestLeafPairDistance(1)
 	if !ok {
 		t.Fatal("no closest pair found")
 	}
@@ -570,5 +570,32 @@ func TestAccessors(t *testing.T) {
 	}
 	if got := tr.Params().Branching; got != p.Branching {
 		t.Errorf("Params().Branching = %d", got)
+	}
+}
+
+// TestClosestLeafPairDistanceWorkers checks the chunked parallel
+// closest-pair scan returns bit-identical distances for every worker
+// count, on a tree with enough leaves to span several chunks.
+func TestClosestLeafPairDistanceWorkers(t *testing.T) {
+	p := defaultParams()
+	p.Threshold = 0.3
+	tr := mustTree(t, p)
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 3000; i++ {
+		insertPoint(tr, r.Float64()*100, r.Float64()*100)
+	}
+	want, ok := tr.ClosestLeafPairDistance(1)
+	if !ok {
+		t.Fatal("no closest pair on a populated tree")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, ok := tr.ClosestLeafPairDistance(w)
+		if !ok {
+			t.Fatalf("W=%d: no pair found", w)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("W=%d: distance bits %x, want %x",
+				w, math.Float64bits(got), math.Float64bits(want))
+		}
 	}
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"birch/internal/cf"
 	"birch/internal/cftree"
@@ -126,6 +127,23 @@ type Config struct {
 
 	// Seed drives the deterministic randomness of GlobalKMeans.
 	Seed int64
+
+	// TailWorkers bounds the goroutines used by the pipeline tail —
+	// Phase 2's closest-pair scan, Phase 3's Lloyd iterations and
+	// Phase 4's refinement passes. Zero means GOMAXPROCS; 1 runs the
+	// tail sequentially. Every tail loop reduces over a fixed chunk grid
+	// in chunk-index order, so results (labels, cluster CFs, centroids)
+	// are bit-identical for every worker count.
+	TailWorkers int
+}
+
+// tailWorkers resolves TailWorkers, mapping the zero default to
+// GOMAXPROCS.
+func (c *Config) tailWorkers() int {
+	if c.TailWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.TailWorkers
 }
 
 // DefaultConfig returns the paper's default parameter settings (Table 2)
@@ -191,6 +209,9 @@ func (c Config) Validate() error {
 	}
 	if (c.GlobalAlgorithm == GlobalKMeans || c.GlobalAlgorithm == GlobalCLARANS) && c.K == 0 {
 		return fmt.Errorf("core: %v requires K", c.GlobalAlgorithm)
+	}
+	if c.TailWorkers < 0 {
+		return fmt.Errorf("core: negative TailWorkers %d", c.TailWorkers)
 	}
 	if c.Refine && c.RefinePasses < 1 {
 		return fmt.Errorf("core: RefinePasses %d < 1", c.RefinePasses)

@@ -106,7 +106,7 @@ func (e *Engine) Condense() Phase2Stats {
 		// packed volume needs T to grow by (m/target)^(1/d).
 		ratio := float64(e.tree.LeafEntries()) / float64(target)
 		newT := curT * math.Pow(ratio, 1/float64(e.cfg.Dim))
-		if dmin, ok := e.tree.ClosestLeafPairDistance(); ok && dmin > newT {
+		if dmin, ok := e.tree.ClosestLeafPairDistance(e.cfg.tailWorkers()); ok && dmin > newT {
 			newT = dmin
 		}
 		if newT <= curT {
@@ -118,7 +118,10 @@ func (e *Engine) Condense() Phase2Stats {
 		}
 		nt, _, err := e.tree.Rebuild(newT, nil)
 		if err != nil {
-			break // unreachable with newT ≥ 0; keep the old tree on bugs
+			// Unreachable with newT ≥ 0; keep the old tree on bugs, but
+			// surface the condition instead of swallowing it.
+			st.Err = fmt.Errorf("core: phase 2 rebuild at T=%g: %w", newT, err)
+			break
 		}
 		e.tree = nt
 		st.Rebuilds++
@@ -158,8 +161,9 @@ func (e *Engine) GlobalCluster(stats *Phase3Stats) ([]cf.CF, error) {
 		clusters = res.Clusters
 	case GlobalKMeans:
 		res, err := kmeans.Cluster(leaves, kmeans.Options{
-			K:    e.cfg.K,
-			Seed: e.cfg.Seed,
+			K:       e.cfg.K,
+			Seed:    e.cfg.Seed,
+			Workers: e.cfg.tailWorkers(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: phase 3 k-means: %w", err)
@@ -211,6 +215,13 @@ func refine(e *Engine, points []vec.Vector, seeds []cf.CF, res *Result) error {
 		}
 	}
 
+	// One Assigner serves every pass: its labels, per-cluster sums,
+	// per-chunk partials and packed centroid block are sized on the first
+	// pass and reused afterwards, so the steady-state pass allocates
+	// nothing (gated by kmeans.TestAssignSteadyStateAllocs). Centroids
+	// are refreshed in place between passes for the same reason.
+	var asg kmeans.Assigner
+	workers := e.cfg.tailWorkers()
 	var labels []int
 	var sums []cf.CF
 	for pass := 0; pass < e.cfg.RefinePasses; pass++ {
@@ -221,8 +232,8 @@ func refine(e *Engine, points []vec.Vector, seeds []cf.CF, res *Result) error {
 		if lastPass {
 			d = discard
 		}
-		labels, sums = kmeans.AssignPoints(points, centroids, d)
-		centroids = refreshCentroids(centroids, sums)
+		labels, sums = asg.Assign(points, centroids, d, workers)
+		refreshCentroidsInPlace(centroids, sums)
 	}
 
 	// Drop empty clusters and remap labels compactly.
@@ -254,19 +265,19 @@ func refine(e *Engine, points []vec.Vector, seeds []cf.CF, res *Result) error {
 	return nil
 }
 
-// refreshCentroids replaces each centroid with its cluster's new mean,
-// keeping the old position for clusters that received no points (so a
-// temporarily starved seed is not destroyed between passes).
-func refreshCentroids(old []vec.Vector, sums []cf.CF) []vec.Vector {
-	out := make([]vec.Vector, len(sums))
+// refreshCentroidsInPlace replaces each centroid with its cluster's new
+// mean, writing into the existing vectors, and keeps the old position
+// for clusters that received no points (so a temporarily starved seed is
+// not destroyed between passes). CentroidInto stores bit-for-bit the
+// values Centroid would allocate, so the in-place refresh changes no
+// result — only the per-pass allocation count.
+func refreshCentroidsInPlace(centroids []vec.Vector, sums []cf.CF) {
 	for i := range sums {
 		if sums[i].N == 0 {
-			out[i] = old[i]
 			continue
 		}
-		out[i] = sums[i].Centroid()
+		sums[i].CentroidInto(centroids[i])
 	}
-	return out
 }
 
 // centroidsOf extracts the centroid of each non-empty cluster.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"birch/internal/cf"
+	"birch/internal/kmeans"
 	"birch/internal/pager"
 	"birch/internal/vec"
 )
@@ -26,6 +28,11 @@ type Result struct {
 	Outliers int64
 	// Stats carries per-phase observability.
 	Stats RunStats
+
+	// classifyOnce/classifyFinder lazily cache the packed nearest-centroid
+	// index that serves Classify and ClassifyBatch (see classify.go).
+	classifyOnce   sync.Once
+	classifyFinder *kmeans.Finder
 }
 
 // RunStats aggregates timings and counters per phase.
@@ -60,6 +67,11 @@ type Phase2Stats struct {
 	Rebuilds     int
 	LeafEntries  int // after condensing
 	EndThreshold float64
+	// Err records a rebuild failure that stopped condensing early. The
+	// pipeline keeps the last good tree and continues — the tree is valid,
+	// just less condensed than requested — so this is observability, not a
+	// run failure.
+	Err error
 }
 
 // Phase3Stats describes the global clustering phase.

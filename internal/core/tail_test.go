@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// tailPoints generates a clustered dataset large enough to span several
+// assignment chunks.
+func tailPoints(r *rand.Rand, n, dim int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := vec.New(dim)
+		center := float64(i%7) * 12
+		for j := range p {
+			p[j] = center + r.NormFloat64()*1.5
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// requireResultsBitEqual fails unless two pipeline results carry the
+// same labels and bit-identical centroids and cluster CFs.
+func requireResultsBitEqual(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if len(got.Labels) != len(want.Labels) {
+		t.Fatalf("%s: %d labels, want %d", ctx, len(got.Labels), len(want.Labels))
+	}
+	for i := range want.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: label[%d]=%d, want %d", ctx, i, got.Labels[i], want.Labels[i])
+		}
+	}
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("%s: %d centroids, want %d", ctx, len(got.Centroids), len(want.Centroids))
+	}
+	for c := range want.Centroids {
+		for j := range want.Centroids[c] {
+			if math.Float64bits(got.Centroids[c][j]) != math.Float64bits(want.Centroids[c][j]) {
+				t.Fatalf("%s: centroid %d[%d] bits %x, want %x", ctx, c, j,
+					math.Float64bits(got.Centroids[c][j]), math.Float64bits(want.Centroids[c][j]))
+			}
+		}
+	}
+	if len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("%s: %d clusters, want %d", ctx, len(got.Clusters), len(want.Clusters))
+	}
+	for i := range want.Clusters {
+		g, w := &got.Clusters[i], &want.Clusters[i]
+		if g.N != w.N || math.Float64bits(g.SS) != math.Float64bits(w.SS) {
+			t.Fatalf("%s: cluster %d (N=%d SS=%x), want (N=%d SS=%x)", ctx, i,
+				g.N, math.Float64bits(g.SS), w.N, math.Float64bits(w.SS))
+		}
+		for j := range w.LS {
+			if math.Float64bits(g.LS[j]) != math.Float64bits(w.LS[j]) {
+				t.Fatalf("%s: cluster %d LS[%d] bits differ", ctx, i, j)
+			}
+		}
+	}
+}
+
+// TestRunTailWorkersBitExact is the end-to-end determinism gate for the
+// parallel tail: the full pipeline — Phase 2 closest-pair scans,
+// Phase 3 parallel Lloyd, Phase 4 chunked refinement — produces
+// bit-identical labels, centroids and cluster CFs for every TailWorkers
+// value, across Phase 1 metrics and dimensions.
+func TestRunTailWorkersBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for _, metric := range []cf.Metric{cf.D0, cf.D2, cf.D4} {
+		for _, dim := range []int{2, 3, 5} {
+			pts := tailPoints(r, 5000, dim)
+			cfg := DefaultConfig(dim, 7)
+			cfg.Metric = metric
+			cfg.GlobalAlgorithm = GlobalKMeans
+			cfg.RefinePasses = 3
+			cfg.Seed = 5
+
+			cfg.TailWorkers = 1
+			want, err := Run(pts, cfg)
+			if err != nil {
+				t.Fatalf("metric=%v dim=%d W=1: %v", metric, dim, err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				cfg.TailWorkers = w
+				got, err := Run(pts, cfg)
+				if err != nil {
+					t.Fatalf("metric=%v dim=%d W=%d: %v", metric, dim, w, err)
+				}
+				requireResultsBitEqual(t, "tail workers", got, want)
+			}
+		}
+	}
+}
+
+// TestRunTailWorkersWithDiscard covers the outlier-discarding final pass
+// under the worker sweep.
+func TestRunTailWorkersWithDiscard(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	pts := tailPoints(r, 3000, 3)
+	// A handful of far outliers the final pass should discard.
+	for i := 0; i < 10; i++ {
+		pts = append(pts, vec.Of(1e4+float64(i), -1e4, 1e4))
+	}
+	cfg := DefaultConfig(3, 7)
+	cfg.GlobalAlgorithm = GlobalKMeans
+	cfg.RefinePasses = 2
+	cfg.RefineDiscardOutliers = true
+	cfg.Seed = 3
+
+	cfg.TailWorkers = 1
+	want, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		cfg.TailWorkers = w
+		got, err := Run(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Outliers != want.Outliers {
+			t.Fatalf("W=%d: %d outliers, want %d", w, got.Outliers, want.Outliers)
+		}
+		requireResultsBitEqual(t, "discard sweep", got, want)
+	}
+}
+
+// TestClassifyBatchMatchesClassify pins the batch serving path to the
+// scalar one for every worker count.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	pts := tailPoints(r, 2000, 3)
+	res, err := Run(pts, DefaultConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := tailPoints(r, 500, 3)
+	for _, w := range []int{1, 2, 8} {
+		idx, dist := res.ClassifyBatch(queries, w)
+		if len(idx) != len(queries) || len(dist) != len(queries) {
+			t.Fatalf("W=%d: batch sizes %d/%d, want %d", w, len(idx), len(dist), len(queries))
+		}
+		for i, q := range queries {
+			wi, wd := res.Classify(q)
+			if idx[i] != wi || math.Float64bits(dist[i]) != math.Float64bits(wd) {
+				t.Fatalf("W=%d: batch[%d]=(%d,%x), Classify (%d,%x)", w, i,
+					idx[i], math.Float64bits(dist[i]), wi, math.Float64bits(wd))
+			}
+		}
+	}
+}
+
+// TestNegativeTailWorkersRejected covers the config validation.
+func TestNegativeTailWorkersRejected(t *testing.T) {
+	cfg := DefaultConfig(2, 3)
+	cfg.TailWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative TailWorkers accepted")
+	}
+}

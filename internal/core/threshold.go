@@ -84,8 +84,10 @@ func (te *thresholdEstimator) next(tree *cftree.Tree, curT float64, absorbed int
 		candidates = append(candidates, est)
 	}
 
-	// (3) D_min from the current tree.
-	if dmin, ok := tree.ClosestLeafPairDistance(); ok && dmin > 0 {
+	// (3) D_min from the current tree. Sequential: threshold estimation
+	// runs inside Phase 1, potentially on a per-shard tree with the shard
+	// workers already saturating the cores.
+	if dmin, ok := tree.ClosestLeafPairDistance(1); ok && dmin > 0 {
 		candidates = append(candidates, dmin)
 	}
 

@@ -14,11 +14,9 @@ package kmeans
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"birch/internal/cf"
-	"birch/internal/kdtree"
 	"birch/internal/vec"
 )
 
@@ -38,6 +36,13 @@ type Options struct {
 	// these centers (used by BIRCH Phase 4, which seeds with the Phase 3
 	// centroids). Its length must equal K.
 	InitialCentroids []vec.Vector
+	// Workers bounds the goroutines used by the Lloyd assignment and
+	// accumulation loops; 0 or 1 runs inline. The result is bit-identical
+	// for every value: the loops run over a fixed chunk grid with the
+	// cross-chunk sums folded in chunk-index order, so worker count only
+	// changes wall-clock. Useful when Phase 2 is skipped and Phase 3 sees
+	// 10⁴+ leaf entries.
+	Workers int
 }
 
 // Result is the outcome of a k-means run.
@@ -109,34 +114,72 @@ func Cluster(items []cf.CF, opts Options) (*Result, error) {
 		assign[i] = -1
 	}
 
+	// Lloyd scratch, allocated once and reused across iterations. The
+	// assignment-and-accumulation pass runs over the fixed chunk grid of
+	// assignChunk items: each chunk keeps private weighted sums (in item
+	// order), folded in chunk-index order afterwards, so the iteration is
+	// bit-identical for every Workers value — and, for inputs at or below
+	// one chunk, identical to the plain sequential loop. The
+	// nearest-center search goes through a Finder: the fused flat scan
+	// below FusedKDThreshold centers (bit-identical to the brute loop),
+	// the exact k-d tree above it.
+	n := len(pts)
+	chunks := (n + assignChunk - 1) / assignChunk
+	var finder Finder
+	chunkSums := make([]vec.Vector, chunks*k)
+	for i := range chunkSums {
+		chunkSums[i] = vec.New(dim)
+	}
+	chunkWs := make([]float64, chunks*k)
+	chunkChanged := make([]bool, chunks)
+	sums := make([]vec.Vector, k)
+	for c := range sums {
+		sums[c] = vec.New(dim)
+	}
+	ws := make([]float64, k)
+
 	res := &Result{}
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		changed := false
-		for i, p := range pts {
-			best, bestD := 0, vec.SqDist(p, centers[0])
-			for c := 1; c < k; c++ {
-				if d := vec.SqDist(p, centers[c]); d < bestD {
-					best, bestD = c, d
-				}
+		finder.Reset(centers, FinderAuto)
+		forChunks(n, assignChunk, opts.Workers, func(c, lo, hi int) {
+			csums := chunkSums[c*k : (c+1)*k]
+			cws := chunkWs[c*k : (c+1)*k]
+			for j := range csums {
+				clear(csums[j])
+				cws[j] = 0
 			}
-			if assign[i] != best {
-				assign[i] = best
+			ch := false
+			for i := lo; i < hi; i++ {
+				p := pts[i]
+				best, _ := finder.Nearest(p)
+				if assign[i] != best {
+					assign[i] = best
+					ch = true
+				}
+				s := csums[best]
+				w := wts[i]
+				for j := range p {
+					s[j] += w * p[j]
+				}
+				cws[best] += w
+			}
+			chunkChanged[c] = ch
+		})
+		changed := false
+		for c := 0; c < chunks; c++ {
+			if chunkChanged[c] {
 				changed = true
 			}
 		}
-		// Recompute centers as weighted means.
-		sums := make([]vec.Vector, k)
-		ws := make([]float64, k)
-		for c := range sums {
-			sums[c] = vec.New(dim)
-		}
-		for i, p := range pts {
-			c := assign[i]
-			for j := range p {
-				sums[c][j] += wts[i] * p[j]
+		// Recompute centers as weighted means: ordered chunk fold.
+		for j := 0; j < k; j++ {
+			clear(sums[j])
+			ws[j] = 0
+			for c := 0; c < chunks; c++ {
+				sums[j].AddInPlace(chunkSums[c*k+j])
+				ws[j] += chunkWs[c*k+j]
 			}
-			ws[c] += wts[i]
 		}
 		var maxMove float64
 		for c := 0; c < k; c++ {
@@ -240,64 +283,4 @@ func farthestItem(pts []vec.Vector, centers []vec.Vector, assign []int) int {
 		}
 	}
 	return best
-}
-
-// kdTreeThreshold is the centroid count above which AssignPoints builds
-// a k-d index instead of brute-forcing: below it the O(K) scan's locality
-// wins; above it the O(log K) search does (see the kdtree package's
-// Nearest250 vs Brute250 benchmarks).
-const kdTreeThreshold = 24
-
-// AssignPoints labels raw points by nearest centroid — the core of BIRCH
-// Phase 4. It returns the label per point and the per-cluster CF
-// summaries of the resulting partition. Points farther than
-// discardBeyond from every centroid get label -1 and are excluded from
-// the summaries (the paper's "treat as outlier" option); pass
-// discardBeyond ≤ 0 to disable discarding.
-//
-// With many centroids the nearest-centroid search runs through an exact
-// k-d tree; the assignment distances are identical to brute force (label
-// choice can differ only between exactly equidistant centroids).
-func AssignPoints(points []vec.Vector, centroids []vec.Vector, discardBeyond float64) ([]int, []cf.CF) {
-	if len(centroids) == 0 {
-		panic("kmeans: AssignPoints with no centroids")
-	}
-	labels := make([]int, len(points))
-	sums := make([]cf.CF, len(centroids))
-	for c := range sums {
-		sums[c] = cf.New(centroids[c].Dim())
-	}
-	limit := math.Inf(1)
-	if discardBeyond > 0 {
-		limit = discardBeyond * discardBeyond
-	}
-
-	nearest := bruteNearestFunc(centroids)
-	if len(centroids) >= kdTreeThreshold {
-		tree := kdtree.Build(centroids)
-		nearest = tree.Nearest
-	}
-	for i, p := range points {
-		best, bestD := nearest(p)
-		if bestD > limit {
-			labels[i] = -1
-			continue
-		}
-		labels[i] = best
-		sums[best].AddPoint(p)
-	}
-	return labels, sums
-}
-
-// bruteNearestFunc returns a closure performing the O(K) scan.
-func bruteNearestFunc(centroids []vec.Vector) func(vec.Vector) (int, float64) {
-	return func(p vec.Vector) (int, float64) {
-		best, bestD := 0, vec.SqDist(p, centroids[0])
-		for c := 1; c < len(centroids); c++ {
-			if d := vec.SqDist(p, centroids[c]); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		return best, bestD
-	}
 }

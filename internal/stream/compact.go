@@ -147,10 +147,12 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 		// Serve subcluster centroids rather than nothing: Phase 3 can fail
 		// transiently (e.g. fewer leaf entries than K early in the stream).
 		snap.Centroids = centroidsOf(snap.Subclusters)
+		snap.buildFinder()
 		return snap
 	}
 	snap.Clusters = clusters
 	snap.Centroids = centroidsOf(clusters)
+	snap.buildFinder()
 	return snap
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"birch/internal/cf"
+	"birch/internal/kmeans"
 	"birch/internal/vec"
 )
 
@@ -21,6 +22,22 @@ type Snapshot struct {
 	Clusters    []cf.CF // global clusters (empty if Phase 3 failed or K unset)
 	Centroids   []vec.Vector
 	Shards      []ShardStats
+
+	// finder is the packed nearest-centroid index over Centroids, built
+	// once at publication so every Classify/ClassifyBatch against this
+	// snapshot is pure search. Immutable like the rest of the snapshot;
+	// safe for concurrent queries. Nil when Centroids is empty (or for
+	// snapshots built outside the engine, which fall back to the brute
+	// scan).
+	finder *kmeans.Finder
+}
+
+// buildFinder packs the snapshot's centroids into the serving index.
+// Called once, at publication time, before the snapshot escapes.
+func (s *Snapshot) buildFinder() {
+	if len(s.Centroids) > 0 {
+		s.finder = kmeans.NewFinder(s.Centroids)
+	}
 }
 
 // Snapshot returns the current published snapshot, or nil before the
@@ -33,6 +50,14 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // Lock-free; safe to call at any time, including after Close.
 func (e *Engine) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 	return e.snap.Load().Classify(p)
+}
+
+// ClassifyBatch classifies many points against the current snapshot in
+// one call, amortizing the snapshot load and fanning the scan across at
+// most workers goroutines. ok is false before the first publication or
+// when the snapshot has no centroids. Lock-free with respect to writers.
+func (e *Engine) ClassifyBatch(points []vec.Vector, workers int) (idx []int, dist []float64, ok bool) {
+	return e.snap.Load().ClassifyBatch(points, workers)
 }
 
 // Centroids returns the cluster centroids of the current snapshot (nil
@@ -51,6 +76,10 @@ func (s *Snapshot) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 	if s == nil || len(s.Centroids) == 0 {
 		return -1, 0, false
 	}
+	if s.finder != nil {
+		best, bestD := s.finder.Nearest(p)
+		return best, math.Sqrt(bestD), true
+	}
 	best, bestD := -1, math.Inf(1)
 	for i, c := range s.Centroids {
 		if d := vec.SqDist(p, c); d < bestD {
@@ -58,4 +87,29 @@ func (s *Snapshot) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 		}
 	}
 	return best, math.Sqrt(bestD), true
+}
+
+// ClassifyBatch classifies every point against this snapshot's
+// centroids, returning the cluster index and Euclidean distance per
+// point. The centroid index is built at publication time, so the batch
+// is pure scanning, fanned across at most workers goroutines (≤ 1 runs
+// inline); outputs are per-point, so the result is identical to calling
+// Classify in a loop for every worker count. A nil receiver or a
+// snapshot without centroids reports ok = false. For snapshots built
+// without a packed index a temporary one is constructed for the batch.
+func (s *Snapshot) ClassifyBatch(points []vec.Vector, workers int) (idx []int, dist []float64, ok bool) {
+	if s == nil || len(s.Centroids) == 0 {
+		return nil, nil, false
+	}
+	f := s.finder
+	if f == nil {
+		f = kmeans.NewFinder(s.Centroids)
+	}
+	idx = make([]int, len(points))
+	dist = make([]float64, len(points))
+	f.NearestBatch(points, idx, dist, workers)
+	for i := range dist {
+		dist[i] = math.Sqrt(dist[i])
+	}
+	return idx, dist, true
 }

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -168,5 +169,70 @@ func TestSnapshotNilBeforeFirstPublish(t *testing.T) {
 	st := eng.Stats()
 	if st.Generation != 0 || st.Published != 0 {
 		t.Fatalf("Stats before publish = %+v, want zero generation/published", st)
+	}
+}
+
+// TestSnapshotClassifyBatch pins the batch serving path to the scalar
+// one on a published snapshot, for several worker counts, and checks the
+// pre-publication ok=false contract.
+func TestSnapshotClassifyBatch(t *testing.T) {
+	cfg := core.DefaultConfig(2, 4)
+	cfg.Refine = false
+	eng, err := New(cfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	queries := make([]vec.Vector, 300)
+	for i := range queries {
+		queries[i] = vec.Vector{float64(i % 97), float64((i * 13) % 89)}
+	}
+
+	if _, _, ok := eng.ClassifyBatch(queries, 4); ok {
+		t.Fatal("ClassifyBatch reported ok before any publication")
+	}
+
+	batch := make([]vec.Vector, 2000)
+	for i := range batch {
+		batch[i] = vec.Vector{float64(i % 127), float64((i * 17) % 131)}
+	}
+	if err := eng.InsertBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.Snapshot()
+	if snap == nil || len(snap.Centroids) == 0 {
+		t.Fatal("no centroids after flush")
+	}
+	for _, w := range []int{1, 2, 8} {
+		idx, dist, ok := snap.ClassifyBatch(queries, w)
+		if !ok {
+			t.Fatalf("W=%d: batch not ok on a published snapshot", w)
+		}
+		for i, q := range queries {
+			wi, wd, wok := snap.Classify(q)
+			if !wok || idx[i] != wi || math.Float64bits(dist[i]) != math.Float64bits(wd) {
+				t.Fatalf("W=%d query %d: batch (%d,%x), scalar (%d,%x, ok=%v)", w, i,
+					idx[i], math.Float64bits(dist[i]), wi, math.Float64bits(wd), wok)
+			}
+		}
+	}
+
+	// The engine-level passthrough serves the same snapshot.
+	idx, dist, ok := eng.ClassifyBatch(queries, 4)
+	if !ok {
+		t.Fatal("engine ClassifyBatch not ok after flush")
+	}
+	for i, q := range queries {
+		wi, wd, _ := snap.Classify(q)
+		if idx[i] != wi || math.Float64bits(dist[i]) != math.Float64bits(wd) {
+			t.Fatalf("engine batch query %d: (%d,%x), want (%d,%x)", i,
+				idx[i], math.Float64bits(dist[i]), wi, math.Float64bits(wd))
+		}
 	}
 }
