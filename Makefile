@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint test test-stream test-tail race fuzz-smoke bench bench-scan bench-tail bench-smoke check clean
+.PHONY: all build vet lint lint-escapes test test-stream test-tail race fuzz-smoke bench bench-scan bench-tail bench-smoke check clean
 
 all: build
 
@@ -15,10 +15,20 @@ vet:
 	$(GO) vet ./...
 
 # birchlint is the repo's own static-analysis suite (cmd/birchlint):
-# float-equality, unclamped-sqrt, CF-mutation, stdlib-only and unchecked
-# I/O error checks. Must exit 0.
+# float-equality, unclamped-sqrt, CF-mutation, block-sync, stdlib-only
+# and unchecked-I/O checks plus the annotation-driven contract passes
+# (hotpath, detlint, immutlint, leaklint; DESIGN.md §12). -stale also
+# fails on //birchlint:ignore comments that no longer suppress anything.
+# Must exit 0.
 lint:
-	$(GO) run ./cmd/birchlint ./...
+	$(GO) run ./cmd/birchlint -stale ./...
+
+# Advisory: cross-check the compiler's escape analysis (-gcflags=-m)
+# against the //birchlint:hotpath annotations. Output is compiler-
+# version-sensitive, so this is not part of `check`; CI runs it in a
+# separate non-gating job.
+lint-escapes:
+	$(GO) run ./cmd/birchlint -escapes ./...
 
 test:
 	$(GO) test ./...

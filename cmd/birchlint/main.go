@@ -11,6 +11,11 @@
 // package; a directory under a testdata tree is loaded as a standalone
 // fixture package against the module (used by the lint self-tests).
 //
+// -stale additionally reports //birchlint:ignore comments that did not
+// suppress any diagnostic of the executed passes. -escapes shells out to
+// `go build -gcflags=-m` and cross-checks the compiler's escape analysis
+// against //birchlint:hotpath annotations (advisory; see DESIGN.md §12).
+//
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on usage
 // or load errors.
 package main
@@ -40,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		withTests = fs.Bool("tests", false, "also analyze in-package _test.go files")
 		passNames = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
 		list      = fs.Bool("list", false, "list available passes and exit")
+		stale     = fs.Bool("stale", false, "also report //birchlint:ignore comments that suppress nothing")
+		escapes   = fs.Bool("escapes", false, "cross-check //birchlint:hotpath against go build -gcflags=-m (advisory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +91,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.Run(mod, passes, targets)
+	if *stale {
+		// Run's suppression filtering has recorded which ignores fired;
+		// stale detection consumes that evidence, so order matters.
+		diags = append(diags, lint.Stale(mod, passes, targets)...)
+	}
+	if *escapes {
+		esc, err := lint.CheckEscapes(mod, targets)
+		if err != nil {
+			fmt.Fprintln(stderr, "birchlint:", err)
+			return 2
+		}
+		diags = append(diags, esc...)
+	}
+	lint.SortDiagnostics(diags)
 
 	if *jsonOut {
 		type jsonDiag struct {

@@ -8,21 +8,44 @@ import (
 )
 
 // TestRepoClean is the CLI-level self-check: the repository must be
-// lint-clean and the driver must exit 0 on it.
+// lint-clean — including stale-suppression detection — and the driver
+// must exit 0 on it.
 func TestRepoClean(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
-		t.Fatalf("birchlint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	if code := run([]string{"-stale", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("birchlint -stale ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
 		t.Errorf("expected no diagnostics, got:\n%s", out.String())
 	}
 }
 
+// TestDeterministicOutput runs the full suite twice and requires
+// byte-identical output — the linter itself is held to the determinism
+// contract it enforces.
+func TestDeterministicOutput(t *testing.T) {
+	runOnce := func() (string, int) {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-stale", "-json", "./..."}, &out, &errOut)
+		return out.String(), code
+	}
+	first, code1 := runOnce()
+	second, code2 := runOnce()
+	if code1 != code2 {
+		t.Fatalf("exit codes differ between runs: %d vs %d", code1, code2)
+	}
+	if first != second {
+		t.Errorf("output differs between identical runs\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
 // TestFixturesFail asserts the driver exits non-zero on every violation
 // fixture — the contract the CI lint gate relies on.
 func TestFixturesFail(t *testing.T) {
-	for _, name := range []string{"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck"} {
+	for _, name := range []string{
+		"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck",
+		"hotpath", "detlint", "immutlint", "leaklint",
+	} {
 		t.Run(name, func(t *testing.T) {
 			var out, errOut bytes.Buffer
 			dir := "../../internal/lint/testdata/src/" + name
@@ -34,6 +57,20 @@ func TestFixturesFail(t *testing.T) {
 				t.Errorf("output missing [%s] diagnostics:\n%s", name, out.String())
 			}
 		})
+	}
+}
+
+// TestStaleFixtureFails asserts -stale turns dead suppressions into a
+// non-zero exit — the contract the CI stale gate relies on.
+func TestStaleFixtureFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	dir := "../../internal/lint/testdata/src/stale"
+	code := run([]string{"-stale", "-passes", "floateq", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("birchlint -stale %s = exit %d, want 1\nstderr:\n%s", dir, code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[stale]") {
+		t.Errorf("output missing [stale] diagnostics:\n%s", out.String())
 	}
 }
 
@@ -71,7 +108,10 @@ func TestListPasses(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, name := range []string{"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck"} {
+	for _, name := range []string{
+		"floateq", "sqrtclamp", "cfmutate", "stdlibonly", "ioerrcheck",
+		"hotpath", "detlint", "immutlint", "leaklint",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

@@ -81,6 +81,8 @@ func (b *Block) EntryN(i int) int64 { return b.n[i] }
 // Set recomputes slot i from c. c must be non-empty and of the block's
 // dimension; this is the only place slot values are derived, so every
 // slot always carries exactly the bits a kernel would recompute.
+//
+//birchlint:hotpath
 func (b *Block) Set(i int, c *CF) {
 	if c.N <= 0 {
 		panic("cf: Block.Set with empty CF")
@@ -106,6 +108,8 @@ func (b *Block) Set(i int, c *CF) {
 }
 
 // Append adds a slot for c at the end of the block.
+//
+//birchlint:hotpath
 func (b *Block) Append(c *CF) {
 	b.n = append(b.n, 0)
 	b.x0 = appendZeros(b.x0, b.dim+1)
@@ -121,6 +125,8 @@ func (b *Block) Append(c *CF) {
 // centroid blocks — the serving-path packing behind the nearest-centroid
 // argmin of Phase 4 assignment, Lloyd iteration and Classify — use this
 // to re-pack moving centroids in place with zero allocations.
+//
+//birchlint:hotpath
 func (b *Block) SetPoint(i int, p vec.Vector) {
 	if len(p) != b.dim {
 		panic("cf: Block.SetPoint dimension mismatch")
@@ -145,6 +151,8 @@ func (b *Block) SetPoint(i int, p vec.Vector) {
 // AppendPoint adds a singleton-CF slot for p at the end of the block,
 // the SetPoint counterpart of Append. Within the block's pre-sized
 // capacity it performs no heap allocation.
+//
+//birchlint:hotpath
 func (b *Block) AppendPoint(p vec.Vector) {
 	b.n = append(b.n, 0)
 	b.x0 = appendZeros(b.x0, b.dim+1)
@@ -157,6 +165,8 @@ func (b *Block) AppendPoint(p vec.Vector) {
 // is a reslice plus an explicit clear, never a temporary allocation:
 // Set overwrites the slot immediately, but the zeroing keeps a partially
 // grown slab well-defined if Set panics on a bad CF.
+//
+//birchlint:coldpath
 func appendZeros(s []float64, k int) []float64 {
 	n := len(s)
 	if cap(s)-n >= k {
@@ -179,6 +189,8 @@ func (b *Block) Remove(i int) {
 }
 
 // Truncate drops the block to its first k slots, retaining capacity.
+//
+//birchlint:hotpath
 func (b *Block) Truncate(k int) {
 	b.n = b.n[:k]
 	b.x0 = b.x0[:k*b.x0Stride()]

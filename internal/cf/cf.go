@@ -45,6 +45,8 @@ func FromPoint(p vec.Vector) CF {
 // c's LS buffer when the dimension matches. It is the allocation-free
 // counterpart of FromPoint for hot paths that stream points through a
 // scratch CF; the caller retains ownership of p.
+//
+//birchlint:hotpath
 func (c *CF) SetPoint(p vec.Vector) {
 	if len(c.LS) != len(p) {
 		c.LS = vec.New(len(p))
@@ -94,6 +96,8 @@ func (c *CF) Clone() CF {
 }
 
 // Reset empties the CF in place, preserving dimensionality.
+//
+//birchlint:hotpath
 func (c *CF) Reset() {
 	c.N = 0
 	for i := range c.LS {
@@ -104,6 +108,8 @@ func (c *CF) Reset() {
 
 // AddPoint folds the point p into the feature (CF Additivity with a
 // singleton cluster).
+//
+//birchlint:hotpath
 func (c *CF) AddPoint(p vec.Vector) {
 	if c.N == 0 && len(c.LS) == 0 {
 		c.LS = vec.New(p.Dim())
@@ -116,6 +122,8 @@ func (c *CF) AddPoint(p vec.Vector) {
 // AddWeightedPoint folds w identical copies of point p into the feature.
 // Phase 3's adapted global algorithms treat each leaf entry's centroid as a
 // point with weight N; this is the primitive they rely on.
+//
+//birchlint:hotpath
 func (c *CF) AddWeightedPoint(p vec.Vector, w int64) {
 	if w <= 0 {
 		panic("cf: non-positive weight")
@@ -131,6 +139,8 @@ func (c *CF) AddWeightedPoint(p vec.Vector, w int64) {
 }
 
 // Merge folds other into c (the CF Additivity Theorem).
+//
+//birchlint:hotpath
 func (c *CF) Merge(other *CF) {
 	if other.N == 0 {
 		return
@@ -147,6 +157,8 @@ func (c *CF) Merge(other *CF) {
 // insertion is tentatively applied and must be undone (e.g. threshold test
 // failure after a trial merge). The caller must guarantee other was
 // previously merged into c; otherwise the result is meaningless.
+//
+//birchlint:hotpath
 func (c *CF) Unmerge(other *CF) {
 	if other.N == 0 {
 		return

@@ -99,7 +99,10 @@ func TestBlockSetPointMatchesSet(t *testing.T) {
 }
 
 // TestBlockSetPointZeroAlloc pins the serving-path contract: re-packing
-// moving centroids into an existing block allocates nothing.
+// moving centroids into an existing block allocates nothing. Static
+// half: SetPoint/AppendPoint/Truncate carry //birchlint:hotpath
+// (block.go), so the hotpath pass rejects allocating constructs before
+// this gate ever runs.
 func TestBlockSetPointZeroAlloc(t *testing.T) {
 	const dim, k = 8, 32
 	b := NewBlock(dim, k)

@@ -63,6 +63,8 @@ func NewQuery(dim int) *Query {
 // Bind copies c into the query and refreshes the hoisted terms. c must
 // be non-empty and of the query's dimension. Bind performs no allocation
 // and does not retain c.
+//
+//birchlint:hotpath
 func (q *Query) Bind(c *CF) {
 	if c.N == 0 {
 		panic("cf: binding query to empty CF")
@@ -101,6 +103,8 @@ func KernelFor(m Metric) Kernel {
 // kernelD0 is DistanceSq(D0, cand, q): squared Euclidean centroid
 // distance. The sqrt-then-square round trip mirrors the generic path
 // exactly — dropping it would change low bits and break bit-equality.
+//
+//birchlint:hotpath
 func kernelD0(q *Query, cand *CF) float64 {
 	na := float64(cand.N)
 	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
@@ -115,6 +119,8 @@ func kernelD0(q *Query, cand *CF) float64 {
 
 // kernelD1 is DistanceSq(D1, cand, q): squared Manhattan centroid
 // distance.
+//
+//birchlint:hotpath
 func kernelD1(q *Query, cand *CF) float64 {
 	na := float64(cand.N)
 	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
@@ -129,6 +135,8 @@ func kernelD1(q *Query, cand *CF) float64 {
 // distance SS1/N1 + SS2/N2 − 2·(LS1·LS2)/(N1·N2), with the query's SS/N
 // hoisted. Cancellation can drive the value slightly negative; clamped
 // to 0 exactly as the generic path does.
+//
+//birchlint:hotpath
 func kernelD2(q *Query, cand *CF) float64 {
 	na := float64(cand.N)
 	qls := q.ls[:len(cand.LS)] // bounds-check elimination hint
@@ -145,6 +153,8 @@ func kernelD2(q *Query, cand *CF) float64 {
 
 // kernelD3 is DistanceSq(D3, cand, q): the squared diameter of the merged
 // cluster, computed from the triples without materializing the merge.
+//
+//birchlint:hotpath
 func kernelD3(q *Query, cand *CF) float64 {
 	n := float64(cand.N + q.ni)
 	if n < 2 {
@@ -166,6 +176,8 @@ func kernelD3(q *Query, cand *CF) float64 {
 
 // kernelD4 is DistanceSq(D4, cand, q): the variance increase in Ward
 // form (N1·N2/(N1+N2))·‖X01 − X02‖², with the query centroid hoisted.
+//
+//birchlint:hotpath
 func kernelD4(q *Query, cand *CF) float64 {
 	na := float64(cand.N)
 	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint

@@ -8,6 +8,8 @@ package cf
 // every insertion, so they are allocation-free.
 
 // MergedRadiusSq returns R² of the cluster a ∪ b.
+//
+//birchlint:hotpath
 func MergedRadiusSq(a, b *CF) float64 {
 	if a.N+b.N == 0 {
 		return 0
@@ -28,6 +30,8 @@ func MergedRadiusSq(a, b *CF) float64 {
 
 // MergedDiameterSq returns D² of the cluster a ∪ b (identical to
 // DistanceSq(D3, a, b) but total: it permits empty operands).
+//
+//birchlint:hotpath
 func MergedDiameterSq(a, b *CF) float64 {
 	if a.N == 0 {
 		return b.DiameterSq()
@@ -64,6 +68,8 @@ func (k ThresholdKind) String() string {
 
 // MergedSatisfiesThreshold reports whether the cluster a ∪ b would satisfy
 // the threshold condition: its diameter (or radius, per kind) ≤ t.
+//
+//birchlint:hotpath
 func MergedSatisfiesThreshold(a, b *CF, kind ThresholdKind, t float64) bool {
 	switch kind {
 	case ThresholdDiameter:
@@ -77,6 +83,8 @@ func MergedSatisfiesThreshold(a, b *CF, kind ThresholdKind, t float64) bool {
 
 // SatisfiesThreshold reports whether cluster c alone satisfies the
 // threshold condition.
+//
+//birchlint:hotpath
 func SatisfiesThreshold(c *CF, kind ThresholdKind, t float64) bool {
 	switch kind {
 	case ThresholdDiameter:

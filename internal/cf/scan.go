@@ -80,6 +80,8 @@ func ScanKernelFor(m Metric) ScanKernel {
 // The block must be non-empty; centroid blocks pack one point per slot
 // via SetPoint/AppendPoint, but any slot-synced block works — the x0
 // slab always carries the entry centroids.
+//
+//birchlint:hotpath
 func ScanNearestX0(q vec.Vector, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 1
@@ -103,6 +105,8 @@ func ScanNearestX0(q vec.Vector, b *Block) (int, float64) {
 
 // scanD0 fuses kernelD0 over the block: squared Euclidean centroid
 // distance, candidate centroids streamed straight from the x0 slab.
+//
+//birchlint:hotpath
 func scanD0(q *Query, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 1
@@ -127,6 +131,8 @@ func scanD0(q *Query, b *Block) (int, float64) {
 }
 
 // scanD1 fuses kernelD1: squared Manhattan centroid distance.
+//
+//birchlint:hotpath
 func scanD1(q *Query, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 1
@@ -152,6 +158,8 @@ func scanD1(q *Query, b *Block) (int, float64) {
 // linear pass over the ls slab — raw LS for the dot product, then the
 // packed SS/N and float64(N) tail words. Clamped to 0 exactly as the
 // kernel is.
+//
+//birchlint:hotpath
 func scanD2(q *Query, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 3
@@ -179,6 +187,8 @@ func scanD2(q *Query, b *Block) (int, float64) {
 // scanD3 fuses kernelD3: the squared diameter of the merged cluster from
 // the raw triples in the ls slab. The count sum n1+n2 is added in integer
 // form exactly as the kernel does, so this scan also reads the n array.
+//
+//birchlint:hotpath
 func scanD3(q *Query, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 3
@@ -211,6 +221,8 @@ func scanD3(q *Query, b *Block) (int, float64) {
 // scanD4 fuses kernelD4: the Ward-form variance increase with both
 // centroids hoisted, one linear pass over the x0 slab (the candidate's
 // float64(N) is the slab's tail word).
+//
+//birchlint:hotpath
 func scanD4(q *Query, b *Block) (int, float64) {
 	dim := b.dim
 	stride := dim + 1

@@ -13,6 +13,9 @@ import (
 // absorbed by an existing leaf entry), Tree.Insert must not touch the
 // heap at all — no query clone, no path slice, no centroid scratch.
 // Future changes that reintroduce per-point garbage fail here.
+// Static half: Insert/InsertNoSplit/insert carry //birchlint:hotpath
+// (tree.go), so the hotpath pass rejects allocating constructs before
+// this gate ever runs.
 func TestInsertAbsorbAllocs(t *testing.T) {
 	// D3 is exercised by the append bound below instead: its closest-
 	// entry criterion is the merged diameter, which routes by subtree
@@ -65,7 +68,9 @@ func TestInsertAbsorbAllocs(t *testing.T) {
 // TestInsertAppendAllocsBounded bounds the append/split path: a point
 // that opens a new leaf entry may clone its CF and occasionally split a
 // node, but the amortized cost must stay a small constant, not grow with
-// tree size or dimensionality.
+// tree size or dimensionality. The one sanctioned clone is marked with a
+// //birchlint:ignore hotpath suppression in tree.go that names this test
+// as its bound.
 func TestInsertAppendAllocsBounded(t *testing.T) {
 	p := defaultParams()
 	p.Threshold = 0 // only duplicates merge: every insert appends

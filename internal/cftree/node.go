@@ -10,6 +10,12 @@
 // larger threshold per the Reducibility Theorem (Section 5.1.1), walking
 // old leaves in path order and freeing their pages as it goes so the
 // rebuild needs only O(height) transient pages.
+//
+// The package carries the deterministic lint contract (DESIGN.md §12):
+// inserting the same entry sequence into the same parameters produces a
+// bit-identical tree.
+//
+//birchlint:deterministic
 package cftree
 
 import (
@@ -60,6 +66,8 @@ func (n *Node) Next() *Node { return n.next }
 // mergeEntry folds ent into entry i's CF and refreshes its scan-block
 // slot — the absorb step and the descent-path CF update. Both the merge
 // and the slot refresh write in place, so this allocates nothing.
+//
+//birchlint:hotpath
 func (n *Node) mergeEntry(i int, ent *cf.CF) {
 	n.entries[i].CF.Merge(ent)
 	n.blk.Set(i, &n.entries[i].CF)
@@ -68,6 +76,8 @@ func (n *Node) mergeEntry(i int, ent *cf.CF) {
 // appendEntry adds e as the node's last entry and appends its scan-block
 // slot. The entry slice and block are pre-sized one past capacity at node
 // allocation, so appends up to a split never reallocate.
+//
+//birchlint:hotpath
 func (n *Node) appendEntry(e Entry) {
 	n.entries = append(n.entries, e)
 	n.blk.Append(&n.entries[len(n.entries)-1].CF)

@@ -87,6 +87,8 @@ func (t *Tree) farthestPair(entries []Entry) (int, int) {
 //
 // splitIdxA and splitIdxB are the parent-entry indices of the pair
 // produced by the split.
+//
+//birchlint:coldpath
 func (t *Tree) mergingRefinement(parent *Node, splitIdxA, splitIdxB int) {
 	if len(parent.entries) < 2 {
 		return

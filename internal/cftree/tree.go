@@ -169,6 +169,8 @@ func (t *Tree) FirstLeaf() *Node { return t.leafHead }
 
 // Insert adds the subcluster summarized by ent (often a single point's CF)
 // to the tree, splitting nodes as needed.
+//
+//birchlint:hotpath
 func (t *Tree) Insert(ent cf.CF) {
 	if err := t.insert(ent, true); err != nil {
 		// insert with allowSplit=true never fails.
@@ -179,6 +181,8 @@ func (t *Tree) Insert(ent cf.CF) {
 // InsertNoSplit adds ent only if it can be absorbed by an existing leaf
 // entry or appended without overflowing any node. Otherwise it returns
 // ErrWouldSplit and leaves the tree unchanged.
+//
+//birchlint:hotpath
 func (t *Tree) InsertNoSplit(ent cf.CF) error {
 	return t.insert(ent, false)
 }
@@ -189,6 +193,7 @@ type pathStep struct {
 	idx  int // index of the entry whose child we descended into
 }
 
+//birchlint:hotpath
 func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 	if ent.N == 0 {
 		return nil
@@ -238,7 +243,9 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 		return nil
 	}
 
-	n.appendEntry(Entry{CF: ent.Clone()})
+	// The one sanctioned allocation on the insert path: a brand-new leaf
+	// entry must own its LS vector. TestInsertAppendAllocsBounded gates it.
+	n.appendEntry(Entry{CF: ent.Clone()}) //birchlint:ignore hotpath new leaf entry owns its vector; append-path gate bounds this
 	t.leafEntries++
 	if len(n.entries) <= t.params.LeafCap {
 		return nil
@@ -257,6 +264,8 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 // the lowest index on ties, so the choice always matches the generic
 // scan exactly (scan_test.go and the ScanMode differential test pin
 // this).
+//
+//birchlint:hotpath
 func (t *Tree) closestEntry(n *Node) int {
 	if t.scan != nil {
 		idx, _ := t.scan(t.query, n.blk)
@@ -284,6 +293,8 @@ func (t *Tree) capacityOf(n *Node) int {
 // given) and pushes splits upward, growing the tree at the root if needed.
 // After each completed propagation step the optional merging refinement
 // runs on the node where propagation stopped.
+//
+//birchlint:coldpath
 func (t *Tree) splitAndPropagate(n *Node, path []pathStep) {
 	for {
 		sibling := t.splitNode(n)

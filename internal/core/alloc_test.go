@@ -10,7 +10,9 @@ import (
 // full streaming entry point: Engine.Add → Tree.Insert must not allocate
 // on the absorb path. This is what makes Phase 1's single scan CPU-cheap
 // at scale — the steady state of a converged tree generates no garbage,
-// so the collector never interrupts the scan.
+// so the collector never interrupts the scan. Static half: Add and AddCF
+// carry //birchlint:hotpath (phase1.go), so the hotpath pass rejects
+// allocating constructs before this gate ever runs.
 func TestEngineAddAbsorbAllocs(t *testing.T) {
 	cfg := DefaultConfig(2, 4)
 	cfg.Memory = 4 << 20

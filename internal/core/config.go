@@ -7,6 +7,12 @@
 // k-means) over the leaf entries; Phase 4 (optional) refines by
 // re-scanning the data and assigning every point to the closest Phase 3
 // centroid, optionally discarding outliers and producing point labels.
+//
+// The package carries the deterministic lint contract (DESIGN.md §12):
+// a pipeline run over a fixed input stream produces bit-identical
+// results for a fixed configuration, including under parallel phases.
+//
+//birchlint:deterministic
 package core
 
 import (

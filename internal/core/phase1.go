@@ -99,6 +99,8 @@ func (e *Engine) Tree() *cftree.Tree { return e.tree }
 // Add streams one data point into Phase 1. The point is staged through
 // the engine's scratch CF, so the absorb path — the steady state of a
 // converged tree — performs zero heap allocations.
+//
+//birchlint:hotpath
 func (e *Engine) Add(p vec.Vector) error {
 	if len(p) != e.cfg.Dim {
 		return fmt.Errorf("core: point dimension %d, config dimension %d", len(p), e.cfg.Dim)
@@ -111,6 +113,8 @@ func (e *Engine) Add(p vec.Vector) error {
 // itself only ever feeds single points, but re-clustering an existing
 // summary — e.g. merging two BIRCH runs — uses the same path.) The
 // engine does not retain ent; paths that must keep it clone it first.
+//
+//birchlint:hotpath
 func (e *Engine) AddCF(ent cf.CF) error {
 	if e.finished {
 		return fmt.Errorf("core: AddCF after FinishPhase1")
@@ -132,7 +136,7 @@ func (e *Engine) AddCF(ent cf.CF) error {
 			if err := e.pgr.WriteOutlier(e.cfg.Dim); err == nil {
 				// Clone: ent may alias the Add scratch buffer, and the
 				// spill outlives this call.
-				e.outlierBuf = append(e.outlierBuf, ent.Clone())
+				e.outlierBuf = append(e.outlierBuf, ent.Clone()) //birchlint:ignore hotpath spill path runs at most once per point and must own the vector
 				e.spills.Add(1)
 				return nil
 			}
@@ -150,6 +154,8 @@ func (e *Engine) AddCF(ent cf.CF) error {
 // rebuild escalates the threshold (Section 5.1.2–5.1.3), rebuilds the tree
 // (Section 5.1.1), spills potential outliers to the outlier disk
 // (Section 5.1.4), and re-absorbs previously spilled entries that now fit.
+//
+//birchlint:coldpath
 func (e *Engine) rebuild() error {
 	curT := e.tree.Threshold()
 	newT := e.est.next(e.tree, curT, e.tree.Points())

@@ -46,6 +46,8 @@ type Assigner struct {
 // That reduction grid is the determinism argument: it is a function of
 // len(points) alone, so no scheduling decision can reassociate a single
 // floating-point addition.
+//
+//birchlint:hotpath
 func (a *Assigner) Assign(points, centroids []vec.Vector, discardBeyond float64, workers int) ([]int, []cf.CF) {
 	if len(centroids) == 0 {
 		panic("kmeans: Assign with no centroids")
@@ -74,6 +76,7 @@ func (a *Assigner) Assign(points, centroids []vec.Vector, discardBeyond float64,
 			a.assignChunk(points, c, lo, min(lo+assignChunk, n), k, limit)
 		}
 	} else {
+		//birchlint:ignore hotpath parallel fan-out; the gated steady state is the inline one-worker path
 		forChunks(n, assignChunk, workers, func(c, lo, hi int) {
 			a.assignChunk(points, c, lo, hi, k, limit)
 		})
@@ -93,6 +96,8 @@ func (a *Assigner) Assign(points, centroids []vec.Vector, discardBeyond float64,
 // assignChunk labels points[lo:hi] and accumulates their mass into chunk
 // c's private per-cluster partial sums. A plain method rather than a
 // closure so the inline one-worker path allocates nothing.
+//
+//birchlint:hotpath
 func (a *Assigner) assignChunk(points []vec.Vector, c, lo, hi, k int, limit float64) {
 	sums := a.chunkSums[c*k : (c+1)*k]
 	for j := range sums {
@@ -112,6 +117,8 @@ func (a *Assigner) assignChunk(points []vec.Vector, c, lo, hi, k int, limit floa
 
 // growCFs returns a slice of n empty CFs of the given dimension, reusing
 // s's slots (and their LS buffers) where the dimension matches.
+//
+//birchlint:coldpath
 func growCFs(s []cf.CF, n, dim int) []cf.CF {
 	if cap(s) >= n {
 		s = s[:n]

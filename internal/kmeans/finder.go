@@ -76,6 +76,8 @@ func NewFinderMode(centroids []vec.Vector, mode FinderMode) *Finder {
 // centroids between Lloyd iterations or refinement passes then performs
 // zero heap allocations. (The k-d tree mode rebuilds its arena; moving
 // centroids are exactly the regime where the fused mode wins anyway.)
+//
+//birchlint:coldpath
 func (f *Finder) Reset(centroids []vec.Vector, mode FinderMode) {
 	if len(centroids) == 0 {
 		panic("kmeans: Finder with no centroids")
@@ -114,6 +116,8 @@ func (f *Finder) Mode() FinderMode { return f.mode }
 
 // Nearest returns the index of the centroid closest to p and the squared
 // Euclidean distance to it.
+//
+//birchlint:hotpath
 func (f *Finder) Nearest(p vec.Vector) (int, float64) {
 	switch f.mode {
 	case FinderFused:

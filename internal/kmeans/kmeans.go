@@ -9,6 +9,12 @@
 // Each input item is a CF triple, i.e. a centroid with weight N and an
 // internal scatter; the algorithm clusters the centroids with weight N,
 // which is the correct adaptation for subcluster inputs.
+//
+// The package carries the deterministic lint contract (DESIGN.md §12):
+// with a fixed seed, a run produces bit-identical centroids regardless of
+// worker count or scheduling.
+//
+//birchlint:deterministic
 package kmeans
 
 import (

@@ -173,7 +173,9 @@ func TestClusterWorkersBitExact(t *testing.T) {
 // TestAssignSteadyStateAllocs gates the multi-pass refinement contract:
 // once an Assigner has served one pass, subsequent same-shape passes
 // allocate nothing — labels, per-cluster sums, chunk partials and the
-// packed centroid block are all reused.
+// packed centroid block are all reused. Static half: Assign and
+// assignChunk carry //birchlint:hotpath (assign.go), so the hotpath pass
+// rejects allocating constructs before this gate ever runs.
 func TestAssignSteadyStateAllocs(t *testing.T) {
 	r := rand.New(rand.NewSource(44))
 	const dim, k, n = 8, 32, 4096

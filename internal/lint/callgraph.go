@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallEdge is one statically resolved call site: Caller invokes Callee at
+// Pos. Calls through function-typed values, interface methods without a
+// resolvable concrete target, builtins, and conversions produce no edge —
+// the graph is a sound under-approximation of direct calls only, which is
+// what the contract passes need (dynamic dispatch on the hot path is
+// covered by the AllocsPerRun gates, not the static analysis).
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// CallGraph returns the module's static call graph, built lazily on first
+// use and memoized. Edges are discovered in deterministic order (packages
+// in load order, files in parse order, call sites in source order), so
+// every consumer iterating an adjacency list sees a stable sequence.
+// Fixture packages loaded with LoadDir are included: those loaded before
+// the first CallGraph call are swept here, later ones are folded in by
+// LoadDir itself.
+func (m *Module) CallGraph() map[*types.Func][]CallEdge {
+	if m.graph != nil {
+		return m.graph
+	}
+	m.graph = make(map[*types.Func][]CallEdge)
+	for _, pkg := range m.Packages {
+		collectEdges(m, pkg)
+	}
+	for _, pkg := range m.fixtures {
+		collectEdges(m, pkg)
+	}
+	return m.graph
+}
+
+// collectEdges adds pkg's call sites to the module graph. Call sites
+// inside function literals are attributed to the enclosing declared
+// function: a closure runs with its creator's contract.
+func collectEdges(m *Module, pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pkg, call); callee != nil {
+					m.graph[caller] = append(m.graph[caller], CallEdge{
+						Caller: caller,
+						Callee: callee,
+						Pos:    call.Pos(),
+					})
+				}
+				return true
+			})
+		}
+	}
+}

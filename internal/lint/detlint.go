@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetLint guards the bit-identical determinism contract of packages
+// carrying a package-level //birchlint:deterministic marker (kmeans,
+// cftree, core, stream, quality): identical inputs must produce
+// bit-identical results regardless of worker count, map layout, or wall
+// clock. Three rules:
+//
+//  1. Map-order dependence: a `range` over a map whose body accumulates
+//     floating-point values (+=, -=, *=, /=), appends to an outer slice,
+//     or sends on a channel is order-dependent. Integer accumulation is
+//     exempt (addition of ints is associative and commutative), as is the
+//     min/max idiom (a plain assignment guarded by a comparison against
+//     the same variable — order-independent by construction). Appends
+//     are also exempt when the function later sorts the collected slice
+//     (sort.Slice and friends): collect-keys-then-sort is the canonical
+//     remediation, and the pass must not flag its own fix.
+//  2. Non-reproducible sources: package-level math/rand functions (the
+//     shared global source) and numeric values derived from time.Now
+//     (Unix, UnixNano, ...) feed irreproducible bits into results.
+//     Explicitly seeded generators (rand.New(rand.NewSource(seed))) and
+//     duration measurement (time.Since for gauges) stay legal.
+//  3. Completion-order collection: appending values received from a
+//     channel inside a loop folds goroutine results in scheduling order.
+//     Exempt when the function later sorts the collected slice into a
+//     canonical order (sort.Slice and friends).
+type DetLint struct{}
+
+// Name implements Pass.
+func (DetLint) Name() string { return "detlint" }
+
+// Doc implements Pass.
+func (DetLint) Doc() string {
+	return "flag map-iteration-order, time, and rand dependence in //birchlint:deterministic packages"
+}
+
+// Run implements Pass.
+func (DetLint) Run(m *Module, pkg *Package) []Diagnostic {
+	if !pkg.HasDirective("deterministic") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     m.Fset.Position(pos),
+			Pass:    "detlint",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pkg, fd, sortedSlices(pkg, fd), report)
+			checkEntropySources(pkg, fd, report)
+			checkReceiveCollection(pkg, fd, report)
+		}
+	}
+	return diags
+}
+
+// checkMapRanges applies rule 1 to every map range in the function.
+// sorted holds the slices the function later sorts (see sortedSlices).
+func checkMapRanges(pkg *Package, fd *ast.FuncDecl, sorted map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pkg, rs, sorted, report)
+		return true
+	})
+}
+
+// checkMapRangeBody inspects one map-range body for order-dependent
+// reductions.
+func checkMapRangeBody(pkg *Package, rs *ast.RangeStmt, sorted map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	var stack []ast.Node
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pkg, rs, st, stack, sorted, report)
+		case *ast.SendStmt:
+			report(st.Pos(), "channel send inside map iteration: receiver observes map order; iterate sorted keys")
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkMapRangeAssign(pkg *Package, rs *ast.RangeStmt, st *ast.AssignStmt, stack []ast.Node, sorted map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if isFloat(pkg.Info.Types[lhs].Type) && declaredOutside(pkg, lhs, rs.Body) {
+				report(st.Pos(), "floating-point accumulation over map iteration is order-dependent; iterate sorted keys")
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(pkg, call, "append") || len(call.Args) == 0 || i >= len(st.Lhs) {
+				continue
+			}
+			if declaredOutside(pkg, st.Lhs[i], rs.Body) {
+				if obj := rootObject(pkg, st.Lhs[i]); obj != nil && sorted[obj] {
+					continue // collect-then-sort: order is re-canonicalized
+				}
+				report(st.Pos(), "append to an outer slice under map iteration records map order; iterate sorted keys")
+			}
+		}
+		if st.Tok != token.ASSIGN || len(st.Lhs) != 1 {
+			return
+		}
+		if _, ok := unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			return // handled above if append; other calls are not reductions
+		}
+		lhs := st.Lhs[0]
+		if !isFloat(pkg.Info.Types[lhs].Type) || !declaredOutside(pkg, lhs, rs.Body) {
+			return
+		}
+		if minMaxGuarded(pkg, lhs, stack) {
+			return // if v < best { best = v } — order-independent
+		}
+		report(st.Pos(), "assignment to outer %s under map iteration keeps the last-visited value; iterate sorted keys", types.ExprString(lhs))
+	}
+}
+
+// minMaxGuarded reports whether the assignment sits under an if whose
+// condition compares against the assigned variable — the order-independent
+// running min/max idiom.
+func minMaxGuarded(pkg *Package, lhs ast.Expr, stack []ast.Node) bool {
+	obj := rootObject(pkg, lhs)
+	if obj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cmp, ok := unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		switch cmp.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if exprUsesObject(pkg, cmp, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkEntropySources applies rule 2: global math/rand and
+// time-derived numeric values.
+func checkEntropySources(pkg *Package, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if sig != nil && sig.Recv() != nil {
+				return true // method on an explicitly seeded *rand.Rand
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				return true // constructing a seeded generator is the fix
+			}
+			report(call.Pos(), "package-level math/rand uses the shared global source; construct a seeded *rand.Rand")
+		case "time":
+			if fn.Name() != "Now" {
+				return true
+			}
+			if sel, ok := timeValueSelector(pkg, call); ok {
+				report(call.Pos(), "time.Now().%s feeds wall-clock bits into a deterministic package; inject the value instead", sel)
+			}
+		}
+		return true
+	})
+}
+
+// timeValueSelector reports whether the time.Now() call is immediately
+// converted to a number via Unix/UnixNano/... — duration measurement
+// (Since, Sub for gauges) is left alone.
+func timeValueSelector(pkg *Package, now *ast.CallExpr) (string, bool) {
+	for sel := range pkg.Info.Selections {
+		if inner, ok := unparen(sel.X).(*ast.CallExpr); ok && inner == now {
+			switch sel.Sel.Name {
+			case "Unix", "UnixNano", "UnixMilli", "UnixMicro", "Nanosecond":
+				return sel.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkReceiveCollection applies rule 3: appends of channel-received
+// values inside loops, unless the slice is canonically sorted afterwards.
+func checkReceiveCollection(pkg *Package, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	seen := make(map[token.Pos]bool) // nested loops revisit inner appends
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		received := receiveBoundObjects(pkg, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pkg, call, "append") || len(call.Args) < 2 || i >= len(st.Lhs) {
+					continue
+				}
+				for _, arg := range call.Args[1:] {
+					if !receivesValue(pkg, arg, received) || seen[st.Pos()] {
+						continue
+					}
+					seen[st.Pos()] = true
+					findings = append(findings, finding{
+						pos: st.Pos(),
+						obj: rootObject(pkg, st.Lhs[i]),
+					})
+					break
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(findings) == 0 {
+		return
+	}
+	sorted := sortedSlices(pkg, fd)
+	for _, f := range findings {
+		if f.obj != nil && sorted[f.obj] {
+			continue
+		}
+		report(f.pos, "appends channel-received values in completion order; sort into canonical order or index results by sender")
+	}
+}
+
+// receiveBoundObjects collects variables bound from channel receives
+// (v := <-ch, case v := <-ch) anywhere in the loop body.
+func receiveBoundObjects(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	bind := func(st *ast.AssignStmt) {
+		if len(st.Rhs) != 1 {
+			return
+		}
+		u, ok := unparen(st.Rhs[0]).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				if obj := objectOf(pkg, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			bind(st)
+		case *ast.CommClause:
+			if a, ok := st.Comm.(*ast.AssignStmt); ok {
+				bind(a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivesValue reports whether the expression is a direct receive or
+// uses a receive-bound variable.
+func receivesValue(pkg *Package, e ast.Expr, received map[types.Object]bool) bool {
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return true
+	}
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(pkg, id); obj != nil && received[obj] {
+				used = true
+			}
+		}
+		return !used
+	})
+	return used
+}
+
+// sortedSlices collects slice variables the function later passes to a
+// sort routine, establishing a canonical order.
+func sortedSlices(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if obj := rootObject(pkg, call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// declaredOutside reports whether the expression's root variable is
+// declared outside the given block — i.e. it outlives the loop body.
+func declaredOutside(pkg *Package, e ast.Expr, body *ast.BlockStmt) bool {
+	obj := rootObject(pkg, e)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}
+
+// rootObject resolves the base variable of an expression like x,
+// x.f, or x[i].
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch ex := unparen(e).(type) {
+		case *ast.Ident:
+			return objectOf(pkg, ex)
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprUsesObject reports whether the expression references obj.
+func exprUsesObject(pkg *Package, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(pkg, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// escapeLineRE matches the compiler's escape diagnostics:
+//
+//	file.go:12:6: x escapes to heap
+//	file.go:34:10: moved to heap: buf
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+ escapes to heap|moved to heap: .+)$`)
+
+// CheckEscapes shells out to `go build -gcflags=-m` (stdlib os/exec
+// only) and cross-checks the compiler's escape decisions against the
+// //birchlint:hotpath annotations: any value the compiler moves to the
+// heap inside the line range of an annotated function is reported as an
+// "escapes" diagnostic.
+//
+// The output of -m is compiler-version-sensitive — inlining decisions
+// shift line attribution and new diagnostics appear between releases —
+// so this mode is advisory: the driver exposes it behind -escapes and CI
+// runs it in a separate non-gating job. Findings honor the normal
+// suppression machinery under both the "escapes" and "hotpath" names.
+func CheckEscapes(m *Module, pkgs []*Package) ([]Diagnostic, error) {
+	ranges := hotpathLineRanges(m, pkgs)
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	byDir := make(map[string]*Package)
+	var dirs []string
+	for _, pkg := range pkgs {
+		if strings.HasPrefix(pkg.Path, m.Path) && byDir[pkg.Dir] == nil {
+			byDir[pkg.Dir] = pkg
+			dirs = append(dirs, pkg.Dir)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, nil
+	}
+	args := append([]string{"build", "-gcflags=-m"}, dirs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Root
+	// -m output lands on stderr; a non-zero exit with diagnostics present
+	// still yields usable output, so only fail when nothing was parsed.
+	out, runErr := cmd.CombinedOutput()
+
+	var diags []Diagnostic
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		match := escapeLineRE.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if match == nil {
+			continue
+		}
+		if strings.HasPrefix(match[3], `"`) {
+			// A quoted string constant escaping is an error/panic message
+			// boxed on the failure branch — steady-state clean, and the
+			// static pass's error-constructor exemption already covers it.
+			continue
+		}
+		line, err := strconv.Atoi(match[2])
+		if err != nil {
+			continue
+		}
+		for _, r := range ranges {
+			if !strings.HasSuffix(r.file, match[1]) || line < r.from || line > r.to {
+				continue
+			}
+			pos := token.Position{Filename: r.file, Line: line, Column: 1}
+			d := Diagnostic{
+				Pos:  pos,
+				Pass: "escapes",
+				Message: fmt.Sprintf("compiler escape analysis contradicts //birchlint:hotpath %s: %s",
+					r.name, match[3]),
+			}
+			if !r.pkg.suppressed(pos, "escapes") && !r.pkg.suppressed(pos, "hotpath") {
+				diags = append(diags, d)
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if runErr != nil && len(out) == 0 {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %w", runErr)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// hotpathRange is the source line span of one annotated function.
+type hotpathRange struct {
+	pkg      *Package
+	file     string
+	from, to int
+	name     string
+}
+
+// hotpathLineRanges collects the line spans of every
+// //birchlint:hotpath function in the given packages.
+func hotpathLineRanges(m *Module, pkgs []*Package) []hotpathRange {
+	var out []hotpathRange
+	for _, pkg := range pkgs {
+		for i, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || flagsOf(fd)&flagHotPath == 0 {
+					continue
+				}
+				out = append(out, hotpathRange{
+					pkg:  pkg,
+					file: pkg.Filenames[i],
+					from: m.Fset.Position(fd.Pos()).Line,
+					to:   m.Fset.Position(fd.End()).Line,
+					name: fd.Name.Name,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,550 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the zero-allocation contract on functions annotated
+// //birchlint:hotpath — the functions the AllocsPerRun gate tests cover
+// (insert/absorb path, fused scan kernels, Assigner steady state,
+// snapshot classify). The pass flags allocation-inducing constructs in
+// the annotated function itself and, transitively, rejects calls to
+// intra-module functions whose bodies are not allocation-free.
+//
+// Accepted call edges from hot code: callees that are themselves
+// //birchlint:hotpath (the contract propagates), callees declared
+// //birchlint:coldpath (a human-audited rare/amortized path: splits,
+// rebuilds, scratch growth), callees whose bodies the analysis proves
+// allocation-free, and non-fmt/errors stdlib calls plus indirect calls
+// through function values (both assumed clean — the dynamic gates own
+// those; see DESIGN.md §12).
+//
+// Exempt contexts: expressions feeding an error value and panic
+// arguments (failure paths are cold by convention), and both branches of
+// an if whose condition inspects len/cap (shape-guarded lazy init and
+// amortized growth, e.g. `if cap(s) < n { s = make(...) }`).
+type HotPath struct{}
+
+// Name implements Pass.
+func (HotPath) Name() string { return "hotpath" }
+
+// Doc implements Pass.
+func (HotPath) Doc() string {
+	return "flag allocation-inducing constructs in //birchlint:hotpath functions and their intra-module callees"
+}
+
+// Run implements Pass.
+func (HotPath) Run(m *Module, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || flagsOf(fd)&flagHotPath == 0 {
+				continue
+			}
+			w := &allocWalker{
+				m:   m,
+				pkg: pkg,
+				report: func(pos token.Pos, msg string) {
+					diags = append(diags, Diagnostic{
+						Pos:     m.Fset.Position(pos),
+						Pass:    "hotpath",
+						Message: fmt.Sprintf("%s in //birchlint:hotpath function %s", msg, fd.Name.Name),
+					})
+				},
+			}
+			w.walkStmts(fd.Body.List, false)
+		}
+	}
+	return diags
+}
+
+// allocSummary is the memoized verdict on one function body.
+type allocSummary struct {
+	clean bool
+	why   string         // first allocation reason when !clean
+	pos   token.Position // where that reason sits
+}
+
+// allocClean reports whether fn's body is allocation-free under the same
+// rules the hotpath pass applies to annotated functions. Results are
+// memoized on the module; recursion is resolved optimistically (a cycle
+// is clean unless some body on it allocates), mirroring sqrtclamp's
+// riskMemo discipline.
+func (m *Module) allocClean(fn *types.Func) *allocSummary {
+	if s, ok := m.allocMemo[fn]; ok {
+		if s == nil { // in progress: optimistic for cycles
+			return &allocSummary{clean: true}
+		}
+		return s
+	}
+	fd := m.funcDecls[fn]
+	pkg := m.declPkg[fn]
+	if fd == nil || fd.Body == nil || pkg == nil {
+		s := &allocSummary{clean: true} // no body to inspect: assume clean
+		m.allocMemo[fn] = s
+		return s
+	}
+	m.allocMemo[fn] = nil // mark in progress
+	s := &allocSummary{clean: true}
+	w := &allocWalker{
+		m:   m,
+		pkg: pkg,
+		report: func(pos token.Pos, msg string) {
+			if s.clean {
+				s.clean = false
+				s.why = msg
+				s.pos = m.Fset.Position(pos)
+			}
+		},
+	}
+	w.walkStmts(fd.Body.List, false)
+	m.allocMemo[fn] = s
+	return s
+}
+
+// allocWalker finds allocation-inducing constructs in one function body.
+// The exempt flag is threaded through the recursion: once a subtree is
+// exempt (error construction, panic argument, len/cap-guarded branch),
+// everything below it is.
+type allocWalker struct {
+	m      *Module
+	pkg    *Package
+	report func(pos token.Pos, msg string)
+}
+
+func (w *allocWalker) walkStmts(stmts []ast.Stmt, exempt bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, exempt)
+	}
+}
+
+func (w *allocWalker) walkStmt(s ast.Stmt, exempt bool) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, exempt)
+	case *ast.IfStmt:
+		w.walkStmt(st.Init, exempt)
+		w.walkExpr(st.Cond, exempt)
+		// Shape guard: a condition inspecting len or cap marks lazy
+		// initialization or amortized growth; both branches are exempt.
+		guarded := exempt || condInspectsShape(w.pkg, st.Cond)
+		w.walkStmt(st.Body, guarded)
+		w.walkStmt(st.Else, guarded)
+	case *ast.ForStmt:
+		w.walkStmt(st.Init, exempt)
+		w.walkExpr(st.Cond, exempt)
+		w.walkStmt(st.Post, exempt)
+		w.walkStmt(st.Body, exempt)
+	case *ast.RangeStmt:
+		w.walkExpr(st.X, exempt)
+		w.walkStmt(st.Body, exempt)
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init, exempt)
+		w.walkExpr(st.Tag, exempt)
+		w.walkStmt(st.Body, exempt)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init, exempt)
+		w.walkStmt(st.Assign, exempt)
+		w.walkStmt(st.Body, exempt)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.walkExpr(e, exempt)
+		}
+		w.walkStmts(st.Body, exempt)
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body, exempt)
+	case *ast.CommClause:
+		w.walkStmt(st.Comm, exempt)
+		w.walkStmts(st.Body, exempt)
+	case *ast.GoStmt:
+		if !exempt {
+			w.report(st.Pos(), "go statement (allocates a goroutine)")
+		}
+	case *ast.DeferStmt:
+		if !exempt {
+			w.report(st.Pos(), "defer statement (may allocate a defer record)")
+		}
+	case *ast.AssignStmt:
+		if st.Tok == token.ADD_ASSIGN && !exempt && len(st.Lhs) == 1 {
+			if t := w.typeOf(st.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.report(st.Pos(), "string concatenation (allocates the result)")
+				}
+			}
+		}
+		for _, e := range st.Rhs {
+			w.walkAssignedExpr(e, st, exempt)
+		}
+		for _, e := range st.Lhs {
+			w.walkExpr(e, exempt)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.walkExpr(e, exempt)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(st.X, exempt)
+	case *ast.SendStmt:
+		w.walkExpr(st.Chan, exempt)
+		w.walkExpr(st.Value, exempt)
+	case *ast.IncDecStmt:
+		w.walkExpr(st.X, exempt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, exempt)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, exempt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// walkAssignedExpr handles a right-hand side that may be an append whose
+// result is assigned back to its first argument — the amortized growth
+// idiom `x = append(x, ...)`, which the dynamic AllocsPerRun gates own.
+func (w *allocWalker) walkAssignedExpr(e ast.Expr, assign *ast.AssignStmt, exempt bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if ok && isBuiltin(w.pkg, call, "append") && len(call.Args) > 0 {
+		if appendAssignedBack(call, assign) {
+			for _, a := range call.Args {
+				w.walkExpr(a, exempt)
+			}
+			return
+		}
+	}
+	w.walkExpr(e, exempt)
+}
+
+func (w *allocWalker) walkExpr(e ast.Expr, exempt bool) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.walkExpr(ex.X, exempt)
+	case *ast.CallExpr:
+		w.walkCall(ex, exempt)
+	case *ast.CompositeLit:
+		if !exempt {
+			switch w.typeOf(ex).Underlying().(type) {
+			case *types.Slice:
+				w.report(ex.Pos(), "slice composite literal (heap-allocates backing array)")
+			case *types.Map:
+				w.report(ex.Pos(), "map composite literal (heap-allocates)")
+			}
+		}
+		for _, elt := range ex.Elts {
+			w.walkExpr(elt, exempt)
+		}
+	case *ast.FuncLit:
+		if !exempt {
+			w.report(ex.Pos(), "function literal (closure may allocate)")
+		}
+		// The literal itself is the finding; its body runs under whatever
+		// context invokes it, so it is not re-analyzed here.
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND && !exempt {
+			if _, isLit := unparen(ex.X).(*ast.CompositeLit); isLit {
+				w.report(ex.Pos(), "address of composite literal (escapes to heap)")
+			}
+		}
+		w.walkExpr(ex.X, exempt)
+	case *ast.BinaryExpr:
+		if ex.Op == token.ADD && !exempt && w.isStringConcat(ex) {
+			w.report(ex.Pos(), "string concatenation (allocates the result)")
+		}
+		w.walkExpr(ex.X, exempt)
+		w.walkExpr(ex.Y, exempt)
+	case *ast.IndexExpr:
+		w.walkExpr(ex.X, exempt)
+		w.walkExpr(ex.Index, exempt)
+	case *ast.IndexListExpr:
+		w.walkExpr(ex.X, exempt)
+		for _, i := range ex.Indices {
+			w.walkExpr(i, exempt)
+		}
+	case *ast.SliceExpr:
+		w.walkExpr(ex.X, exempt)
+		w.walkExpr(ex.Low, exempt)
+		w.walkExpr(ex.High, exempt)
+		w.walkExpr(ex.Max, exempt)
+	case *ast.SelectorExpr:
+		w.walkExpr(ex.X, exempt)
+	case *ast.StarExpr:
+		w.walkExpr(ex.X, exempt)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(ex.X, exempt)
+	case *ast.KeyValueExpr:
+		w.walkExpr(ex.Key, exempt)
+		w.walkExpr(ex.Value, exempt)
+	case *ast.Ident, *ast.BasicLit, *ast.ArrayType, *ast.MapType,
+		*ast.ChanType, *ast.FuncType, *ast.StructType, *ast.InterfaceType:
+	}
+}
+
+// walkCall classifies one call expression: builtin, conversion, stdlib,
+// intra-module, or indirect.
+func (w *allocWalker) walkCall(call *ast.CallExpr, exempt bool) {
+	pkg := w.pkg
+
+	// Error construction is exempt wherever it appears: error paths are
+	// cold by convention and the value must carry context. Only the
+	// constructors themselves are exempt — an ordinary call that merely
+	// returns an error is still analyzed.
+	if isErrorConstructor(pkg, call) {
+		return
+	}
+	// panic arguments are terminal; allocation there is irrelevant.
+	if isBuiltin(pkg, call, "panic") {
+		return
+	}
+
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		w.checkConversion(call, exempt)
+		w.walkExprs(call.Args, exempt)
+		return
+	}
+
+	switch {
+	case isBuiltin(pkg, call, "make"):
+		if !exempt {
+			w.report(call.Pos(), "make (heap-allocates)")
+		}
+	case isBuiltin(pkg, call, "new"):
+		if !exempt {
+			w.report(call.Pos(), "new (heap-allocates)")
+		}
+	case isBuiltin(pkg, call, "append"):
+		// An append reaching this point is not the assign-back idiom
+		// (that case is intercepted in walkAssignedExpr): its result is
+		// discarded or lands in a different slice, so the amortization
+		// argument does not apply.
+		if !exempt {
+			w.report(call.Pos(), "append whose result is not assigned back to its first argument")
+		}
+	default:
+		fn := calleeFunc(pkg, call)
+		switch {
+		case fn == nil:
+			// Indirect call through a function value (e.g. a bound scan
+			// kernel) or unresolved interface method: assumed clean; the
+			// AllocsPerRun gates cover dynamic dispatch.
+		case w.m.funcDecls[fn] != nil:
+			w.checkModuleCall(call, fn, exempt)
+		default:
+			w.checkStdlibCall(call, fn, exempt)
+		}
+		if !exempt {
+			w.checkBoxing(call, fn)
+		}
+	}
+	w.walkExprs(call.Args, exempt)
+	w.walkExpr(call.Fun, exempt)
+}
+
+// checkModuleCall handles a call whose target body is part of the module
+// (or a loaded fixture): accept hotpath/coldpath-annotated callees, then
+// require an allocation-free body.
+func (w *allocWalker) checkModuleCall(call *ast.CallExpr, fn *types.Func, exempt bool) {
+	if exempt {
+		return
+	}
+	flags := w.m.funcFlags(fn)
+	if flags&(flagHotPath|flagColdPath) != 0 {
+		return
+	}
+	if s := w.m.allocClean(fn); !s.clean {
+		w.report(call.Pos(), fmt.Sprintf(
+			"calls %s, which is not allocation-free (%s at %s:%d) — annotate it hotpath, declare it coldpath, or remove the call",
+			fn.Name(), s.why, relBase(s.pos.Filename), s.pos.Line))
+	}
+}
+
+// checkStdlibCall flags the stdlib families that always allocate on the
+// result path; everything else in the stdlib is assumed clean.
+func (w *allocWalker) checkStdlibCall(call *ast.CallExpr, fn *types.Func, exempt bool) {
+	if exempt || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt", "errors", "strings", "strconv":
+		w.report(call.Pos(), fmt.Sprintf("call to %s.%s (allocates)", fn.Pkg().Name(), fn.Name()))
+	}
+}
+
+// checkConversion flags string↔[]byte/[]rune conversions, which copy.
+func (w *allocWalker) checkConversion(call *ast.CallExpr, exempt bool) {
+	if exempt || len(call.Args) != 1 {
+		return
+	}
+	dst := w.typeOf(call)
+	src := w.typeOf(call.Args[0])
+	if isStringByteConv(dst, src) || isStringByteConv(src, dst) {
+		w.report(call.Pos(), "string/byte-slice conversion (copies)")
+	}
+}
+
+// checkBoxing flags arguments implicitly converted to interface
+// parameters — the classic hidden allocation (the value is boxed).
+func (w *allocWalker) checkBoxing(call *ast.CallExpr, fn *types.Func) {
+	sig := w.signatureOf(call, fn)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := w.typeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		w.report(arg.Pos(), fmt.Sprintf("implicit conversion of %s to interface parameter (boxes the value)", at))
+	}
+}
+
+func (w *allocWalker) walkExprs(es []ast.Expr, exempt bool) {
+	for _, e := range es {
+		w.walkExpr(e, exempt)
+	}
+}
+
+func (w *allocWalker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// signatureOf resolves the called signature, preferring the type checker's
+// view of the call operand.
+func (w *allocWalker) signatureOf(call *ast.CallExpr, fn *types.Func) *types.Signature {
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig
+		}
+	}
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// isErrorConstructor matches the error-building calls (fmt.Errorf and
+// the errors package) whose subtrees are exempt from hot-path analysis.
+func isErrorConstructor(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "errors":
+		return true
+	case "fmt":
+		return fn.Name() == "Errorf"
+	}
+	return false
+}
+
+// isStringConcat reports whether the + expression produces a
+// non-constant string.
+func (w *allocWalker) isStringConcat(e *ast.BinaryExpr) bool {
+	tv, ok := w.pkg.Info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// condInspectsShape reports whether the if-condition calls len or cap —
+// the marker of shape-guarded lazy initialization and amortized growth.
+func condInspectsShape(pkg *Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(pkg, call, "len") || isBuiltin(pkg, call, "cap") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// appendAssignedBack reports whether the assignment stores the append
+// result into the expression passed as append's first argument.
+func appendAssignedBack(call *ast.CallExpr, assign *ast.AssignStmt) bool {
+	first := types.ExprString(unparen(call.Args[0]))
+	for i, rhs := range assign.Rhs {
+		if unparen(rhs) != call {
+			continue
+		}
+		if i < len(assign.Lhs) && types.ExprString(unparen(assign.Lhs[i])) == first {
+			return true
+		}
+	}
+	return false
+}
+
+// relBase trims a filename to its final two path segments for compact
+// cross-references in diagnostics.
+func relBase(name string) string {
+	slash := 0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return name[i+1:]
+			}
+		}
+	}
+	return name
+}
+
+// isStringByteConv reports whether dst is string and src is []byte or
+// []rune.
+func isStringByteConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	db, ok := dst.Underlying().(*types.Basic)
+	if !ok || db.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, ok := src.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	eb, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (eb.Kind() == types.Uint8 || eb.Kind() == types.Byte ||
+		eb.Kind() == types.Int32 || eb.Kind() == types.Rune)
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ImmutLint guards the copy-on-publish contract of atomically-published
+// values. Two rules:
+//
+//  1. Load-derived writes: any write through a pointer obtained from
+//     atomic.Pointer[T].Load() mutates a published value that concurrent
+//     readers may hold. Publication must copy: build a fresh value, then
+//     Store it.
+//  2. Publish-path confinement: for element types annotated
+//     //birchlint:immutable, Store/Swap/CompareAndSwap on the
+//     atomic.Pointer is only legal inside a function annotated
+//     //birchlint:publishpath — one audited place where a fully built
+//     value escapes.
+//
+// Rule 1 tracks Load results per function body; a pointer laundered
+// through another function or a struct field is out of scope (documented
+// in DESIGN.md §12).
+type ImmutLint struct{}
+
+// Name implements Pass.
+func (ImmutLint) Name() string { return "immutlint" }
+
+// Doc implements Pass.
+func (ImmutLint) Doc() string {
+	return "flag writes through atomic.Pointer Loads and Stores of immutable types outside //birchlint:publishpath"
+}
+
+// Run implements Pass.
+func (ImmutLint) Run(m *Module, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     m.Fset.Position(pos),
+			Pass:    "immutlint",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLoadWrites(pkg, fd, report)
+			checkStores(m, pkg, fd, report)
+		}
+	}
+	return diags
+}
+
+// checkLoadWrites applies rule 1 within one function body.
+func checkLoadWrites(pkg *Package, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	// Collect variables bound from atomic.Pointer Loads.
+	loaded := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAtomicPointerMethod(pkg, call, "Load") {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				if obj := objectOf(pkg, id); obj != nil {
+					loaded[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(loaded) == 0 {
+		return
+	}
+	flagWrite := func(target ast.Expr, pos token.Pos) {
+		obj := rootObject(pkg, target)
+		if obj == nil || !loaded[obj] {
+			return
+		}
+		// A write through the loaded pointer needs a dereference step
+		// (field or index); reassigning the local pointer itself is fine.
+		if _, isIdent := unparen(target).(*ast.Ident); isIdent {
+			return
+		}
+		report(pos, "write through %s, which was loaded from an atomic.Pointer: published values are immutable — copy, mutate, then Store", obj.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				flagWrite(lhs, st.Pos())
+			}
+		case *ast.IncDecStmt:
+			flagWrite(st.X, st.Pos())
+		}
+		return true
+	})
+}
+
+// checkStores applies rule 2: stores of immutable-annotated element
+// types outside publish-path functions.
+func checkStores(m *Module, pkg *Package, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	if flagsOf(fd)&flagPublishPath != 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, elem := atomicPointerStore(pkg, call)
+		if name == "" || elem == nil {
+			return true
+		}
+		obj := namedElemObject(elem)
+		if obj == nil || !m.IsImmutableType(obj) {
+			return true
+		}
+		report(call.Pos(), "%s on atomic.Pointer[%s] outside a //birchlint:publishpath function: %s is //birchlint:immutable, publish from the designated path only",
+			name, obj.Name(), obj.Name())
+		return true
+	})
+}
+
+// isAtomicPointerMethod reports whether the call invokes the named method
+// of sync/atomic's Pointer[T].
+func isAtomicPointerMethod(pkg *Package, call *ast.CallExpr, method string) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	_, ok := atomicPointerRecv(fn)
+	return ok
+}
+
+// atomicPointerStore matches Store/Swap/CompareAndSwap calls on
+// atomic.Pointer[T], returning the method name and T.
+func atomicPointerStore(pkg *Package, call *ast.CallExpr) (string, types.Type) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return "", nil
+	}
+	elem, ok := atomicPointerRecv(fn)
+	if !ok {
+		return "", nil
+	}
+	return fn.Name(), elem
+}
+
+// atomicPointerRecv reports whether fn is a method of sync/atomic's
+// Pointer[T] and returns T.
+func atomicPointerRecv(fn *types.Func) (types.Type, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil, false
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil, false
+	}
+	return args.At(0), true
+}
+
+// namedElemObject unwraps pointers and returns the named type's object.
+func namedElemObject(t types.Type) types.Object {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj()
+		default:
+			return nil
+		}
+	}
+}

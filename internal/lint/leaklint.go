@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakLint guards goroutine shutdown in packages marked
+// //birchlint:leakcheck (internal/stream). Every function reachable from
+// a `go` statement in the package must not block forever on a channel
+// send once the engine is closing:
+//
+//   - a bare send on a bidirectional channel blocks until a receiver
+//     shows up — if the receiver is gone (quit raced the send), the
+//     goroutine leaks; sends must sit in a select with a quit/context
+//     receive or a default case;
+//   - a select whose cases are all sends has the same problem.
+//
+// Sends on send-only (chan<-) typed channels are allowed: in this
+// codebase that type marks caller-allocated reply channels (mailbox
+// sync/check replies), which are buffered by the requester and drained
+// before the requester returns.
+type LeakLint struct{}
+
+// Name implements Pass.
+func (LeakLint) Name() string { return "leaklint" }
+
+// Doc implements Pass.
+func (LeakLint) Doc() string {
+	return "flag blocking channel sends without quit/default selects in //birchlint:leakcheck goroutines"
+}
+
+// Run implements Pass.
+func (LeakLint) Run(m *Module, pkg *Package) []Diagnostic {
+	if !pkg.HasDirective("leakcheck") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     m.Fset.Position(pos),
+			Pass:    "leaklint",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	roots, litBodies := goroutineRoots(pkg)
+	for _, body := range litBodies {
+		checkGoroutineBody(pkg, body, report)
+	}
+	for _, fn := range reachableInPackage(m, pkg, roots) {
+		if fd := m.funcDecls[fn]; fd != nil && fd.Body != nil {
+			checkGoroutineBody(pkg, fd.Body, report)
+		}
+	}
+	return diags
+}
+
+// goroutineRoots finds the package's `go` statements: named targets
+// become call-graph roots, literal targets are analyzed directly.
+func goroutineRoots(pkg *Package) (roots []*types.Func, litBodies []*ast.BlockStmt) {
+	seen := make(map[*types.Func]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				litBodies = append(litBodies, lit.Body)
+				return true
+			}
+			if fn := calleeFunc(pkg, gs.Call); fn != nil && !seen[fn] {
+				seen[fn] = true
+				roots = append(roots, fn)
+			}
+			return true
+		})
+	}
+	return roots, litBodies
+}
+
+// reachableInPackage walks the module call graph from the roots,
+// restricted to functions declared in pkg, in deterministic order.
+func reachableInPackage(m *Module, pkg *Package, roots []*types.Func) []*types.Func {
+	graph := m.CallGraph()
+	var order []*types.Func
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] || m.declPkg[fn] != pkg {
+			return
+		}
+		seen[fn] = true
+		order = append(order, fn)
+		for _, edge := range graph[fn] {
+			visit(edge.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return order
+}
+
+// checkGoroutineBody flags blocking sends in one goroutine-reachable
+// body.
+func checkGoroutineBody(pkg *Package, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			if !isSelectCase(stack, st) && !sendOnlyChan(pkg, st.Chan) {
+				report(st.Pos(), "blocking channel send in a goroutine: wrap in a select with a quit/context receive or a default case")
+			}
+		case *ast.SelectStmt:
+			checkSelect(pkg, st, report)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkSelect flags selects whose cases are all sends — no receive or
+// default means every case can block on a departed receiver.
+func checkSelect(pkg *Package, sel *ast.SelectStmt, report func(token.Pos, string, ...any)) {
+	hasSend := false
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case nil:
+			return // default case: never blocks
+		case *ast.SendStmt:
+			if !sendOnlyChan(pkg, comm.Chan) {
+				hasSend = true
+			}
+		default:
+			return // a receive case: quit/context can fire
+		}
+	}
+	if hasSend {
+		report(sel.Pos(), "select with only send cases can block forever; add a quit/context receive or default case")
+	}
+}
+
+// isSelectCase reports whether the send statement is itself a select
+// communication clause (where checkSelect owns the verdict) rather than
+// a statement inside a clause body.
+func isSelectCase(stack []ast.Node, send *ast.SendStmt) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	cc, ok := stack[len(stack)-1].(*ast.CommClause)
+	return ok && cc.Comm == send
+}
+
+// sendOnlyChan reports whether the channel expression has a send-only
+// (chan<-) static type — the caller-allocated reply convention.
+func sendOnlyChan(pkg *Package, ch ast.Expr) bool {
+	t := pkg.Info.Types[ch].Type
+	if t == nil {
+		return false
+	}
+	c, ok := t.Underlying().(*types.Chan)
+	return ok && c.Dir() == types.SendOnly
+}

@@ -25,6 +25,17 @@
 // dependency-free (stdlib-only imports), and pager/snapshot I/O error
 // returns must never be silently dropped.
 //
+// The v2 contract passes are annotation-driven (see DESIGN.md §12):
+// hotpath enforces allocation freedom on //birchlint:hotpath functions
+// and their intra-module callees through a call-graph analysis; detlint
+// guards bit-identical determinism in //birchlint:deterministic
+// packages; immutlint guards the copy-on-publish snapshot contract;
+// leaklint guards goroutine shutdown in //birchlint:leakcheck packages.
+// Stale (lint.Stale, birchlint -stale) flags ignore comments that no
+// longer suppress anything, and CheckEscapes (birchlint -escapes)
+// cross-checks hotpath annotations against the compiler's escape
+// analysis.
+//
 // Each check is a pluggable Pass. The driver in cmd/birchlint loads the
 // whole module with go/parser + go/types (no external tooling), applies
 // the passes, honors //birchlint:ignore suppression comments, and exits
@@ -34,7 +45,6 @@ package lint
 import (
 	"fmt"
 	"go/token"
-	"sort"
 )
 
 // Diagnostic is a single finding, anchored to a source position.
@@ -72,6 +82,10 @@ func AllPasses() []Pass {
 		BlockSync{},
 		StdlibOnly{},
 		IOErrCheck{},
+		HotPath{},
+		DetLint{},
+		ImmutLint{},
+		LeakLint{},
 	}
 }
 
@@ -108,18 +122,6 @@ func Run(m *Module, passes []Pass, pkgs []*Package) []Diagnostic {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Pass < b.Pass
-	})
+	SortDiagnostics(out)
 	return out
 }

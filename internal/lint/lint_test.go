@@ -77,13 +77,89 @@ func TestPassGolden(t *testing.T) {
 	}
 }
 
+// TestStaleGolden covers stale-suppression detection, which is not a
+// Pass (it post-processes Run's suppression evidence) and so needs its
+// own golden harness. The fixture mixes live, dead, whitelisted, and
+// not-executed suppressions; only the dead ones appear in the golden.
+func TestStaleGolden(t *testing.T) {
+	m := loadModule(t)
+	fixture, err := m.LoadDir(filepath.Join("testdata", "src", "stale"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	passes := lint.AllPasses()
+	if diags := lint.Run(m, passes, []*lint.Package{fixture}); len(diags) != 0 {
+		t.Fatalf("stale fixture should be diagnostic-free under Run (live ignores suppress), got %v", diags)
+	}
+	stale := lint.Stale(m, passes, []*lint.Package{fixture})
+	if len(stale) == 0 {
+		t.Fatal("stale fixture produced no stale findings; positive cases are broken")
+	}
+	var buf bytes.Buffer
+	for _, d := range stale {
+		fmt.Fprintf(&buf, "%s:%d:%d: [%s] %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+	}
+	golden := filepath.Join("testdata", "stale.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stale mismatch\n--- got ---\n%s--- want (%s) ---\n%s", buf.Bytes(), golden, want)
+	}
+}
+
 // TestRepoIsClean is the self-check gate: the repository's own packages
-// must produce zero diagnostics under the full suite.
+// must produce zero diagnostics under the full suite, and every
+// //birchlint:ignore comment must still be earning its keep.
 func TestRepoIsClean(t *testing.T) {
 	m := loadModule(t)
 	diags := lint.Run(m, lint.AllPasses(), m.Packages)
 	for _, d := range diags {
 		t.Errorf("repo not lint-clean: %s", d)
+	}
+	for _, d := range lint.Stale(m, lint.AllPasses(), m.Packages) {
+		t.Errorf("stale suppression: %s", d)
+	}
+}
+
+// TestHotPathAnnotationCoverage pins the static/dynamic cross-reference:
+// every function exercised by a testing.AllocsPerRun gate must carry a
+// //birchlint:hotpath annotation, so the hotpath pass analyzes exactly
+// the code the dynamic gates measure. The gate tests name their
+// annotated functions in comments; this list is the meeting point.
+func TestHotPathAnnotationCoverage(t *testing.T) {
+	m := loadModule(t)
+	annotated := make(map[string]bool)
+	for _, name := range m.AnnotatedFuncs("hotpath") {
+		annotated[name] = true
+	}
+	// One entry per AllocsPerRun gate (see the matching test comments):
+	//   cftree/alloc_test.go  TestInsertAbsorbAllocs, TestInsertAppendAllocsBounded
+	//   core/alloc_test.go    TestEngineAddAbsorbAllocs
+	//   kmeans/parallel_test.go TestAssignSteadyStateAllocs
+	//   cf/flatscan_test.go   TestBlockSetPointZeroAlloc
+	//   stream/snapshot_test.go TestSnapshotClassifyAllocs
+	for _, want := range []string{
+		"birch/internal/cftree.Tree.Insert",
+		"birch/internal/cftree.Tree.InsertNoSplit",
+		"birch/internal/cftree.Tree.insert",
+		"birch/internal/core.Engine.Add",
+		"birch/internal/kmeans.Assigner.Assign",
+		"birch/internal/cf.Block.SetPoint",
+		"birch/internal/cf.Block.AppendPoint",
+		"birch/internal/stream.Engine.Classify",
+		"birch/internal/stream.Snapshot.Classify",
+	} {
+		if !annotated[want] {
+			t.Errorf("AllocsPerRun-gated function %s is missing //birchlint:hotpath", want)
+		}
 	}
 }
 

@@ -38,6 +38,22 @@ type Package struct {
 
 	sources  map[string][]byte
 	suppress map[string]map[int]map[string]bool // filename -> line -> pass set
+	// suppRecords retains every //birchlint:ignore comment with its own
+	// position, so stale-suppression detection can point at the comment
+	// rather than the code line it covers.
+	suppRecords []suppRecord
+	// suppHits records which (file, line, pass) suppressions actually
+	// fired during Run — the evidence stale detection consumes.
+	suppHits map[string]map[int]map[string]bool
+
+	directives map[string]bool // package-level //birchlint:<name> markers
+}
+
+// suppRecord is one //birchlint:ignore comment occurrence.
+type suppRecord struct {
+	pos    token.Position // the comment itself
+	target int            // line the suppression covers
+	passes []string       // pass names listed (may include "*")
 }
 
 // Module is the fully loaded target of one birchlint run.
@@ -56,6 +72,17 @@ type Module struct {
 	gcImport  types.Importer
 	srcImport types.Importer
 	riskMemo  map[*types.Func]bool
+
+	// immutableTypes records type objects carrying a //birchlint:immutable
+	// annotation, across the module and any loaded fixture packages.
+	immutableTypes map[types.Object]bool
+	// allocMemo caches the hotpath pass's per-function allocation-freedom
+	// summaries (see hotpath.go).
+	allocMemo map[*types.Func]*allocSummary
+	// graph is the lazily built static call graph (see callgraph.go);
+	// fixtures lists LoadDir packages so the graph covers them too.
+	graph    map[*types.Func][]CallEdge
+	fixtures []*Package
 
 	opts LoadOptions
 }
@@ -107,14 +134,16 @@ func LoadModule(root string, opts LoadOptions) (*Module, error) {
 	}
 
 	m := &Module{
-		Root:      root,
-		Path:      string(match[1]),
-		Fset:      token.NewFileSet(),
-		byPath:    make(map[string]*Package),
-		funcDecls: make(map[*types.Func]*ast.FuncDecl),
-		declPkg:   make(map[*types.Func]*Package),
-		riskMemo:  make(map[*types.Func]bool),
-		opts:      opts,
+		Root:           root,
+		Path:           string(match[1]),
+		Fset:           token.NewFileSet(),
+		byPath:         make(map[string]*Package),
+		funcDecls:      make(map[*types.Func]*ast.FuncDecl),
+		declPkg:        make(map[*types.Func]*Package),
+		riskMemo:       make(map[*types.Func]bool),
+		immutableTypes: make(map[types.Object]bool),
+		allocMemo:      make(map[*types.Func]*allocSummary),
+		opts:           opts,
 	}
 	m.gcImport = importer.Default()
 	m.srcImport = importer.ForCompiler(m.Fset, "source", nil)
@@ -181,6 +210,12 @@ func (m *Module) LoadDir(dir string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	m.check(pkg)
+	m.fixtures = append(m.fixtures, pkg)
+	if m.graph != nil {
+		// The memoized call graph predates this fixture; fold its edges in
+		// so reachability-based passes see fixture-internal calls.
+		collectEdges(m, pkg)
+	}
 	return pkg, nil
 }
 
@@ -202,10 +237,12 @@ func (m *Module) parseDir(dir, importPath string) (*Package, error) {
 		return nil, err
 	}
 	pkg := &Package{
-		Path:     importPath,
-		Dir:      dir,
-		sources:  make(map[string][]byte),
-		suppress: make(map[string]map[int]map[string]bool),
+		Path:       importPath,
+		Dir:        dir,
+		sources:    make(map[string][]byte),
+		suppress:   make(map[string]map[int]map[string]bool),
+		suppHits:   make(map[string]map[int]map[string]bool),
+		directives: make(map[string]bool),
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -270,14 +307,160 @@ func (m *Module) check(pkg *Package) {
 
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+					m.funcDecls[fn] = d
+					m.declPkg[fn] = pkg
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasAnnotation(d.Doc, "immutable") || hasAnnotation(ts.Doc, "immutable") {
+						if obj := info.Defs[ts.Name]; obj != nil {
+							m.immutableTypes[obj] = true
+						}
+					}
+				}
 			}
-			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-				m.funcDecls[fn] = fd
-				m.declPkg[fn] = pkg
+		}
+	}
+	m.collectDirectives(pkg)
+}
+
+// collectDirectives scans every comment of pkg for standalone
+// package-level //birchlint:<name> markers (deterministic, leakcheck).
+// Any file of the package may carry the marker; it applies package-wide.
+func (m *Module) collectDirectives(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//birchlint:") {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimPrefix(text, "//birchlint:"), " ")
+				switch name {
+				case "deterministic", "leakcheck":
+					pkg.directives[name] = true
+				}
 			}
+		}
+	}
+}
+
+// HasDirective reports whether any file of the package carries the
+// package-level //birchlint:<name> marker.
+func (pkg *Package) HasDirective(name string) bool {
+	return pkg.directives[name]
+}
+
+// hasAnnotation reports whether a doc comment group contains the
+// function/type-level //birchlint:<name> directive line.
+func hasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == "//birchlint:"+name ||
+			strings.HasPrefix(text, "//birchlint:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFlags are the function-level contract annotations.
+type funcFlags uint8
+
+const (
+	flagHotPath funcFlags = 1 << iota
+	// flagColdPath declares a function a rare/amortized path: calls to it
+	// from hot code are accepted without analyzing its body.
+	flagColdPath
+	// flagPublishPath marks the one function allowed to Store into an
+	// atomic.Pointer holding an immutable-annotated type.
+	flagPublishPath
+)
+
+// flagsOf reads the contract annotations off a function declaration's doc
+// comment.
+func flagsOf(fd *ast.FuncDecl) funcFlags {
+	var f funcFlags
+	if fd == nil {
+		return 0
+	}
+	if hasAnnotation(fd.Doc, "hotpath") {
+		f |= flagHotPath
+	}
+	if hasAnnotation(fd.Doc, "coldpath") {
+		f |= flagColdPath
+	}
+	if hasAnnotation(fd.Doc, "publishpath") {
+		f |= flagPublishPath
+	}
+	return f
+}
+
+// funcFlags resolves fn's annotations through its declaration, if the
+// declaration is part of the module (or a loaded fixture).
+func (m *Module) funcFlags(fn *types.Func) funcFlags {
+	return flagsOf(m.funcDecls[fn])
+}
+
+// IsImmutableType reports whether the named type carries a
+// //birchlint:immutable annotation.
+func (m *Module) IsImmutableType(obj types.Object) bool {
+	return m.immutableTypes[obj]
+}
+
+// AnnotatedFuncs returns the qualified names ("pkgpath.Func" or
+// "pkgpath.Recv.Method") of every module function whose doc comment
+// carries the given //birchlint:<name> annotation, sorted. The
+// annotation-coverage test uses it to pin the static/dynamic gate
+// cross-reference: each AllocsPerRun-gated function must appear here
+// under "hotpath".
+func (m *Module) AnnotatedFuncs(name string) []string {
+	var out []string
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasAnnotation(fd.Doc, name) {
+					continue
+				}
+				qual := pkg.Path + "."
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					if r := recvTypeName(fd.Recv.List[0].Type); r != "" {
+						qual += r + "."
+					}
+				}
+				out = append(out, qual+fd.Name.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recvTypeName unwraps a receiver type expression to its base type name.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
 		}
 	}
 }
@@ -403,9 +586,16 @@ func (m *Module) collectSuppressions(pkg *Package, file *ast.File, src []byte) {
 				set = make(map[string]bool)
 				byLine[target] = set
 			}
+			var passes []string
 			for _, name := range strings.Split(match[1], ",") {
 				set[name] = true
+				passes = append(passes, name)
 			}
+			pkg.suppRecords = append(pkg.suppRecords, suppRecord{
+				pos:    pos,
+				target: target,
+				passes: passes,
+			})
 		}
 	}
 }
@@ -427,8 +617,24 @@ func codePrecedes(src []byte, offset int) bool {
 }
 
 // suppressed reports whether a diagnostic of the given pass at pos is
-// covered by an ignore comment.
+// covered by an ignore comment. A positive answer is recorded as a
+// suppression hit so stale detection can tell live ignores from dead
+// ones.
 func (pkg *Package) suppressed(pos token.Position, pass string) bool {
 	set := pkg.suppress[pos.Filename][pos.Line]
-	return set != nil && (set[pass] || set["*"])
+	if set == nil || !(set[pass] || set["*"]) {
+		return false
+	}
+	byLine := pkg.suppHits[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		pkg.suppHits[pos.Filename] = byLine
+	}
+	hits := byLine[pos.Line]
+	if hits == nil {
+		hits = make(map[string]bool)
+		byLine[pos.Line] = hits
+	}
+	hits[pass] = true
+	return true
 }

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Stale reports //birchlint:ignore comments that suppressed nothing
+// during the Run that just completed over the same packages — dead
+// suppressions that would otherwise silently outlive their findings.
+//
+// Judgement is restricted to the passes that actually executed: an
+// ignore naming a pass that was not run (e.g. an "escapes" suppression
+// during a non-escapes run) is left alone. A wildcard ignore (*) is
+// stale only if no pass at all hit it. Stale findings carry the pass
+// name "stale" and are themselves suppressible, so intentionally kept
+// suppressions — e.g. guarding code that is only present under a build
+// tag — can be whitelisted. The whitelist must name the pass explicitly
+// (//birchlint:ignore stale): honoring wildcards here would let a dead
+// //birchlint:ignore * silence its own stale report.
+//
+// Call after Run: Run's suppression filtering records which ignores
+// fired; Stale consumes that evidence.
+func Stale(m *Module, executed []Pass, pkgs []*Package) []Diagnostic {
+	ran := make(map[string]bool, len(executed))
+	for _, p := range executed {
+		ran[p.Name()] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, rec := range pkg.suppRecords {
+			hits := pkg.suppHits[rec.pos.Filename][rec.target]
+			for _, name := range rec.passes {
+				if name == "*" {
+					if len(hits) > 0 {
+						continue
+					}
+					if staleWhitelisted(pkg, rec.pos) {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos:     rec.pos,
+						Pass:    "stale",
+						Message: "//birchlint:ignore * suppresses nothing; remove it",
+					})
+					continue
+				}
+				if !ran[name] || hits[name] {
+					continue
+				}
+				if staleWhitelisted(pkg, rec.pos) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:  rec.pos,
+					Pass: "stale",
+					Message: fmt.Sprintf(
+						"//birchlint:ignore %s suppresses nothing (no %s diagnostic on its target line); remove it",
+						name, name),
+				})
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// staleWhitelisted reports whether an explicit //birchlint:ignore stale
+// covers the given ignore comment's line. Deliberately does NOT honor
+// "*": the comment under judgement would otherwise whitelist itself.
+func staleWhitelisted(pkg *Package, pos token.Position) bool {
+	return pkg.suppress[pos.Filename][pos.Line]["stale"]
+}
+
+// SortDiagnostics orders diagnostics by position then pass name — the
+// same canonical order Run emits, exported so drivers can merge
+// diagnostic streams (Run + Stale + CheckEscapes) and stay byte-stable.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}

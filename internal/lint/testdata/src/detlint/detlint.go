@@ -1,0 +1,115 @@
+// Package fixture exercises the detlint pass. Lines marked "flagged"
+// appear in testdata/detlint.golden; everything else must stay silent.
+// The package-level marker below opts the whole package into the
+// deterministic contract.
+//
+//birchlint:deterministic
+package fixture
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func sumFloats(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // flagged: float accumulation in map order
+	}
+	return s
+}
+
+func sumInts(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v // ok: integer addition is order-independent
+	}
+	return s
+}
+
+func collect(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // flagged: slice records map order
+	}
+	return out
+}
+
+func collectSorted(m map[int]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v) // ok: canonicalized by the sort below
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func sendAll(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // flagged: receiver observes map order
+	}
+}
+
+func lastWins(m map[int]float64) float64 {
+	var last float64
+	for _, v := range m {
+		last = v // flagged: keeps the last-visited value
+	}
+	return last
+}
+
+func minOf(m map[int]float64) float64 {
+	best := math.Inf(1)
+	for _, v := range m {
+		if v < best {
+			best = v // ok: running min is order-independent
+		}
+	}
+	return best
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // flagged: shared global source
+}
+
+func seededRand(n int) int {
+	r := rand.New(rand.NewSource(42)) // ok: explicitly seeded generator
+	return r.Intn(n)                  // ok: method on the seeded generator
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // flagged: wall-clock bits in a result
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // ok: duration measurement for gauges
+}
+
+func gather(ch chan float64, n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		v := <-ch
+		out = append(out, v) // flagged: folds results in completion order
+	}
+	return out
+}
+
+func gatherSorted(ch chan float64, n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		v := <-ch
+		out = append(out, v) // ok: canonicalized by the sort below
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func suppressedSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //birchlint:ignore detlint tolerance-tested aggregate, order drift accepted
+	}
+	return s
+}

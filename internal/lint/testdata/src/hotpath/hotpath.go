@@ -1,0 +1,158 @@
+// Package fixture exercises the hotpath pass. Lines marked "flagged"
+// appear in testdata/hotpath.golden; everything else must stay silent.
+package fixture
+
+import "fmt"
+
+type buffer struct {
+	data []float64
+	name string
+}
+
+func sink(v interface{}) { _ = v }
+
+// grows allocates and carries no annotation, so hot callers are flagged
+// at the call site.
+func grows() []int {
+	return make([]int, 8) // ok here: only annotated functions are walked
+}
+
+// spill is a human-audited amortized path.
+//
+//birchlint:coldpath
+func spill() []int {
+	return make([]int, 1024)
+}
+
+// sum is allocation-free; the analysis proves it without an annotation.
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//birchlint:hotpath
+func makeInHot(n int) []float64 {
+	return make([]float64, n) // flagged: make
+}
+
+//birchlint:hotpath
+func newInHot() *buffer {
+	return new(buffer) // flagged: new
+}
+
+//birchlint:hotpath
+func literals() {
+	_ = []int{1, 2}       // flagged: slice composite literal
+	_ = map[int]int{1: 2} // flagged: map composite literal
+}
+
+//birchlint:hotpath
+func escapingLiteral() *buffer {
+	return &buffer{} // flagged: address of composite literal
+}
+
+//birchlint:hotpath
+func closure(n int) int {
+	f := func() int { return n } // flagged: closure
+	return f()
+}
+
+//birchlint:hotpath
+func concat(a, b string) string {
+	return a + b // flagged: string concatenation
+}
+
+//birchlint:hotpath
+func concatAssign(b *buffer, tail string) {
+	b.name += tail // flagged: string concatenation via +=
+}
+
+//birchlint:hotpath
+func appendElsewhere(dst, src []int) []int {
+	dst = append(src, 1) // flagged: result not assigned back to src
+	return dst
+}
+
+//birchlint:hotpath
+func converts(b []byte) string {
+	return string(b) // flagged: string/byte conversion copies
+}
+
+//birchlint:hotpath
+func boxes(x int) {
+	sink(x) // flagged: int boxed into the interface parameter
+}
+
+//birchlint:hotpath
+func stdlibAlloc(x int) string {
+	return fmt.Sprintf("%d", x) // flagged: fmt call (and boxing of x)
+}
+
+//birchlint:hotpath
+func spawns(done chan struct{}) {
+	go sum(nil) // flagged: go statement
+	<-done
+}
+
+//birchlint:hotpath
+func defers(b *buffer) float64 {
+	defer sink(nil) // flagged: defer statement
+	return sum(b.data)
+}
+
+//birchlint:hotpath
+func callsGrows() []int {
+	return grows() // flagged: callee body is not allocation-free
+}
+
+//birchlint:hotpath
+func callsCold() []int {
+	return spill() // ok: coldpath callee accepted on trust
+}
+
+//birchlint:hotpath
+func callsHot(n int) []float64 {
+	return makeInHot(n) // ok: hotpath callee, contract propagates
+}
+
+//birchlint:hotpath
+func callsClean(xs []float64) float64 {
+	return sum(xs) // ok: callee body proven allocation-free
+}
+
+//birchlint:hotpath
+func errorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("fixture: negative %d", n) // ok: error constructor
+	}
+	return nil
+}
+
+//birchlint:hotpath
+func panics(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: bad %d", n)) // ok: panic argument
+	}
+}
+
+//birchlint:hotpath
+func lazyInit(b *buffer, n int) {
+	if cap(b.data) < n {
+		b.data = make([]float64, n) // ok: shape-guarded amortized growth
+	}
+	b.data = b.data[:n]
+}
+
+//birchlint:hotpath
+func appendGrow(xs []int, v int) []int {
+	xs = append(xs, v) // ok: assign-back append, gated dynamically
+	return xs
+}
+
+//birchlint:hotpath
+func suppressedAlloc() []int {
+	return make([]int, 4) //birchlint:ignore hotpath scratch grown once at startup
+}

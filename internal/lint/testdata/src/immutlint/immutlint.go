@@ -1,0 +1,59 @@
+// Package fixture exercises the immutlint pass. Lines marked "flagged"
+// appear in testdata/immutlint.golden; everything else must stay silent.
+package fixture
+
+import "sync/atomic"
+
+// Snap is published by pointer; readers share loaded values, so the type
+// is frozen after publication.
+//
+//birchlint:immutable
+type Snap struct {
+	n    int
+	vals []float64
+}
+
+// Scratch carries no annotation; stores are unrestricted.
+type Scratch struct{ n int }
+
+var (
+	current atomic.Pointer[Snap]
+	scratch atomic.Pointer[Scratch]
+)
+
+func mutateLoaded() {
+	s := current.Load()
+	s.n = 1       // flagged: write through a Load
+	s.vals[0] = 2 // flagged: write through a Load
+	s.n++         // flagged: write through a Load
+	s = nil       // ok: reassigning the local pointer itself
+	_ = s
+}
+
+func storeOutside(next *Snap) {
+	current.Store(next) // flagged: immutable element outside publishpath
+}
+
+func swapOutside(next *Snap) *Snap {
+	return current.Swap(next) // flagged: Swap is a store too
+}
+
+// publish is the audited publication point.
+//
+//birchlint:publishpath
+func publish(next *Snap) {
+	current.Store(next) // ok: the designated publish path
+}
+
+func storeScratch(next *Scratch) {
+	scratch.Store(next) // ok: Scratch is not annotated immutable
+}
+
+func readOnly() int {
+	s := current.Load()
+	return s.n // ok: reading a published value is the point
+}
+
+func suppressedStore(next *Snap) {
+	current.Store(next) //birchlint:ignore immutlint test-only reset helper
+}

@@ -1,0 +1,78 @@
+// Package fixture exercises the leaklint pass. Lines marked "flagged"
+// appear in testdata/leaklint.golden; everything else must stay silent.
+// The package-level marker below opts the whole package into the
+// goroutine-shutdown contract.
+//
+//birchlint:leakcheck
+package fixture
+
+func spawnLit(out chan int) {
+	go func() {
+		out <- 1 // flagged: bare send inside a goroutine
+	}()
+}
+
+func worker(out chan int) {
+	out <- 2 // flagged: reachable from the go statement below
+}
+
+func spawnNamed(out chan int) {
+	go worker(out)
+}
+
+func helper(out chan int) {
+	out <- 3 // flagged: transitively reachable through outer
+}
+
+func outer(out chan int) {
+	helper(out)
+}
+
+func spawnTransitive(out chan int) {
+	go outer(out)
+}
+
+func guarded(out chan int, quit chan struct{}) {
+	go func() {
+		select {
+		case out <- 1: // ok: the quit receive can always fire
+		case <-quit:
+		}
+	}()
+}
+
+func nonBlocking(out chan int) {
+	go func() {
+		select {
+		case out <- 1: // ok: default never blocks
+		default:
+		}
+	}()
+}
+
+func allSends(a, b chan int) {
+	go func() {
+		select { // flagged: every case is a send
+		case a <- 1:
+		case b <- 2:
+		}
+	}()
+}
+
+func reply(done chan<- struct{}) {
+	done <- struct{}{} // ok: send-only reply channel convention
+}
+
+func spawnReply(done chan<- struct{}) {
+	go reply(done)
+}
+
+func notGoroutine(out chan int) {
+	out <- 9 // ok: never launched via a go statement
+}
+
+func suppressedSend(out chan int) {
+	go func() {
+		out <- 1 //birchlint:ignore leaklint test harness guarantees a receiver
+	}()
+}

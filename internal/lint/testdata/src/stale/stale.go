@@ -1,0 +1,27 @@
+// Package fixture exercises stale-suppression detection (lint.Stale).
+// The suppressions here are a mix of live (they hide a real finding),
+// dead (their target line is clean — these appear in
+// testdata/stale.golden), deliberately whitelisted via an ignore-stale
+// comment, and out-of-scope (naming a pass that did not execute).
+package fixture
+
+func exactCompare(a, b float64) bool {
+	return a == b //birchlint:ignore floateq live: hides a real finding
+}
+
+func noFinding(a, b int) bool {
+	return a == b //birchlint:ignore floateq dead: integers never trip floateq
+}
+
+func alsoClean() int {
+	x := 1 //birchlint:ignore * dead: nothing to suppress on this line
+	return x
+}
+
+//birchlint:ignore stale kept: next ignore guards a build-tag-only variant
+//birchlint:ignore cfmutate whitelisted: no finding, but intentionally kept
+func keepWhitelisted() {}
+
+func futurePass(a, b float64) float64 {
+	return a * b //birchlint:ignore escapes judged only when escapes mode runs
+}

@@ -2,6 +2,7 @@ package quality
 
 import (
 	"math"
+	"sort"
 )
 
 // External clustering-agreement indices between a found labeling and a
@@ -13,6 +14,12 @@ import (
 // Labels < 0 (outliers/noise) are treated as a distinct class of their
 // own in all indices, so discarding a noise point and clustering it
 // "wrongly" are distinguishable outcomes.
+//
+// All accumulations below iterate contingency maps in sorted key order:
+// floating-point addition is not associative, so ranging the maps
+// directly would make the indices depend on Go's randomized map
+// iteration order and differ in the last bits between runs (detlint
+// enforces this; TestExternalIndicesBitStable pins it).
 
 // contingency builds the joint count table between two labelings.
 func contingency(a, b []int) (table map[[2]int]int, aCount, bCount map[int]int, n int) {
@@ -30,9 +37,49 @@ func contingency(a, b []int) (table map[[2]int]int, aCount, bCount map[int]int, 
 	return table, aCount, bCount, len(a)
 }
 
+// sortedPairKeys returns table's keys ordered lexicographically.
+func sortedPairKeys(table map[[2]int]int) [][2]int {
+	keys := make([][2]int, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// sortedCountKeys returns counts' keys in increasing order.
+func sortedCountKeys(counts map[int]int) []int {
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // choose2 returns C(n, 2) as a float.
 func choose2(n int) float64 {
 	return float64(n) * float64(n-1) / 2
+}
+
+// pairSums returns Σ C(c,2) over the contingency table and both margins,
+// accumulated in sorted key order.
+func pairSums(table map[[2]int]int, aCount, bCount map[int]int) (sumBoth, sumA, sumB float64) {
+	for _, k := range sortedPairKeys(table) {
+		sumBoth += choose2(table[k])
+	}
+	for _, k := range sortedCountKeys(aCount) {
+		sumA += choose2(aCount[k])
+	}
+	for _, k := range sortedCountKeys(bCount) {
+		sumB += choose2(bCount[k])
+	}
+	return sumBoth, sumA, sumB
 }
 
 // RandIndex returns the (unadjusted) Rand index in [0, 1]: the fraction
@@ -43,16 +90,7 @@ func RandIndex(a, b []int) float64 {
 	if n < 2 {
 		return 1
 	}
-	var sumBoth, sumA, sumB float64
-	for _, c := range table {
-		sumBoth += choose2(c)
-	}
-	for _, c := range aCount {
-		sumA += choose2(c)
-	}
-	for _, c := range bCount {
-		sumB += choose2(c)
-	}
+	sumBoth, sumA, sumB := pairSums(table, aCount, bCount)
 	total := choose2(n)
 	// agreements = pairs together in both + pairs apart in both.
 	return (total + 2*sumBoth - sumA - sumB) / total
@@ -65,16 +103,7 @@ func AdjustedRandIndex(a, b []int) float64 {
 	if n < 2 {
 		return 1
 	}
-	var sumBoth, sumA, sumB float64
-	for _, c := range table {
-		sumBoth += choose2(c)
-	}
-	for _, c := range aCount {
-		sumA += choose2(c)
-	}
-	for _, c := range bCount {
-		sumB += choose2(c)
-	}
+	sumBoth, sumA, sumB := pairSums(table, aCount, bCount)
 	total := choose2(n)
 	expected := sumA * sumB / total
 	maxIndex := (sumA + sumB) / 2
@@ -96,16 +125,16 @@ func NMI(a, b []int) float64 {
 	}
 	fn := float64(n)
 	var mi float64
-	for key, c := range table {
-		pxy := float64(c) / fn
+	for _, key := range sortedPairKeys(table) {
+		pxy := float64(table[key]) / fn
 		px := float64(aCount[key[0]]) / fn
 		py := float64(bCount[key[1]]) / fn
 		mi += pxy * math.Log(pxy/(px*py))
 	}
 	entropy := func(counts map[int]int) float64 {
 		var h float64
-		for _, c := range counts {
-			p := float64(c) / fn
+		for _, k := range sortedCountKeys(counts) {
+			p := float64(counts[k]) / fn
 			h -= p * math.Log(p)
 		}
 		return h

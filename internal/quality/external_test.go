@@ -151,3 +151,34 @@ func TestQuickIndicesBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestExternalIndicesBitStable is the determinism regression for the
+// sorted-key iteration in external.go (detlint's map-order rule): the
+// indices accumulate floats over contingency tables, so ranging the maps
+// directly would let Go's randomized map order perturb the last bits
+// between calls. Many labels force many distinct iteration orders; every
+// repetition must produce bit-identical results.
+func TestExternalIndicesBitStable(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const n, labels = 512, 64
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(labels)
+		b[i] = r.Intn(labels)
+	}
+	ri0 := math.Float64bits(RandIndex(a, b))
+	ari0 := math.Float64bits(AdjustedRandIndex(a, b))
+	nmi0 := math.Float64bits(NMI(a, b))
+	for rep := 1; rep < 50; rep++ {
+		if got := math.Float64bits(RandIndex(a, b)); got != ri0 {
+			t.Fatalf("rep %d: RandIndex bits %x, want %x", rep, got, ri0)
+		}
+		if got := math.Float64bits(AdjustedRandIndex(a, b)); got != ari0 {
+			t.Fatalf("rep %d: AdjustedRandIndex bits %x, want %x", rep, got, ari0)
+		}
+		if got := math.Float64bits(NMI(a, b)); got != nmi0 {
+			t.Fatalf("rep %d: NMI bits %x, want %x", rep, got, nmi0)
+		}
+	}
+}

@@ -4,6 +4,12 @@
 // cluster"), realized ("actual") cluster summaries from ground-truth
 // labels, and a greedy centroid matching between found and actual
 // clusters for the visual/tabular comparisons of Tables 4–5.
+//
+// The package carries the deterministic lint contract (DESIGN.md §12):
+// every metric is a pure function of its inputs and must not depend on
+// map iteration order or other run-to-run entropy.
+//
+//birchlint:deterministic
 package quality
 
 import (

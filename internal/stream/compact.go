@@ -54,6 +54,8 @@ func (e *Engine) compact() {
 // increasing; readers never touch the mutex. Returns the snapshot, or
 // nil when the merge failed (the error is recorded, the previous
 // snapshot stays current).
+//
+//birchlint:publishpath
 func (e *Engine) publish(reports []shardReport) *Snapshot {
 	e.publishMu.Lock()
 	defer e.publishMu.Unlock()

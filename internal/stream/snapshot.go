@@ -13,6 +13,8 @@ import (
 // alone — CFs and centroids are built fresh during compaction — so any
 // number of readers may hold one across later publications without
 // synchronization. A nil *Snapshot means nothing has been published yet.
+//
+//birchlint:immutable
 type Snapshot struct {
 	Gen    int64 // publication generation, strictly increasing
 	Points int64 // total data-point mass covered (Σ N over Subclusters)
@@ -48,6 +50,8 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // snapshot and returns its index and Euclidean distance. ok is false
 // before the first publication or when the snapshot has no centroids.
 // Lock-free; safe to call at any time, including after Close.
+//
+//birchlint:hotpath
 func (e *Engine) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 	return e.snap.Load().Classify(p)
 }
@@ -72,6 +76,8 @@ func (e *Engine) Centroids() []vec.Vector {
 
 // Classify assigns p to the nearest centroid of this snapshot. A nil
 // receiver (nothing published yet) reports ok = false.
+//
+//birchlint:hotpath
 func (s *Snapshot) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 	if s == nil || len(s.Centroids) == 0 {
 		return -1, 0, false

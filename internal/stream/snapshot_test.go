@@ -172,6 +172,53 @@ func TestSnapshotNilBeforeFirstPublish(t *testing.T) {
 	}
 }
 
+// TestSnapshotClassifyAllocs is the dynamic half of the serving-path
+// zero-allocation contract: Engine.Classify and Snapshot.Classify carry
+// //birchlint:hotpath (snapshot.go), so the static hotpath pass rejects
+// allocation-inducing constructs there, and this AllocsPerRun gate
+// proves the compiled steady state matches.
+func TestSnapshotClassifyAllocs(t *testing.T) {
+	cfg := core.DefaultConfig(2, 4)
+	cfg.Refine = false
+	eng, err := New(cfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	batch := make([]vec.Vector, 2000)
+	for i := range batch {
+		batch[i] = vec.Vector{float64(i % 127), float64((i * 17) % 131)}
+	}
+	if err := eng.InsertBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if snap == nil || len(snap.Centroids) == 0 {
+		t.Fatal("no centroids after flush")
+	}
+
+	q := vec.Vector{3, 4}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if _, _, ok := snap.Classify(q); !ok {
+			t.Fatal("snapshot Classify not ok")
+		}
+	}); allocs != 0 {
+		t.Errorf("Snapshot.Classify allocates %v per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if _, _, ok := eng.Classify(q); !ok {
+			t.Fatal("engine Classify not ok")
+		}
+	}); allocs != 0 {
+		t.Errorf("Engine.Classify allocates %v per call, want 0", allocs)
+	}
+}
+
 // TestSnapshotClassifyBatch pins the batch serving path to the scalar
 // one on a published snapshot, for several worker counts, and checks the
 // pre-publication ok=false contract.

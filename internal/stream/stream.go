@@ -27,6 +27,14 @@
 //     accepted) is asserted by the test battery. Memory pressure is
 //     handled by threshold-raising rebuilds instead, per the
 //     Reducibility Theorem.
+//
+// The package carries two whole-package lint contracts (DESIGN.md §12):
+// deterministic (identical input batches per shard produce bit-identical
+// snapshots regardless of worker scheduling) and leakcheck (no goroutine
+// may block forever on a channel send once Close has run).
+//
+//birchlint:deterministic
+//birchlint:leakcheck
 package stream
 
 import (
