@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint lint-escapes test test-stream test-tail race fuzz-smoke bench bench-scan bench-tail bench-smoke check clean
+.PHONY: all build vet lint lint-escapes test test-stream test-tail race fuzz-smoke bench bench-scan bench-slab bench-tail bench-smoke check clean
 
 all: build
 
@@ -53,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzResumeSnapshot -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
 	$(GO) test -run '^$$' -fuzz FuzzScanBlockSync -fuzztime $(FUZZTIME) ./internal/cftree
+	$(GO) test -run '^$$' -fuzz FuzzScanF32Rescore -fuzztime $(FUZZTIME) ./internal/cf
 	$(GO) test -run '^$$' -fuzz FuzzStreamInsertClose -fuzztime $(FUZZTIME) ./internal/stream
 
 # Full benchmark harness: fixed-seed Phase 1 and pipeline workloads,
@@ -66,6 +67,12 @@ bench:
 # loop on converged trees, written to BENCH_scan.json in the repo root.
 bench-scan:
 	$(GO) run ./cmd/birchbench -only scan -out .
+
+# Scan-slab precision-tier workloads only: TierF32 vs TierF64 descent on
+# converged trees under both CF-core backends, with rescore-depth and
+# fallback-rate probes, written to BENCH_slab32.json in the repo root.
+bench-slab:
+	$(GO) run ./cmd/birchbench -only slab -out .
 
 # Parallel-tail workloads only: Phase 4 refinement passes (reference vs
 # chunked Assigner at 1 and 8 workers) and the classify serving path

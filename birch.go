@@ -111,6 +111,37 @@ const (
 	ScanEntries = cftree.ScanEntries
 )
 
+// CoreKind selects the CF statistic backend (Config.Core).
+type CoreKind = cf.CoreKind
+
+// CF-core backends.
+const (
+	// CoreClassic is the paper's (N, LS, SS) clustering-feature triple
+	// (default). Radius/diameter forms subtract large near-equal
+	// aggregates, so precision degrades quadratically with the data's
+	// distance from the origin.
+	CoreClassic = cf.CoreClassic
+	// CoreBETULA stores (N, μ, S) — mean and sum of squared deviations,
+	// maintained Welford-style — which keeps cluster statistics accurate
+	// at any offset. Same memory, slightly more work per insert.
+	CoreBETULA = cf.CoreBETULA
+)
+
+// SlabTier selects the scan-slab precision for the fused descent and
+// serving scans (Config.SlabTier).
+type SlabTier = cf.SlabTier
+
+// Scan-slab precision tiers.
+const (
+	// TierF64 streams float64 slabs (default).
+	TierF64 = cf.TierF64
+	// TierF32 streams float32 mirror slabs — half the memory bandwidth
+	// per candidate — and rescores a provably sufficient candidate set
+	// from the retained float64 slabs, so every result stays bit-identical
+	// to TierF64. A bandwidth knob, never an accuracy knob.
+	TierF32 = cf.TierF32
+)
+
 // GlobalAlg selects the Phase 3 global clustering algorithm.
 type GlobalAlg = core.GlobalAlg
 

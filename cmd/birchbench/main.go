@@ -102,6 +102,24 @@ type Workload struct {
 	// faster). Classify workloads: per-query ns under each Finder mode
 	// plus the batch path; the fused-vs-kd columns across K locate the
 	// kmeans.FusedKDThreshold crossover.
+	// Scan-slab precision-tier (BENCH_slab32.json) fields: Core names the
+	// CF statistic backend; the standard ns/allocs/bytes columns hold the
+	// TierF32 numbers, F64NsPerPoint the TierF64 reference on the
+	// identical workload, and F32VsF64 their ratio (< 1 means the f32 tier
+	// is faster — both tiers build bit-identical trees, so the ratio is
+	// pure bandwidth/bookkeeping). CandBytesF64/F32 are the analytic slab
+	// bytes streamed per scanned candidate under each tier; RescoreDepth
+	// is the mean number of candidates the f32 filter retained for exact
+	// f64 rescore, and FallbackRate the fraction of scans that overflowed
+	// the candidate buffer and re-ran the full f64 kernel.
+	Core          string  `json:"core,omitempty"`
+	F64NsPerPoint float64 `json:"f64_ns_per_point,omitempty"`
+	F32VsF64      float64 `json:"f32_vs_f64,omitempty"`
+	CandBytesF64  float64 `json:"cand_bytes_f64,omitempty"`
+	CandBytesF32  float64 `json:"cand_bytes_f32,omitempty"`
+	RescoreDepth  float64 `json:"rescore_depth,omitempty"`
+	FallbackRate  float64 `json:"fallback_rate,omitempty"`
+
 	K               int     `json:"k,omitempty"`
 	RefNsPerPoint   float64 `json:"ref_ns_per_point,omitempty"`
 	ParNsPerPoint   float64 `json:"par_ns_per_point,omitempty"`
@@ -140,10 +158,10 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
-	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only) or "tail" (parallel-tail workloads only)`)
+	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only) or "tail" (parallel-tail workloads only)`)
 	flag.Parse()
-	if *only != "all" && *only != "scan" && *only != "tail" {
-		fatal(fmt.Errorf("unknown -only value %q (want all, scan or tail)", *only))
+	if *only != "all" && *only != "scan" && *only != "slab" && *only != "tail" {
+		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab or tail)", *only))
 	}
 
 	meta := Meta{
@@ -157,6 +175,18 @@ func main() {
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
+	}
+
+	if *only == "slab" {
+		slab := runSlabWorkloads(*quick, *reps)
+		if err := writeReport(filepath.Join(*outDir, slabFile), meta, slab, *baseDir); err != nil {
+			fatal(err)
+		}
+		if err := verifySlab(*outDir, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d slab workloads -> %s\n", len(slab), *outDir)
+		return
 	}
 
 	if *only == "tail" {
@@ -183,6 +213,11 @@ func main() {
 		return
 	}
 
+	slab := runSlabWorkloads(*quick, *reps)
+	if err := writeReport(filepath.Join(*outDir, slabFile), meta, slab, *baseDir); err != nil {
+		fatal(err)
+	}
+
 	phase1 := runPhase1Workloads(*quick, *reps)
 	pipeline := runPipelineWorkloads(*quick, *reps, *workers)
 	streamed := runStreamWorkloads(*quick, *reps)
@@ -203,8 +238,8 @@ func main() {
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d tail workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), len(scan), len(tail), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), *outDir)
 }
 
 func fatal(err error) {
@@ -493,6 +528,9 @@ func verifyScan(dir string, quick bool) error {
 // key is present with sane fields — the bench-smoke contract.
 func verify(dir string, quick bool) error {
 	if err := verifyScan(dir, quick); err != nil {
+		return err
+	}
+	if err := verifySlab(dir, quick); err != nil {
 		return err
 	}
 	if err := verifyTail(dir, quick); err != nil {

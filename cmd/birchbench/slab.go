@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"birch/internal/cf"
+	"birch/internal/cftree"
+	"birch/internal/pager"
+)
+
+// slabFile records the scan-slab precision-tier workloads: Phase 1
+// descent cost under the float32 mirror slabs (TierF32) against the pure
+// float64 slabs (TierF64), for both CF-core backends. The two tiers are
+// bit-identical in every routing decision — the harness fatals if the
+// trees diverge — so the ratio is pure memory-bandwidth effect, plus the
+// filter's bookkeeping. The report also carries the analytic bytes
+// streamed per scanned candidate under each tier and the measured
+// rescore depth / fallback rate of the f32 filter.
+const slabFile = "BENCH_slab32.json"
+
+// slabSpec is one precision-tier workload. The tree shape mirrors the
+// descent workloads: wide 4 KB nodes so every insert descends through
+// full node scans. D3 is excluded for the same protocol reason as in
+// descentSpecs (its merge preference breaks the absorb steady state).
+type slabSpec struct {
+	Name      string
+	Metric    cf.Metric
+	Core      cf.CoreKind
+	Dim       int
+	N         int
+	Threshold float64
+	Seed      int64
+}
+
+func slabSpecs(quick bool) []slabSpec {
+	div := 1
+	if quick {
+		div = 10
+	}
+	// Four specs cover the slab families × backends: classic D2 streams
+	// the ls slab, betula D2 the x0+sb slabs, D0 and D4 the x0 slab under
+	// either backend. Higher dimensionality widens the per-candidate rows,
+	// which is where the f32 tier's bandwidth advantage lives.
+	return []slabSpec{
+		{"slab_d2_dim8_classic", cf.D2, cf.CoreClassic, 8, 20000 / div, 3, 401},
+		{"slab_d2_dim8_betula", cf.D2, cf.CoreBETULA, 8, 20000 / div, 3, 402},
+		{"slab_d0_dim32_classic", cf.D0, cf.CoreClassic, 32, 10000 / div, 8, 403},
+		{"slab_d4_dim32_betula", cf.D4, cf.CoreBETULA, 32, 10000 / div, 8, 404},
+	}
+}
+
+// slabWordsPerCandidate returns how many slab words one candidate scan
+// streams under the given metric and backend: D0/D1/D4 walk the x0 slab
+// (dim + count word), classic D2/D3 the ls slab (dim + 3 hoisted words),
+// betula D2/D3 the x0 slab plus the two-word sb side slab.
+func slabWordsPerCandidate(m cf.Metric, kind cf.CoreKind) int {
+	switch {
+	case m == cf.D2 || m == cf.D3:
+		if kind == cf.CoreBETULA {
+			return 1 + 2 // x0 count word + sb pair; dim added by caller
+		}
+		return 3 // ls hoisted words; dim added by caller
+	default:
+		return 1 // x0 count word; dim added by caller
+	}
+}
+
+// runSlabWorkloads measures each spec under both precision tiers with
+// the descent protocol: build the tree once (warm-up), then re-insert
+// the same stream into the converged tree so the measured pass is pure
+// descent + absorb. Tiers are interleaved within each rep. After the
+// timed passes, one probed (unmeasured) f32 pass collects the filter's
+// rescore depth and fallback rate.
+func runSlabWorkloads(quick bool, reps int) map[string]Workload {
+	out := make(map[string]Workload)
+	for _, spec := range slabSpecs(quick) {
+		pts := blobs(spec.Seed, spec.Dim, 16, spec.N)
+		core := cf.CoreFor(spec.Core)
+		ents := make([]cf.CF, len(pts))
+		for i, p := range pts {
+			ents[i] = core.FromPoint(p)
+		}
+
+		w := Workload{
+			Dim:    spec.Dim,
+			Points: len(pts),
+			Seed:   spec.Seed,
+			Metric: spec.Metric.String(),
+			Core:   spec.Core.String(),
+		}
+		inf := sample{ns: math.Inf(1), allocs: math.Inf(1), bytes: math.Inf(1)}
+		perTier := [2]sample{inf, inf}
+		var leafEntries [2]int
+		for r := 0; r < reps; r++ {
+			for ti, tier := range []cf.SlabTier{cf.TierF32, cf.TierF64} {
+				tr := newSlabTree(spec, tier)
+				for i := range ents {
+					tr.Insert(ents[i].Clone()) // warm-up: build the tree
+				}
+				s := measure(len(ents), func() {
+					for i := range ents {
+						tr.Insert(ents[i]) // measured: absorb steady state
+					}
+				})
+				perTier[ti] = perTier[ti].min(s)
+				leafEntries[ti] = tr.LeafEntries()
+			}
+		}
+		if leafEntries[0] != leafEntries[1] {
+			fatal(fmt.Errorf("slab %s: precision tiers diverged: %d vs %d leaf entries",
+				spec.Name, leafEntries[0], leafEntries[1]))
+		}
+
+		// Probed pass: rescore depth and fallback rate of the f32 filter
+		// on the converged tree's descent scans.
+		probe := &cf.Scan32Stats{}
+		cf.SetScan32Probe(probe)
+		tr := newSlabTree(spec, cf.TierF32)
+		for i := range ents {
+			tr.Insert(ents[i].Clone())
+		}
+		for i := range ents {
+			tr.Insert(ents[i])
+		}
+		cf.SetScan32Probe(nil)
+
+		words := spec.Dim + slabWordsPerCandidate(spec.Metric, spec.Core)
+		w.NsPerPoint = perTier[0].ns
+		w.AllocsPerPoint = perTier[0].allocs
+		w.BytesPerPoint = perTier[0].bytes
+		w.LeafEntries = leafEntries[0]
+		w.F64NsPerPoint = perTier[1].ns
+		if perTier[1].ns > 0 {
+			w.F32VsF64 = perTier[0].ns / perTier[1].ns
+		}
+		w.CandBytesF64 = float64(8 * words)
+		w.CandBytesF32 = float64(4 * words)
+		w.RescoreDepth = probe.RescoreDepth()
+		w.FallbackRate = probe.FallbackRate()
+		out[spec.Name] = w
+	}
+	return out
+}
+
+// newSlabTree builds an empty tree for the spec under the given
+// precision tier with page-derived fan-outs and an unlimited budget.
+func newSlabTree(spec slabSpec, tier cf.SlabTier) *cftree.Tree {
+	const pageSize = 4 << 10
+	pgr := pager.MustNew(pager.Config{
+		PageSize:     pageSize,
+		MemoryBudget: 1 << 30,
+		DiskBudget:   1 << 20,
+	})
+	tr, err := cftree.New(cftree.Params{
+		Dim:               spec.Dim,
+		Branching:         pager.BranchingFactor(pageSize, spec.Dim),
+		LeafCap:           pager.LeafCapacity(pageSize, spec.Dim),
+		Threshold:         spec.Threshold,
+		ThresholdKind:     cf.ThresholdDiameter,
+		Metric:            spec.Metric,
+		MergingRefinement: true,
+		Core:              spec.Core,
+		SlabTier:          tier,
+	}, pgr)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+// verifySlab re-reads the slab report and checks every workload is
+// present with sane measurements on both tiers.
+func verifySlab(dir string, quick bool) error {
+	rep, err := readReport(filepath.Join(dir, slabFile))
+	if err != nil {
+		return err
+	}
+	for _, spec := range slabSpecs(quick) {
+		w, ok := rep.Workloads[spec.Name]
+		if !ok {
+			return fmt.Errorf("%s: missing workload %q", slabFile, spec.Name)
+		}
+		if w.NsPerPoint <= 0 || w.F64NsPerPoint <= 0 || w.F32VsF64 <= 0 {
+			return fmt.Errorf("%s: workload %q has degenerate measurements", slabFile, spec.Name)
+		}
+		if w.RescoreDepth <= 0 && w.FallbackRate <= 0 {
+			return fmt.Errorf("%s: workload %q recorded no probe statistics", slabFile, spec.Name)
+		}
+	}
+	if rep.Meta.GoVersion == "" {
+		return fmt.Errorf("%s: missing meta.go_version", slabFile)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ func FuzzResumeSnapshot(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("BIRCHSS1garbage"))
+	f.Add([]byte("BIRCHSS2garbage"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

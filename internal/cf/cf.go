@@ -7,6 +7,10 @@
 // clusters is (N1+N2, LS1+LS2, SS1+SS2) — is what makes the whole algorithm
 // work: every quantity BIRCH needs can be computed from CF triples alone,
 // incrementally and exactly, without storing the member points.
+//
+// Two statistic backends are available behind the same CF type (core.go):
+// the paper's triple and the numerically stable BETULA mean/deviation
+// form, which survives the large-offset regimes where the triple cancels.
 package cf
 
 import (
@@ -25,11 +29,22 @@ import (
 //
 // The zero CF (N==0) represents the empty cluster and is a valid identity
 // element for Merge.
+//
+// Under the BETULA backend (core.go) the same storage slots hold the
+// mean/deviation form instead: LS is the cluster mean μ and SS is the
+// deviation sum S = Σ ‖Xi − μ‖². The kind tag records which reading
+// applies; its zero value is CoreClassic, so struct literals and the
+// plain constructors keep the paper's semantics unchanged.
 type CF struct {
 	N  int64
 	LS vec.Vector
 	SS float64
+
+	kind CoreKind
 }
+
+// Kind reports which CF-core backend c belongs to.
+func (c *CF) Kind() CoreKind { return c.kind }
 
 // New returns an empty CF of dimension d.
 func New(d int) CF {
@@ -48,6 +63,10 @@ func FromPoint(p vec.Vector) CF {
 //
 //birchlint:hotpath
 func (c *CF) SetPoint(p vec.Vector) {
+	if c.kind == CoreBETULA {
+		betulaSetPoint(c, p)
+		return
+	}
 	if len(c.LS) != len(p) {
 		c.LS = vec.New(len(p))
 	}
@@ -92,7 +111,7 @@ func (c *CF) IsEmpty() bool { return c.N == 0 }
 
 // Clone returns an independent deep copy of c.
 func (c *CF) Clone() CF {
-	return CF{N: c.N, LS: c.LS.Clone(), SS: c.SS}
+	return CF{kind: c.kind, N: c.N, LS: c.LS.Clone(), SS: c.SS}
 }
 
 // Reset empties the CF in place, preserving dimensionality.
@@ -111,6 +130,10 @@ func (c *CF) Reset() {
 //
 //birchlint:hotpath
 func (c *CF) AddPoint(p vec.Vector) {
+	if c.kind == CoreBETULA {
+		betulaAddPoint(c, p)
+		return
+	}
 	if c.N == 0 && len(c.LS) == 0 {
 		c.LS = vec.New(p.Dim())
 	}
@@ -128,6 +151,10 @@ func (c *CF) AddWeightedPoint(p vec.Vector, w int64) {
 	if w <= 0 {
 		panic("cf: non-positive weight")
 	}
+	if c.kind == CoreBETULA {
+		betulaAddWeighted(c, p, w)
+		return
+	}
 	if c.N == 0 && len(c.LS) == 0 {
 		c.LS = vec.New(p.Dim())
 	}
@@ -140,9 +167,21 @@ func (c *CF) AddWeightedPoint(p vec.Vector, w int64) {
 
 // Merge folds other into c (the CF Additivity Theorem).
 //
+// An empty c adopts other's backend kind, so kind-agnostic accumulators
+// (start from New, fold entries in) work under either backend.
+//
 //birchlint:hotpath
 func (c *CF) Merge(other *CF) {
 	if other.N == 0 {
+		return
+	}
+	if c.N == 0 {
+		c.kind = other.kind
+	} else if c.kind != other.kind {
+		panic(mismatchedKinds("Merge", c, other))
+	}
+	if c.kind == CoreBETULA {
+		betulaMerge(c, other)
 		return
 	}
 	if c.N == 0 && len(c.LS) == 0 {
@@ -163,8 +202,13 @@ func (c *CF) Unmerge(other *CF) {
 	if other.N == 0 {
 		return
 	}
+	checkSameKind("Unmerge", c, other)
 	if c.N < other.N {
 		panic("cf: Unmerge would produce negative N")
+	}
+	if c.kind == CoreBETULA {
+		betulaUnmerge(c, other)
+		return
 	}
 	c.N -= other.N
 	c.LS.SubInPlace(other.LS)
@@ -178,10 +222,14 @@ func Sum(a, b *CF) CF {
 	return out
 }
 
-// Centroid returns X0 = LS/N. It panics on an empty CF.
+// Centroid returns X0 (LS/N classic; the stored mean under BETULA). It
+// panics on an empty CF.
 func (c *CF) Centroid() vec.Vector {
 	if c.N == 0 {
 		panic("cf: centroid of empty CF")
+	}
+	if c.kind == CoreBETULA {
+		return c.LS.Clone()
 	}
 	return vec.Scale(c.LS, 1/float64(c.N))
 }
@@ -191,6 +239,10 @@ func (c *CF) Centroid() vec.Vector {
 func (c *CF) CentroidInto(dst vec.Vector) vec.Vector {
 	if c.N == 0 {
 		panic("cf: centroid of empty CF")
+	}
+	if c.kind == CoreBETULA {
+		copy(dst, c.LS)
+		return dst
 	}
 	inv := 1 / float64(c.N)
 	for i := range dst {
@@ -205,10 +257,14 @@ func (c *CF) CentroidInto(dst vec.Vector) vec.Vector {
 //	R² = SS/N − ‖LS‖²/N²
 //
 // Floating-point cancellation can produce a tiny negative value for
-// near-degenerate clusters; it is clamped to 0.
+// near-degenerate clusters; it is clamped to 0. Under BETULA the formula
+// is R² = S/N, a quotient of non-negatives: no cancellation, no clamp.
 func (c *CF) RadiusSq() float64 {
 	if c.N == 0 {
 		return 0
+	}
+	if c.kind == CoreBETULA {
+		return c.SS / float64(c.N)
 	}
 	n := float64(c.N)
 	r2 := c.SS/n - c.LS.SqNorm()/(n*n)
@@ -226,12 +282,16 @@ func (c *CF) Radius() float64 { return math.Sqrt(c.RadiusSq()) }
 //
 //	D² = (2·N·SS − 2·‖LS‖²) / (N·(N−1))
 //
-// For N < 2 the diameter is 0 by convention.
+// For N < 2 the diameter is 0 by convention. Under BETULA the formula is
+// D² = 2·S/(N−1), again cancellation-free.
 func (c *CF) DiameterSq() float64 {
 	if c.N < 2 {
 		return 0
 	}
 	n := float64(c.N)
+	if c.kind == CoreBETULA {
+		return 2 * c.SS / (n - 1)
+	}
 	d2 := (2*n*c.SS - 2*c.LS.SqNorm()) / (n * (n - 1))
 	if d2 < 0 {
 		return 0
@@ -240,6 +300,11 @@ func (c *CF) DiameterSq() float64 {
 }
 
 // Diameter returns D (paper eq. 3).
+//
+// The radicand is non-negative on every path: the classic branch clamps,
+// and the betula branch is 2S/(N−1) with S ≥ 0 and N ≥ 2.
+//
+//birchlint:ignore sqrtclamp betula branch is a quotient of non-negatives (N-1 >= 1 under the N >= 2 guard)
 func (c *CF) Diameter() float64 { return math.Sqrt(c.DiameterSq()) }
 
 // SSE returns the within-cluster sum of squared errors,
@@ -249,6 +314,9 @@ func (c *CF) SSE() float64 {
 	if c.N == 0 {
 		return 0
 	}
+	if c.kind == CoreBETULA {
+		return c.SS
+	}
 	sse := c.SS - c.LS.SqNorm()/float64(c.N)
 	if sse < 0 {
 		return 0
@@ -257,9 +325,13 @@ func (c *CF) SSE() float64 {
 }
 
 // Validate checks internal consistency (finite values, N ≥ 0, and the
-// Cauchy–Schwarz lower bound N·SS ≥ ‖LS‖² up to rounding slack). It is used
-// by tests and by tree invariant checks.
+// Cauchy–Schwarz lower bound N·SS ≥ ‖LS‖² up to rounding slack; under
+// BETULA, a non-negative deviation sum instead). It is used by tests and
+// by tree invariant checks.
 func (c *CF) Validate() error {
+	if c.kind == CoreBETULA {
+		return betulaValidate(c)
+	}
 	if c.N < 0 {
 		return fmt.Errorf("cf: negative N=%d", c.N)
 	}
@@ -279,5 +351,8 @@ func (c *CF) Validate() error {
 
 // String renders the triple compactly for debugging.
 func (c *CF) String() string {
+	if c.kind == CoreBETULA {
+		return fmt.Sprintf("BCF{N=%d mean=%v S=%g}", c.N, c.LS, c.SS)
+	}
 	return fmt.Sprintf("CF{N=%d LS=%v SS=%g}", c.N, c.LS, c.SS)
 }

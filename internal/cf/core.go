@@ -1,0 +1,337 @@
+package cf
+
+// This file defines the CF-core backend layer: the choice of statistic a
+// CF carries and the algebra that maintains it.
+//
+// The paper's (N, LS, SS) triple is exact in real arithmetic but
+// catastrophically cancels in floating point whenever SS ≈ ‖LS‖²/N —
+// i.e. whenever clusters are tight relative to their offset from the
+// origin (data at 1e8 ± 1 loses every significant digit of the radius).
+// BETULA (Lang & Schubert, "Accelerating spherical k-means clustering /
+// BETULA: numerically stable CF-trees", see PAPERS.md) replaces the
+// triple with the mean/deviation form (N, μ, S), where μ is the cluster
+// mean and S = Σᵢ ‖xᵢ − μ‖² is the sum of squared deviations. Every
+// quantity BIRCH needs is still available — the two forms are related by
+// LS = N·μ and SS = S + N·‖μ‖² — but radius, diameter and the D2/D3/D4
+// distances become sums of non-negative terms, so no cancellation occurs
+// regardless of the data's offset.
+//
+// Both backends live behind the same CF struct: the kind tag selects the
+// interpretation of the (N, LS, SS) storage slots —
+//
+//	CoreClassic: LS = Σ xᵢ,  SS = Σ ‖xᵢ‖²   (the paper's triple)
+//	CoreBETULA:  LS = μ,     SS = S          (mean / squared deviation)
+//
+// — and every mutator and moment on CF dispatches on the tag. The Core
+// interface below is the external face of a backend: construction and
+// deserialization go through it (engines and snapshot codecs hold one),
+// while the per-CF operations (absorb, merge, subtract, centroid,
+// radius/diameter moments) are the CF methods themselves, which route to
+// the backend the CF was built by. The zero kind is CoreClassic, so all
+// pre-existing construction sites keep their exact semantics and bit
+// behavior.
+
+import (
+	"fmt"
+	"math"
+
+	"birch/internal/vec"
+)
+
+// CoreKind selects the statistic representation a CF carries.
+type CoreKind uint8
+
+const (
+	// CoreClassic is the paper's (N, LS, SS) triple (the default).
+	CoreClassic CoreKind = iota
+	// CoreBETULA is the numerically stable (N, mean, deviation) BCF form
+	// of Lang & Schubert.
+	CoreBETULA
+)
+
+// String names the core kind.
+func (k CoreKind) String() string {
+	switch k {
+	case CoreClassic:
+		return "classic"
+	case CoreBETULA:
+		return "betula"
+	default:
+		return fmt.Sprintf("CoreKind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k names a known backend.
+func (k CoreKind) Valid() bool { return k == CoreClassic || k == CoreBETULA }
+
+// ParseCoreKind converts a string such as "classic" or "betula" to a
+// CoreKind.
+func ParseCoreKind(s string) (CoreKind, error) {
+	switch s {
+	case "classic", "Classic", "CLASSIC":
+		return CoreClassic, nil
+	case "betula", "Betula", "BETULA":
+		return CoreBETULA, nil
+	}
+	return 0, fmt.Errorf("cf: unknown core kind %q (want classic or betula)", s)
+}
+
+// Core is the CF-core backend interface: it constructs CFs of its kind
+// (empty, from a point, or from raw serialized components) and names the
+// kind so consumers can resolve kernels and scan layouts. The absorb /
+// merge / subtract mutators and the centroid and radius/diameter moments
+// are the methods on CF itself — AddPoint, AddWeightedPoint, Merge,
+// Unmerge, CentroidInto, RadiusSq, DiameterSq, SSE — each of which
+// dispatches on the kind the constructing backend stamped into the CF.
+type Core interface {
+	// Kind identifies the backend.
+	Kind() CoreKind
+	// New returns an empty CF of dimension d under this backend.
+	New(d int) CF
+	// FromPoint returns the singleton CF of p under this backend.
+	FromPoint(p vec.Vector) CF
+	// FromComponents builds a CF from raw storage slots — (N, LS, SS)
+	// for the classic backend, (N, μ, S) for BETULA — validating them.
+	// It is the deserialization entry point; the caller yields ownership
+	// of comps.
+	FromComponents(n int64, comps vec.Vector, scalar float64) (CF, error)
+}
+
+// Classic is the paper's (N, LS, SS) backend.
+var Classic Core = classicCore{}
+
+// Betula is the BETULA (N, mean, deviation) backend.
+var Betula Core = betulaCore{}
+
+// CoreFor returns the backend for kind. It panics on an invalid kind.
+func CoreFor(kind CoreKind) Core {
+	switch kind {
+	case CoreClassic:
+		return Classic
+	case CoreBETULA:
+		return Betula
+	default:
+		panic("cf: invalid core kind " + kind.String())
+	}
+}
+
+// NewCore returns an empty CF of dimension d under the given backend —
+// the kind-parametric form of New.
+func NewCore(d int, kind CoreKind) CF {
+	c := New(d)
+	c.kind = kind
+	return c
+}
+
+type classicCore struct{}
+
+func (classicCore) Kind() CoreKind            { return CoreClassic }
+func (classicCore) New(d int) CF              { return New(d) }
+func (classicCore) FromPoint(p vec.Vector) CF { return FromPoint(p) }
+func (classicCore) FromComponents(n int64, comps vec.Vector, scalar float64) (CF, error) {
+	return FromComponents(n, comps, scalar)
+}
+
+type betulaCore struct{}
+
+func (betulaCore) Kind() CoreKind { return CoreBETULA }
+
+func (betulaCore) New(d int) CF { return NewCore(d, CoreBETULA) }
+
+// FromPoint: a singleton's mean is the point and its deviation sum is 0.
+func (betulaCore) FromPoint(p vec.Vector) CF {
+	return CF{kind: CoreBETULA, N: 1, LS: p.Clone(), SS: 0}
+}
+
+func (betulaCore) FromComponents(n int64, comps vec.Vector, scalar float64) (CF, error) {
+	c := CF{kind: CoreBETULA, N: n, LS: comps, SS: scalar}
+	if err := c.Validate(); err != nil {
+		return CF{}, err
+	}
+	return c, nil
+}
+
+// The BETULA mutators. Each maintains (N, μ, S) with the incremental
+// update formulas of the BCF algebra; all of them are sums of terms that
+// stay small relative to the cluster's spread, never differences of
+// large near-equal aggregates, which is the whole point of the backend.
+
+// betulaSetPoint resets c to the singleton of p: (1, p, 0).
+//
+//birchlint:hotpath
+func betulaSetPoint(c *CF, p vec.Vector) {
+	if len(c.LS) != len(p) {
+		c.LS = vec.New(len(p))
+	}
+	c.N = 1
+	copy(c.LS, p)
+	c.SS = 0
+}
+
+// betulaAddPoint is Welford's update: with Δ = x − μ,
+//
+//	μ' = μ + Δ/(N+1),   S' = S + Δ·(x − μ')
+//
+//birchlint:hotpath
+func betulaAddPoint(c *CF, p vec.Vector) {
+	if c.N == 0 {
+		if len(c.LS) != len(p) {
+			c.LS = vec.New(p.Dim())
+		}
+		betulaSetPoint(c, p)
+		return
+	}
+	n1 := float64(c.N + 1)
+	var inc float64
+	for i, x := range p {
+		d := x - c.LS[i]
+		mu := c.LS[i] + d/n1
+		inc += d * (x - mu)
+		c.LS[i] = mu
+	}
+	c.N++
+	c.SS += inc
+	if c.SS < 0 {
+		c.SS = 0
+	}
+}
+
+// betulaAddWeighted folds w identical copies of p into c: the merge of
+// (N, μ, S) with (w, p, 0).
+//
+//birchlint:hotpath
+func betulaAddWeighted(c *CF, p vec.Vector, w int64) {
+	if c.N == 0 {
+		if len(c.LS) != len(p) {
+			c.LS = vec.New(p.Dim())
+		}
+		c.N = w
+		copy(c.LS, p)
+		c.SS = 0
+		return
+	}
+	nA := float64(c.N)
+	wf := float64(w)
+	nn := nA + wf
+	f := wf / nn
+	var d2 float64
+	for i, x := range p {
+		d := x - c.LS[i]
+		d2 += d * d
+		c.LS[i] += d * f
+	}
+	c.N += w
+	c.SS += nA * f * d2
+}
+
+// betulaMerge folds o into c:
+//
+//	μ' = μA + (NB/N)·(μB − μA)
+//	S' = SA + SB + (NA·NB/N)·‖μB − μA‖²
+//
+//birchlint:hotpath
+func betulaMerge(c, o *CF) {
+	if c.N == 0 {
+		// Adopting a copy keeps the empty CF a true identity element.
+		if len(c.LS) != len(o.LS) {
+			c.LS = vec.New(o.Dim())
+		}
+		c.N = o.N
+		copy(c.LS, o.LS)
+		c.SS = o.SS
+		return
+	}
+	nA := float64(c.N)
+	nB := float64(o.N)
+	nn := nA + nB
+	f := nB / nn
+	var d2 float64
+	for i, mb := range o.LS {
+		d := mb - c.LS[i]
+		d2 += d * d
+		c.LS[i] += d * f
+	}
+	c.N += o.N
+	c.SS += o.SS + nA*f*d2
+}
+
+// betulaUnmerge removes o from c, the inverse of betulaMerge:
+//
+//	μA = μC + (NB/NA)·(μC − μB)
+//	SA = SC − SB − (NA·NB/NC)·‖μB − μA‖²   (clamped at 0)
+//
+//birchlint:hotpath
+func betulaUnmerge(c, o *CF) {
+	if c.N == o.N {
+		c.N = 0
+		for i := range c.LS {
+			c.LS[i] = 0
+		}
+		c.SS = 0
+		return
+	}
+	nC := float64(c.N)
+	nB := float64(o.N)
+	nA := nC - nB
+	f := nB / nA
+	var d2 float64
+	for i, mb := range o.LS {
+		muA := c.LS[i] + f*(c.LS[i]-mb)
+		d := mb - muA
+		d2 += d * d
+		c.LS[i] = muA
+	}
+	s := c.SS - o.SS - nA*nB/nC*d2
+	if s < 0 {
+		s = 0
+	}
+	c.N -= o.N
+	c.SS = s
+}
+
+// betulaMergedDeviation returns the deviation sum S of the cluster a ∪ b
+// without materializing the merge — the stable counterpart of the trial
+// merges the threshold test performs.
+//
+//birchlint:hotpath
+func betulaMergedDeviation(a, b *CF) float64 {
+	nA := float64(a.N)
+	nB := float64(b.N)
+	var d2 float64
+	for i, mb := range b.LS {
+		d := mb - a.LS[i]
+		d2 += d * d
+	}
+	return a.SS + b.SS + nA*nB/(nA+nB)*d2
+}
+
+// mismatchedKinds reports a merge/distance between CFs of different
+// backends — always a programming error, never data-dependent.
+func mismatchedKinds(op string, a, b *CF) string {
+	return fmt.Sprintf("cf: %s across CF cores (%v vs %v)", op, a.kind, b.kind)
+}
+
+// checkSameKind panics when two non-empty CFs carry different backends.
+//
+//birchlint:hotpath
+func checkSameKind(op string, a, b *CF) {
+	if a.kind != b.kind {
+		panic(mismatchedKinds(op, a, b))
+	}
+}
+
+// betulaValidate checks internal consistency of a BETULA CF: N ≥ 0,
+// finite components, and a non-negative deviation sum (the mutators
+// clamp, so a negative S can only come from corrupt input).
+func betulaValidate(c *CF) error {
+	if c.N < 0 {
+		return fmt.Errorf("cf: negative N=%d", c.N)
+	}
+	if !c.LS.IsFinite() || math.IsNaN(c.SS) || math.IsInf(c.SS, 0) {
+		return fmt.Errorf("cf: non-finite components")
+	}
+	if c.SS < 0 {
+		return fmt.Errorf("cf: negative deviation sum S=%g", c.SS)
+	}
+	return nil
+}

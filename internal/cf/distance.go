@@ -70,16 +70,24 @@ func ParseMetric(s string) (Metric, error) {
 // a and b. Both must be non-empty. The result is always ≥ 0 and is
 // symmetric in a and b for every metric.
 func Distance(m Metric, a, b *CF) float64 {
+	checkSameKind("distance", a, b)
 	switch m {
 	case D0:
 		return centroidEuclidean(a, b)
 	case D1:
 		return centroidManhattan(a, b)
+	// DistanceSq is non-negative on every path: the classic D2/D3 bodies
+	// clamp, D4 is a product of squares, and the betula bodies are sums
+	// and quotients of non-negatives (the only subtraction is N−1 under
+	// an N ≥ 2 guard).
 	case D2:
+		//birchlint:ignore sqrtclamp betula D2 is a sum of non-negatives; classic branch clamps
 		return math.Sqrt(DistanceSq(D2, a, b))
 	case D3:
+		//birchlint:ignore sqrtclamp betula D3 is 2S/(N-1) with S >= 0, N >= 2; classic branch clamps
 		return math.Sqrt(DistanceSq(D3, a, b))
 	case D4:
+		//birchlint:ignore sqrtclamp betula D4 is the Ward form, a product of squares like classic
 		return math.Sqrt(DistanceSq(D4, a, b))
 	default:
 		panic("cf: invalid metric " + m.String())
@@ -95,6 +103,7 @@ func DistanceSq(m Metric, a, b *CF) float64 {
 	if a.N == 0 || b.N == 0 {
 		panic("cf: distance involving empty CF")
 	}
+	checkSameKind("distance", a, b)
 	switch m {
 	case D0:
 		d := centroidEuclidean(a, b)
@@ -103,10 +112,19 @@ func DistanceSq(m Metric, a, b *CF) float64 {
 		d := centroidManhattan(a, b)
 		return d * d
 	case D2:
+		if a.kind == CoreBETULA {
+			return averageInterSqBetula(a, b)
+		}
 		return averageInterSq(a, b)
 	case D3:
+		if a.kind == CoreBETULA {
+			return mergedDiameterSqBetula(a, b)
+		}
 		return mergedDiameterSq(a, b)
 	case D4:
+		if a.kind == CoreBETULA {
+			return varianceIncreaseBetula(a, b)
+		}
 		return varianceIncrease(a, b)
 	default:
 		panic("cf: invalid metric " + m.String())
@@ -114,7 +132,17 @@ func DistanceSq(m Metric, a, b *CF) float64 {
 }
 
 // centroidEuclidean computes D0 without allocating centroid vectors.
+// Under BETULA the centroids are stored directly, so the per-component
+// divisions disappear.
 func centroidEuclidean(a, b *CF) float64 {
+	if a.kind == CoreBETULA {
+		var s float64
+		for i := range a.LS {
+			d := a.LS[i] - b.LS[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
 	na, nb := float64(a.N), float64(b.N)
 	var s float64
 	for i := range a.LS {
@@ -126,6 +154,13 @@ func centroidEuclidean(a, b *CF) float64 {
 
 // centroidManhattan computes D1 without allocating centroid vectors.
 func centroidManhattan(a, b *CF) float64 {
+	if a.kind == CoreBETULA {
+		var s float64
+		for i := range a.LS {
+			s += math.Abs(a.LS[i] - b.LS[i])
+		}
+		return s
+	}
 	na, nb := float64(a.N), float64(b.N)
 	var s float64
 	for i := range a.LS {
@@ -175,6 +210,52 @@ func varianceIncrease(a, b *CF) float64 {
 	var cdistSq float64
 	for i := range a.LS {
 		d := a.LS[i]/na - b.LS[i]/nb
+		cdistSq += d * d
+	}
+	return na * nb / (na + nb) * cdistSq
+}
+
+// The BETULA distance bodies. Each is the mean/deviation form of the
+// classic formula above — algebraically equal, but every term is
+// non-negative, so the clamps the classic forms need are structurally
+// impossible to hit. The f32 rescore slack analysis (scan32.go) and the
+// fused kernels (kernel.go, scan.go) mirror these bodies operation for
+// operation; keep them in sync.
+
+// averageInterSqBetula computes D2² = Sa/Na + Sb/Nb + ‖μa − μb‖².
+func averageInterSqBetula(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var d2 float64
+	for i := range a.LS {
+		d := a.LS[i] - b.LS[i]
+		d2 += d * d
+	}
+	return a.SS/na + b.SS/nb + d2
+}
+
+// mergedDiameterSqBetula computes D3² = 2·S(a ∪ b)/(N−1) with the merged
+// deviation sum S(a ∪ b) = Sa + Sb + (Na·Nb/N)·‖μa − μb‖².
+func mergedDiameterSqBetula(a, b *CF) float64 {
+	n := float64(a.N + b.N)
+	if n < 2 {
+		return 0
+	}
+	na, nb := float64(a.N), float64(b.N)
+	var d2 float64
+	for i := range a.LS {
+		d := a.LS[i] - b.LS[i]
+		d2 += d * d
+	}
+	s := a.SS + b.SS + na*nb/n*d2
+	return 2 * s / (n - 1)
+}
+
+// varianceIncreaseBetula computes D4² in Ward form from stored means.
+func varianceIncreaseBetula(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var cdistSq float64
+	for i := range a.LS {
+		d := a.LS[i] - b.LS[i]
 		cdistSq += d * d
 	}
 	return na * nb / (na + nb) * cdistSq

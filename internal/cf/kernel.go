@@ -51,8 +51,12 @@ type Query struct {
 	ssOverN float64
 	// x0 is the query centroid LS[i]/N, the constant vector in D0, D1
 	// and D4. Each component is the same division the generic path
-	// performs per candidate, done once here.
+	// performs per candidate, done once here. Under BETULA the stored
+	// mean is the centroid, so x0 is a plain copy of it.
 	x0 vec.Vector
+	// kind is the backend of the bound CF; kernels resolved via
+	// KernelForCore assume all candidates share it.
+	kind CoreKind
 }
 
 // NewQuery returns a Query with scratch buffers for dimension dim.
@@ -72,18 +76,47 @@ func (q *Query) Bind(c *CF) {
 	if c.Dim() != len(q.x0) {
 		panic("cf: query dimension mismatch")
 	}
+	q.kind = c.kind
 	q.ni = c.N
 	copy(q.ls, c.LS)
 	q.ss = c.SS
 	q.n = float64(c.N)
 	q.ssOverN = c.SS / q.n
+	if c.kind == CoreBETULA {
+		copy(q.x0, c.LS)
+		return
+	}
 	for i := range q.x0 {
 		q.x0[i] = c.LS[i] / q.n
 	}
 }
 
-// KernelFor returns the specialized kernel for metric m.
+// KernelFor returns the specialized kernel for metric m under the
+// classic backend.
 func KernelFor(m Metric) Kernel {
+	return KernelForCore(m, CoreClassic)
+}
+
+// KernelForCore returns the specialized kernel for metric m under the
+// given CF-core backend. The returned kernel assumes both the bound
+// query and every candidate carry that backend's kind.
+func KernelForCore(m Metric, kind CoreKind) Kernel {
+	if kind == CoreBETULA {
+		switch m {
+		case D0:
+			return kernelD0b
+		case D1:
+			return kernelD1b
+		case D2:
+			return kernelD2b
+		case D3:
+			return kernelD3b
+		case D4:
+			return kernelD4b
+		default:
+			panic("cf: invalid metric " + m.String())
+		}
+	}
 	switch m {
 	case D0:
 		return kernelD0
@@ -184,6 +217,92 @@ func kernelD4(q *Query, cand *CF) float64 {
 	var cdistSq float64
 	for i, ls := range cand.LS {
 		d := ls/na - x0[i]
+		cdistSq += d * d
+	}
+	return na * q.n / (na + q.n) * cdistSq
+}
+
+// The BETULA kernels mirror the betula DistanceSq bodies (distance.go)
+// bit-for-bit, under the same exactness contract as the classic kernels:
+// for every metric m and non-empty BETULA pair,
+//
+//	KernelForCore(m, CoreBETULA)(qry bound to q, cand) == DistanceSq(m, cand, q)
+//
+// Candidate centroids are the stored means, so the per-candidate ls/na
+// divisions of the classic kernels disappear — the betula inner loops
+// are pure subtract-multiply streams.
+
+// kernelD0b is the BETULA D0: squared Euclidean distance between stored
+// means, with the same sqrt-then-square round trip as the generic path.
+//
+//birchlint:hotpath
+func kernelD0b(q *Query, cand *CF) float64 {
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var s float64
+	for i, mu := range cand.LS {
+		d := mu - x0[i]
+		s += d * d
+	}
+	d := math.Sqrt(s)
+	return d * d
+}
+
+// kernelD1b is the BETULA D1: Manhattan distance between stored means.
+//
+//birchlint:hotpath
+func kernelD1b(q *Query, cand *CF) float64 {
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var s float64
+	for i, mu := range cand.LS {
+		s += math.Abs(mu - x0[i])
+	}
+	return s * s
+}
+
+// kernelD2b is the BETULA D2²: Sa/Na + Sb/Nb + ‖μa − μb‖², with the
+// query's S/N hoisted. Every term is non-negative — no clamp.
+//
+//birchlint:hotpath
+func kernelD2b(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var d2 float64
+	for i, mu := range cand.LS {
+		d := mu - x0[i]
+		d2 += d * d
+	}
+	return cand.SS/na + q.ssOverN + d2
+}
+
+// kernelD3b is the BETULA D3²: 2·S(cand ∪ q)/(N−1) via the stable
+// merged-deviation formula.
+//
+//birchlint:hotpath
+func kernelD3b(q *Query, cand *CF) float64 {
+	n := float64(cand.N + q.ni)
+	if n < 2 {
+		return 0
+	}
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var d2 float64
+	for i, mu := range cand.LS {
+		d := mu - x0[i]
+		d2 += d * d
+	}
+	s := cand.SS + q.ss + na*q.n/n*d2
+	return 2 * s / (n - 1)
+}
+
+// kernelD4b is the BETULA D4²: Ward form over stored means.
+//
+//birchlint:hotpath
+func kernelD4b(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var cdistSq float64
+	for i, mu := range cand.LS {
+		d := mu - x0[i]
 		cdistSq += d * d
 	}
 	return na * q.n / (na + q.n) * cdistSq

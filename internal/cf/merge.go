@@ -14,6 +14,12 @@ func MergedRadiusSq(a, b *CF) float64 {
 	if a.N+b.N == 0 {
 		return 0
 	}
+	// An empty operand may still carry the other backend's kind (scratch
+	// CFs start empty); the BETULA form is exact in that case too, since
+	// an empty BCF contributes nothing to the merged deviation.
+	if a.kind == CoreBETULA || b.kind == CoreBETULA {
+		return betulaMergedDeviation(a, b) / float64(a.N+b.N)
+	}
 	n := float64(a.N + b.N)
 	ss := a.SS + b.SS
 	var lsSq float64
@@ -38,6 +44,9 @@ func MergedDiameterSq(a, b *CF) float64 {
 	}
 	if b.N == 0 {
 		return a.DiameterSq()
+	}
+	if a.kind == CoreBETULA {
+		return mergedDiameterSqBetula(a, b)
 	}
 	return mergedDiameterSq(a, b)
 }

@@ -45,8 +45,35 @@ import (
 // be non-empty and slot-synced with the entries it summarizes.
 type ScanKernel func(q *Query, b *Block) (idx int, d float64)
 
-// ScanKernelFor returns the fused argmin scan for metric m.
+// ScanKernelFor returns the fused argmin scan for metric m under the
+// classic backend.
 func ScanKernelFor(m Metric) ScanKernel {
+	return ScanKernelForCore(m, CoreClassic)
+}
+
+// ScanKernelForCore returns the fused argmin scan for metric m under the
+// given CF-core backend. Blocks handed to the returned scan must carry
+// the same kind. The x0 slab stores centroids under both backends, so
+// D0/D1/D4 share one implementation; the betula D2/D3 scans stream the
+// x0 slab plus the two-word sb side slab instead of the classic ls slab,
+// mirroring kernelD2b/kernelD3b bit-for-bit.
+func ScanKernelForCore(m Metric, kind CoreKind) ScanKernel {
+	if kind == CoreBETULA {
+		switch m {
+		case D0:
+			return scanD0
+		case D1:
+			return scanD1
+		case D2:
+			return scanD2b
+		case D3:
+			return scanD3b
+		case D4:
+			return scanD4
+		default:
+			panic("cf: invalid metric " + m.String())
+		}
+	}
 	switch m {
 	case D0:
 		return scanD0
@@ -222,6 +249,69 @@ func scanD3(q *Query, b *Block) (int, float64) {
 // centroids hoisted, one linear pass over the x0 slab (the candidate's
 // float64(N) is the slab's tail word).
 //
+// scanD2b fuses kernelD2b over a betula block: Sa/Na + Sb/Nb + ‖μa−μb‖²,
+// streaming the x0 slab (means) and the candidate's hoisted S/N from the
+// sb side slab. Every term is non-negative — no clamp, matching the
+// kernel exactly.
+//
+//birchlint:hotpath
+func scanD2b(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	sb := b.sb
+	qx := q.x0[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var d2 float64
+		for j, v := range cx {
+			d := v - qx[j]
+			d2 += d * d
+		}
+		d := sb[2*i] + q.ssOverN + d2
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanD3b fuses kernelD3b: 2·S(cand ∪ q)/(N−1) via the stable
+// merged-deviation formula, streaming means from the x0 slab, S from the
+// sb slab and counts from the n array (added in integer form exactly as
+// the kernel does).
+//
+//birchlint:hotpath
+func scanD3b(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	nn := b.n
+	slab := b.x0
+	sb := b.sb
+	qx := q.x0[:dim] // bounds-check elimination hint
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < len(nn); i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var d2 float64
+		for j, v := range cx {
+			d := v - qx[j]
+			d2 += d * d
+		}
+		var d float64
+		if n := float64(nn[i] + q.ni); n >= 2 {
+			na := float64(nn[i])
+			s := sb[2*i+1] + q.ss + na*q.n/n*d2
+			d = 2 * s / (n - 1)
+		}
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
 //birchlint:hotpath
 func scanD4(q *Query, b *Block) (int, float64) {
 	dim := b.dim

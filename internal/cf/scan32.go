@@ -1,0 +1,729 @@
+package cf
+
+import (
+	"math"
+
+	"birch/internal/vec"
+)
+
+// This file implements the float32 scan tier: fused argmin kernels that
+// stream a block's float32 mirror slabs (half the bytes per candidate of
+// the f64 slabs) and still return results bit-identical to the f64
+// scans. The trick is a sound filter-then-rescore scheme:
+//
+//  1. One pass over the f32 slab computes, per slot, the f32-stream
+//     estimate d32 (same expression shape as the f64 scan, on f32-rounded
+//     candidate values — the query side stays f64) and a rigorous error
+//     slack E with |d32 − d64| ≤ E, derived from the slot's stored
+//     row-norm upper bound. A running upper bound U = min(d32 + E)
+//     brackets the true minimum from above; every slot whose lower bound
+//     d32 − E does not exceed U is kept in a small fixed candidate buffer.
+//  2. The kept candidates are rescored in index order from the float64
+//     slabs with per-slot evaluators that perform exactly the f64 scan's
+//     operations, taking the minimum under strict <.
+//
+// Soundness: U only decreases, and U ≥ min_i(d32_i + E_i) ≥ min_i d64_i
+// at all times. Any slot w achieving the true minimum satisfies
+// d32_w − E_w ≤ d64_w = min ≤ U whenever it is tested, so w is always
+// kept — and so is every slot tying it, which preserves the reference
+// loop's lowest-index tie rule. The rescore then reproduces the f64
+// scan's exact distance bits. If the buffer cannot hold the candidate
+// set (ill-conditioned data whose f32 gaps are below the slack — e.g.
+// clusters at offset 1e8 under the classic core), the scan falls back to
+// the full f64 kernel, which is trivially identical; correctness never
+// depends on the data being well-conditioned.
+//
+// For the clamped metrics (classic D2/D3) both d32 and d64 are compared
+// after clamping: clamping to 0 is 1-Lipschitz, so |clamp(x) − clamp(y)|
+// ≤ |x − y| ≤ E still holds, whereas bounds on the pre-clamp values
+// would not transfer to the clamped reference results.
+//
+// The slack terms: a slot row stored in f32 differs from its f64 source
+// by an error vector e with ‖e‖ ≤ ε·A, where ε = 2⁻²³ (twice the f32
+// round-off bound) and A is the slot's stored row-norm upper bound
+// (normUB32, rounded up). For sum-of-squared-difference forms this gives
+// |s32 − s64| ≤ ε·A·(2√s32 + ε·A) by the triangle inequality in the
+// Euclidean norm; scalar words (SS/N, SS, S/N, S) contribute ε·|word|;
+// dot products contribute ε·A·‖q‖. Every bound is multiplied by generous
+// safety factors (16× on the leading terms) and padded with an 8·ε₆₄
+// relative term that covers both the f64 accumulation round-off and
+// value collisions through the reference path's sqrt-then-square round
+// trips — the margins cost almost nothing (they only admit extra rescore
+// candidates) and make the inequality unconditional.
+
+const (
+	// eps32c bounds the relative error of a float64→float32 rounding,
+	// doubled for margin: |float32(v) − v| ≤ eps32c·|v| (normal range;
+	// subnormal f32 results have smaller absolute error than the normal
+	// bound at the subnormal threshold, which the 16× factors absorb).
+	eps32c = 1.1920928955078125e-07 // 2^-23
+	// eps64c is the float64 machine epsilon 2^-52, used for the
+	// collision-padding terms.
+	eps64c = 2.220446049250313e-16
+)
+
+// scanCandCap is the candidate buffer size. Well-conditioned data keeps
+// one or two candidates per scan; the cap only bounds stack usage, since
+// overflow falls back to the exact f64 scan.
+const scanCandCap = 16
+
+// candBuf is the bounded candidate set of a f32 scan: slot indices with
+// their error-slack lower bounds, compacted lazily against the running
+// upper bound.
+type candBuf struct {
+	n   int
+	idx [scanCandCap]int32
+	lo  [scanCandCap]float64
+}
+
+// push records slot i with lower bound lo. When full it first compacts
+// out entries whose lower bound exceeds the current upper bound u;
+// returns false if no room can be made (caller falls back to f64). The
+// NaN-safe comparison keeps entries with non-finite bounds, matching the
+// reference scan's semantics for non-finite distances.
+//
+//birchlint:hotpath
+func (cb *candBuf) push(i int, lo, u float64) bool {
+	if cb.n == scanCandCap {
+		k := 0
+		for j := 0; j < scanCandCap; j++ {
+			if !(cb.lo[j] > u) {
+				cb.idx[k] = cb.idx[j]
+				cb.lo[k] = cb.lo[j]
+				k++
+			}
+		}
+		cb.n = k
+		if cb.n == scanCandCap {
+			return false
+		}
+	}
+	cb.idx[cb.n] = int32(i)
+	cb.lo[cb.n] = lo
+	cb.n++
+	return true
+}
+
+// slackSq bounds |s32 − s64| for a sum-of-squared-differences row with
+// stored norm upper bound a: ε·a·(2√s32 + ε·a) with 8× margins, plus the
+// collision pad.
+//
+//birchlint:hotpath
+func slackSq(s, a float64) float64 {
+	return eps32c*a*(16*math.Sqrt(s)+32*eps32c*a) + 8*eps64c*s
+}
+
+// ScanKernel32For returns the f32-tier fused argmin scan for metric m
+// under the given CF-core backend. The returned scan requires TierF32
+// blocks of that kind and returns exactly what ScanKernelForCore(m, kind)
+// returns on the same block — index and Float64bits-identical distance.
+func ScanKernel32For(m Metric, kind CoreKind) ScanKernel {
+	if kind == CoreBETULA {
+		switch m {
+		case D0:
+			return scan32D0
+		case D1:
+			return scan32D1
+		case D2:
+			return scan32D2b
+		case D3:
+			return scan32D3b
+		case D4:
+			return scan32D4
+		default:
+			panic("cf: invalid metric " + m.String())
+		}
+	}
+	switch m {
+	case D0:
+		return scan32D0
+	case D1:
+		return scan32D1
+	case D2:
+		return scan32D2
+	case D3:
+		return scan32D3
+	case D4:
+		return scan32D4
+	default:
+		panic("cf: invalid metric " + m.String())
+	}
+}
+
+// The exact per-slot evaluators: each performs the same floating-point
+// operations, in the same order, as the corresponding f64 scan's inner
+// body, so rescoring a candidate reproduces the f64 scan's distance bits.
+
+//birchlint:hotpath
+func evalSlotD0(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q.x0[:dim]
+	var s float64
+	for j, v := range cx {
+		d := v - qx[j]
+		s += d * d
+	}
+	d := math.Sqrt(s)
+	return d * d
+}
+
+//birchlint:hotpath
+func evalSlotD1(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q.x0[:dim]
+	var s float64
+	for j, v := range cx {
+		s += math.Abs(v - qx[j])
+	}
+	return s * s
+}
+
+//birchlint:hotpath
+func evalSlotD2(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 3)
+	cls := b.ls[off : off+dim : off+dim]
+	qls := q.ls[:dim]
+	var dot float64
+	for j, v := range cls {
+		dot += v * qls[j]
+	}
+	d := b.ls[off+dim] + q.ssOverN - 2*dot/(b.ls[off+dim+2]*q.n)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+//birchlint:hotpath
+func evalSlotD3(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 3)
+	cls := b.ls[off : off+dim : off+dim]
+	qls := q.ls[:dim]
+	var lsSq float64
+	for j, v := range cls {
+		s := v + qls[j]
+		lsSq += s * s
+	}
+	var d float64
+	if n := float64(b.n[i] + q.ni); n >= 2 {
+		ss := b.ls[off+dim+1] + q.ss
+		d = (2*n*ss - 2*lsSq) / (n * (n - 1))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+//birchlint:hotpath
+func evalSlotD4(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q.x0[:dim]
+	var cdistSq float64
+	for j, v := range cx {
+		d := v - qx[j]
+		cdistSq += d * d
+	}
+	na := b.x0[off+dim]
+	return na * q.n / (na + q.n) * cdistSq
+}
+
+//birchlint:hotpath
+func evalSlotD2b(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q.x0[:dim]
+	var d2 float64
+	for j, v := range cx {
+		d := v - qx[j]
+		d2 += d * d
+	}
+	return b.sb[2*i] + q.ssOverN + d2
+}
+
+//birchlint:hotpath
+func evalSlotD3b(q *Query, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q.x0[:dim]
+	var d2 float64
+	for j, v := range cx {
+		d := v - qx[j]
+		d2 += d * d
+	}
+	var d float64
+	if n := float64(b.n[i] + q.ni); n >= 2 {
+		na := float64(b.n[i])
+		s := b.sb[2*i+1] + q.ss + na*q.n/n*d2
+		d = 2 * s / (n - 1)
+	}
+	return d
+}
+
+//birchlint:hotpath
+func evalSlotX0(q vec.Vector, b *Block, i int) float64 {
+	dim := b.dim
+	off := i * (dim + 1)
+	cx := b.x0[off : off+dim : off+dim]
+	qx := q[:dim]
+	var s float64
+	for j, v := range cx {
+		d := v - qx[j]
+		s += d * d
+	}
+	return s
+}
+
+// rescore takes the exact minimum over the surviving candidates in index
+// order. eval must be one of the evalSlot bodies above; the strict <
+// reproduces the reference scan's lowest-index tie rule.
+//
+// (Not a shared helper with an indirect call per candidate: candidate
+// sets are tiny, so each scan32 body inlines this loop with its direct
+// evaluator call instead.)
+
+// ScanNearestX032 is the f32 tier of ScanNearestX0: the argmin over the
+// block's x032 mirror of ‖q − X0ᵢ‖², rescored from the f64 x0 slab.
+// Returns exactly ScanNearestX0(q, b) — index and distance bits.
+//
+//birchlint:hotpath
+func ScanNearestX032(q vec.Vector, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	qx := q[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := float64(v) - qx[j]
+			s += d * d
+		}
+		e := slackSq(s, float64(slab[off+dim]))
+		if hi := s + e; hi < u {
+			u = hi
+		}
+		if lo := s - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return ScanNearestX0(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotX0(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D0 is the f32 tier of scanD0 (shared by both backends: the x0
+// slab carries centroids under either).
+//
+//birchlint:hotpath
+func scan32D0(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	qx := q.x0[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := float64(v) - qx[j]
+			s += d * d
+		}
+		sq := math.Sqrt(s)
+		v32 := sq * sq
+		e := slackSq(s, float64(slab[off+dim]))
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD0(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD0(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D1 is the f32 tier of scanD1. The Manhattan sum's error is
+// bounded by ε·√dim·A (Cauchy–Schwarz on the component errors), carried
+// into the squared domain around the f32 estimate.
+//
+//birchlint:hotpath
+func scan32D1(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	qx := q.x0[:dim] // bounds-check elimination hint
+	sqd := math.Sqrt(float64(dim))
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			s += math.Abs(float64(v) - qx[j])
+		}
+		v32 := s * s
+		d0 := eps32c * sqd * float64(slab[off+dim])
+		e := d0*(16*s+32*d0) + 8*eps64c*v32
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD1(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD1(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D2 is the f32 tier of scanD2 (classic). The dot-product error is
+// bounded by ε·A·‖q.ls‖ with the query norm computed once per scan; the
+// comparison happens on the clamped value, like the reference.
+//
+//birchlint:hotpath
+func scan32D2(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 3
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.ls32
+	qls := q.ls[:dim] // bounds-check elimination hint
+	var qn2 float64
+	for _, v := range qls {
+		qn2 += v * v
+	}
+	qNorm := math.Sqrt(qn2)
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cls := slab[off : off+dim : off+dim]
+		var dot float64
+		for j, v := range cls {
+			dot += float64(v) * qls[j]
+		}
+		na := float64(b.n[i])
+		ssOverN := float64(slab[off+dim])
+		v32 := ssOverN + q.ssOverN - 2*dot/(na*q.n)
+		if v32 < 0 {
+			v32 = 0
+		}
+		a := float64(slab[off+dim+2])
+		e := 16*eps32c*(math.Abs(ssOverN)+2*a*qNorm/(na*q.n)) +
+			8*eps64c*(math.Abs(ssOverN)+math.Abs(q.ssOverN)+v32)
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD2(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD2(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D3 is the f32 tier of scanD3 (classic): merged diameter from the
+// f32 ls mirror, clamped like the reference, with slack covering the
+// f32-rounded SS word and LS row.
+//
+//birchlint:hotpath
+func scan32D3(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 3
+	nn := b.n
+	k := len(nn)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.ls32
+	qls := q.ls[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cls := slab[off : off+dim : off+dim]
+		var lsSq float64
+		for j, v := range cls {
+			s := float64(v) + qls[j]
+			lsSq += s * s
+		}
+		var v32, e float64
+		if n := float64(nn[i] + q.ni); n >= 2 {
+			ssC := math.Abs(float64(slab[off+dim+1]))
+			ss := float64(slab[off+dim+1]) + q.ss
+			v32 = (2*n*ss - 2*lsSq) / (n * (n - 1))
+			if v32 < 0 {
+				v32 = 0
+			}
+			a := float64(slab[off+dim+2])
+			errNum := 2*n*(eps32c*ssC) + 2*eps32c*a*(2*math.Sqrt(lsSq)+eps32c*a)
+			e = 16*errNum/(n*(n-1)) +
+				8*eps64c*((2*n*(ssC+math.Abs(q.ss))+2*lsSq)/(n*(n-1))+v32)
+		}
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD3(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD3(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D4 is the f32 tier of scanD4 (shared by both backends). The Ward
+// factor uses the exact integer count, so only the centroid-distance
+// term carries f32 error.
+//
+//birchlint:hotpath
+func scan32D4(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	qx := q.x0[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := float64(v) - qx[j]
+			s += d * d
+		}
+		na := float64(b.n[i])
+		f := na * q.n / (na + q.n)
+		v32 := f * s
+		e := f*slackSq(s, float64(slab[off+dim])) + 8*eps64c*v32
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD4(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD4(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D2b is the f32 tier of scanD2b (betula): means from the x032
+// mirror, hoisted S/N from the sb32 mirror. All terms non-negative, no
+// clamp — matching the f64 body.
+//
+//birchlint:hotpath
+func scan32D2b(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	sb := b.sb32
+	qx := q.x0[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := float64(v) - qx[j]
+			s += d * d
+		}
+		sOverN := float64(sb[2*i])
+		v32 := sOverN + q.ssOverN + s
+		e := 16*eps32c*sOverN + slackSq(s, float64(slab[off+dim])) + 8*eps64c*v32
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD2b(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD2b(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scan32D3b is the f32 tier of scanD3b (betula): the stable merged
+// deviation from the x032 and sb32 mirrors with exact integer counts.
+//
+//birchlint:hotpath
+func scan32D3b(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	nn := b.n
+	k := len(nn)
+	if k == 0 {
+		return 0, 0
+	}
+	slab := b.x032
+	sb := b.sb32
+	qx := q.x0[:dim] // bounds-check elimination hint
+	var cb candBuf
+	u := math.Inf(1)
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var s float64
+		for j, v := range cx {
+			d := float64(v) - qx[j]
+			s += d * d
+		}
+		var v32, e float64
+		if n := float64(nn[i] + q.ni); n >= 2 {
+			na := float64(nn[i])
+			f := na * q.n / n
+			sdev := float64(sb[2*i+1])
+			sm := sdev + q.ss + f*s
+			v32 = 2 * sm / (n - 1)
+			e = (16*eps32c*sdev+f*slackSq(s, float64(slab[off+dim])))*2/(n-1) +
+				8*eps64c*v32
+		}
+		if hi := v32 + e; hi < u {
+			u = hi
+		}
+		if lo := v32 - e; !(lo > u) {
+			if !cb.push(i, lo, u) {
+				probeFallback32()
+				return scanD3b(q, b)
+			}
+		}
+	}
+	probeRetained32(cb.n)
+	best, bestD := -1, 0.0
+	for j := 0; j < cb.n; j++ {
+		if cb.lo[j] > u {
+			continue
+		}
+		i := int(cb.idx[j])
+		d := evalSlotD3b(q, b, i)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,390 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+// randCoreCF builds a valid CF of the given backend by folding n random
+// points around a center of the given magnitude.
+func randCoreCF(r *rand.Rand, dim, n int, magnitude float64, kind CoreKind) CF {
+	c := NewCore(dim, kind)
+	center := vec.New(dim)
+	for d := range center {
+		center[d] = (r.Float64() - 0.5) * 2 * magnitude
+	}
+	p := vec.New(dim)
+	for i := 0; i < n; i++ {
+		for d := range p {
+			p[d] = center[d] + r.NormFloat64()
+		}
+		c.AddPoint(p)
+	}
+	return c
+}
+
+// blockOfOpts builds a slot-synced Block of the given kind and tier over
+// the candidate CFs.
+func blockOfOpts(dim int, cands []CF, kind CoreKind, tier SlabTier) *Block {
+	b := NewBlockOpts(dim, len(cands), kind, tier)
+	for i := range cands {
+		b.Append(&cands[i])
+	}
+	return b
+}
+
+// TestScan32MatchesScan64Bitwise is the mixed-precision exactness
+// property — the heart of the f32 tier's contract: for every metric,
+// both CF-core backends, and candidate slates spanning random, singleton,
+// tie-forcing, and large-magnitude (slack-dominated) regimes, the f32
+// filter-then-rescore scan returns the same index and the
+// Float64bits-identical distance as the pure f64 scan on the same block.
+// A TierF32 block retains its f64 slabs, so both scans read one block.
+func TestScan32MatchesScan64Bitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		for _, m := range []Metric{D0, D1, D2, D3, D4} {
+			scan64 := ScanKernelForCore(m, kind)
+			scan32 := ScanKernel32For(m, kind)
+			for _, dim := range []int{1, 2, 3, 8, 17, 64} {
+				q := NewQuery(dim)
+				for trial := 0; trial < 40; trial++ {
+					cands := make([]CF, 1+r.Intn(12))
+					for i := range cands {
+						switch trial % 4 {
+						case 0:
+							cands[i] = randCoreCF(r, dim, 1+r.Intn(40), 10, kind)
+						case 1:
+							cands[i] = randCoreCF(r, dim, 1, 5, kind) // singletons
+						case 2:
+							cands[i] = randCoreCF(r, dim, 1+r.Intn(40), 1000, kind)
+						default:
+							// Large offsets: f32 rounding error dwarfs the
+							// inter-candidate gaps, so the filter must keep
+							// many (often all) slots or fall back — either
+							// way the result must stay exact.
+							cands[i] = randCoreCF(r, dim, 1+r.Intn(40), 1e8, kind)
+						}
+					}
+					// Force exact ties so the lowest-index rule is exercised
+					// through the rescore path.
+					if len(cands) > 2 {
+						cands[len(cands)-1] = cands[0].Clone()
+					}
+					query := randCoreCF(r, dim, 1+r.Intn(30), 10, kind)
+					if trial%4 == 2 {
+						query = cands[0].Clone()
+						query.AddPoint(vec.Add(cands[0].Centroid(), smallBump(dim)))
+					}
+					q.Bind(&query)
+					b := blockOfOpts(dim, cands, kind, TierF32)
+
+					gotIdx, gotD := scan32(q, b)
+					wantIdx, wantD := scan64(q, b)
+					if gotIdx != wantIdx {
+						t.Fatalf("%v/%v dim=%d trial=%d: f32 scan picked %d, f64 scan picked %d (d32=%v d64=%v)",
+							kind, m, dim, trial, gotIdx, wantIdx, gotD, wantD)
+					}
+					if math.Float64bits(gotD) != math.Float64bits(wantD) {
+						t.Fatalf("%v/%v dim=%d trial=%d: f32 d=%v (bits %x) != f64 d=%v (bits %x)",
+							kind, m, dim, trial, gotD, math.Float64bits(gotD), wantD, math.Float64bits(wantD))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanNearestX032MatchesScanNearestX0: same bit-exactness property
+// for the flat-scan serving kernel over centroid blocks.
+func TestScanNearestX032MatchesScanNearestX0(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for _, dim := range []int{1, 2, 3, 8, 17, 64} {
+		for trial := 0; trial < 60; trial++ {
+			k := 1 + r.Intn(24)
+			magnitude := 10.0
+			if trial%3 == 1 {
+				magnitude = 1e8
+			}
+			b := NewBlockOpts(dim, k, CoreClassic, TierF32)
+			pts := make([]vec.Vector, k)
+			for i := range pts {
+				p := vec.New(dim)
+				for d := range p {
+					p[d] = (r.Float64() - 0.5) * 2 * magnitude
+				}
+				pts[i] = p
+				b.AppendPoint(p)
+			}
+			// Duplicate slot 0 into the last slot: exact tie.
+			if k > 2 {
+				b.SetPoint(k-1, pts[0])
+			}
+			q := vec.New(dim)
+			for d := range q {
+				q[d] = (r.Float64() - 0.5) * 2 * magnitude
+			}
+			if trial%3 == 2 {
+				copy(q, pts[0]) // zero-distance hit
+			}
+
+			gotIdx, gotD := ScanNearestX032(q, b)
+			wantIdx, wantD := ScanNearestX0(q, b)
+			if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) {
+				t.Fatalf("dim=%d trial=%d: f32 (%d, %v) != f64 (%d, %v)",
+					dim, trial, gotIdx, gotD, wantIdx, wantD)
+			}
+		}
+	}
+}
+
+// TestScan32OverflowFallsBack forces the candidate buffer past its
+// capacity — more identical candidates than scanCandCap slots, so every
+// lower bound ties the running upper bound and nothing can be compacted
+// away — and checks the scan still returns the exact f64 answer via the
+// fallback path.
+func TestScan32OverflowFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	const dim = 5
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		for _, m := range []Metric{D0, D1, D2, D3, D4} {
+			scan64 := ScanKernelForCore(m, kind)
+			scan32 := ScanKernel32For(m, kind)
+			proto := randCoreCF(r, dim, 8, 50, kind)
+			cands := make([]CF, scanCandCap+8)
+			for i := range cands {
+				cands[i] = proto.Clone()
+			}
+			q := NewQuery(dim)
+			query := randCoreCF(r, dim, 4, 50, kind)
+			q.Bind(&query)
+			b := blockOfOpts(dim, cands, kind, TierF32)
+
+			gotIdx, gotD := scan32(q, b)
+			wantIdx, wantD := scan64(q, b)
+			if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) {
+				t.Fatalf("%v/%v: overflow path (%d, %v) != f64 (%d, %v)",
+					kind, m, gotIdx, gotD, wantIdx, wantD)
+			}
+			if gotIdx != 0 {
+				t.Fatalf("%v/%v: identical candidates must tie to slot 0, got %d", kind, m, gotIdx)
+			}
+		}
+	}
+
+	// Same overflow property for the flat-scan kernel.
+	b := NewBlockOpts(dim, scanCandCap+8, CoreClassic, TierF32)
+	p := vec.New(dim)
+	for d := range p {
+		p[d] = r.Float64() * 10
+	}
+	for i := 0; i < scanCandCap+8; i++ {
+		b.AppendPoint(p)
+	}
+	q := vec.New(dim)
+	gotIdx, gotD := ScanNearestX032(q, b)
+	wantIdx, wantD := ScanNearestX0(q, b)
+	if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) || gotIdx != 0 {
+		t.Fatalf("flat scan overflow: (%d, %v) != (%d, %v)", gotIdx, gotD, wantIdx, wantD)
+	}
+}
+
+// TestScan32AfterIncrementalMaintenance: the f32 mirrors follow Set /
+// SetPoint / Append / Remove exactly like the f64 slabs, so after any
+// maintenance sequence the f32 scan still agrees bit-for-bit.
+func TestScan32AfterIncrementalMaintenance(t *testing.T) {
+	r := rand.New(rand.NewSource(49))
+	const dim = 6
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		for _, m := range []Metric{D0, D2, D3} {
+			scan64 := ScanKernelForCore(m, kind)
+			scan32 := ScanKernel32For(m, kind)
+			q := NewQuery(dim)
+
+			cands := make([]CF, 8)
+			for i := range cands {
+				cands[i] = randCoreCF(r, dim, 1+r.Intn(20), 20, kind)
+			}
+			b := blockOfOpts(dim, cands, kind, TierF32)
+
+			for step := 0; step < 150; step++ {
+				switch r.Intn(4) {
+				case 0:
+					i := r.Intn(len(cands))
+					add := randCoreCF(r, dim, 1+r.Intn(4), 20, kind)
+					cands[i].Merge(&add)
+					b.Set(i, &cands[i])
+				case 1:
+					c := randCoreCF(r, dim, 1+r.Intn(20), 20, kind)
+					cands = append(cands, c)
+					b.Append(&cands[len(cands)-1])
+				case 2:
+					if len(cands) > 1 {
+						i := r.Intn(len(cands))
+						cands = append(cands[:i], cands[i+1:]...)
+						b.Remove(i)
+					}
+				default:
+					query := randCoreCF(r, dim, 1+r.Intn(10), 20, kind)
+					q.Bind(&query)
+					gotIdx, gotD := scan32(q, b)
+					wantIdx, wantD := scan64(q, b)
+					if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) {
+						t.Fatalf("%v/%v step=%d: f32 (%d, %v) != f64 (%d, %v)",
+							kind, m, step, gotIdx, gotD, wantIdx, wantD)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScan32EmptyBlock pins the k == 0 guard on every f32 scan.
+func TestScan32EmptyBlock(t *testing.T) {
+	const dim = 3
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		b := NewBlockOpts(dim, 4, kind, TierF32)
+		q := NewQuery(dim)
+		query := NewCore(dim, kind)
+		p := vec.Vector{1, 2, 3}
+		query.AddPoint(p)
+		q.Bind(&query)
+		for _, m := range []Metric{D0, D1, D2, D3, D4} {
+			if idx, d := ScanKernel32For(m, kind)(q, b); idx != 0 || d != 0 {
+				t.Fatalf("%v/%v empty block: (%d, %v)", kind, m, idx, d)
+			}
+		}
+		if idx, d := ScanNearestX032(p, b); idx != 0 || d != 0 {
+			t.Fatalf("%v ScanNearestX032 empty block: (%d, %v)", kind, idx, d)
+		}
+	}
+}
+
+// TestScan32KernelForValidation pins the metric/kind switch.
+func TestScan32KernelForValidation(t *testing.T) {
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		for _, m := range []Metric{D0, D1, D2, D3, D4} {
+			if ScanKernel32For(m, kind) == nil {
+				t.Fatalf("ScanKernel32For(%v, %v) = nil", m, kind)
+			}
+		}
+	}
+	mustPanic(t, "invalid metric", func() { ScanKernel32For(Metric(99), CoreClassic) })
+	mustPanic(t, "invalid metric", func() { ScanKernel32For(Metric(99), CoreBETULA) })
+}
+
+// TestScan32Allocs is the paired allocation gate for the hotpath
+// annotations on the f32 scan kernels (TestHotPathAnnotationCoverage in
+// internal/lint cross-references it): the filter-then-rescore pass,
+// including its candidate buffer, must live entirely on the stack.
+func TestScan32Allocs(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	const dim = 8
+	for _, kind := range []CoreKind{CoreClassic, CoreBETULA} {
+		cands := make([]CF, 10)
+		for i := range cands {
+			cands[i] = randCoreCF(r, dim, 1+r.Intn(20), 10, kind)
+		}
+		b := blockOfOpts(dim, cands, kind, TierF32)
+		q := NewQuery(dim)
+		query := randCoreCF(r, dim, 5, 10, kind)
+		q.Bind(&query)
+		for _, m := range []Metric{D0, D1, D2, D3, D4} {
+			scan := ScanKernel32For(m, kind)
+			if n := testing.AllocsPerRun(100, func() { scan(q, b) }); n != 0 {
+				t.Errorf("%v/%v scan32 allocates %v per run", kind, m, n)
+			}
+		}
+	}
+
+	// The flat-scan serving kernel.
+	b := NewBlockOpts(dim, 10, CoreClassic, TierF32)
+	p := vec.New(dim)
+	for i := 0; i < 10; i++ {
+		for d := range p {
+			p[d] = r.Float64() * 10
+		}
+		b.AppendPoint(p)
+	}
+	q := vec.New(dim)
+	for d := range q {
+		q[d] = r.Float64() * 10
+	}
+	if n := testing.AllocsPerRun(100, func() { ScanNearestX032(q, b) }); n != 0 {
+		t.Errorf("ScanNearestX032 allocates %v per run", n)
+	}
+}
+
+// FuzzScanF32Rescore fuzzes the f32-vs-f64 exactness contract: arbitrary
+// seeds, metrics, backends, dimensions and one injected raw coordinate
+// drive randomized candidate slates; the f32 scan must always return the
+// f64 scan's exact index and distance bits.
+func FuzzScanF32Rescore(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(3), 10.0)
+	f.Add(int64(2), uint8(2), uint8(1), uint8(1), 1e8)
+	f.Add(int64(3), uint8(4), uint8(0), uint8(17), -1e12)
+	f.Add(int64(4), uint8(3), uint8(1), uint8(64), 1e-8)
+	f.Add(int64(5), uint8(1), uint8(0), uint8(2), math.MaxFloat32)
+
+	f.Fuzz(func(t *testing.T, seed int64, metric, kindB, dimB uint8, coord float64) {
+		m := Metric(metric % 5)
+		kind := CoreClassic
+		if kindB%2 == 1 {
+			kind = CoreBETULA
+		}
+		dim := 1 + int(dimB)%64
+		if math.IsNaN(coord) || math.IsInf(coord, 0) {
+			coord = 0
+		}
+		// Clamp the injected coordinate so squared distances stay finite:
+		// non-finite f64 reference distances are compared by other tests;
+		// here the interesting surface is the finite filter math.
+		if math.Abs(coord) > 1e100 {
+			coord = math.Mod(coord, 1e100)
+		}
+
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(20)
+		cands := make([]CF, k)
+		for i := range cands {
+			mag := math.Pow(10, float64(r.Intn(10)))
+			cands[i] = randCoreCF(r, dim, 1+r.Intn(20), mag, kind)
+		}
+		// Inject the fuzzed coordinate into one candidate.
+		p := vec.New(dim)
+		p[r.Intn(dim)] = coord
+		cands[r.Intn(k)].AddPoint(p)
+		if k > 2 {
+			cands[k-1] = cands[0].Clone() // tie pressure
+		}
+
+		query := randCoreCF(r, dim, 1+r.Intn(10), 10, kind)
+		q := NewQuery(dim)
+		q.Bind(&query)
+		b := blockOfOpts(dim, cands, kind, TierF32)
+
+		scan64 := ScanKernelForCore(m, kind)
+		scan32 := ScanKernel32For(m, kind)
+		gotIdx, gotD := scan32(q, b)
+		wantIdx, wantD := scan64(q, b)
+		if gotIdx != wantIdx || math.Float64bits(gotD) != math.Float64bits(wantD) {
+			t.Fatalf("%v/%v dim=%d seed=%d: f32 (%d, %v bits %x) != f64 (%d, %v bits %x)",
+				kind, m, dim, seed, gotIdx, gotD, math.Float64bits(gotD),
+				wantIdx, wantD, math.Float64bits(wantD))
+		}
+
+		// The serving kernel under the same block geometry.
+		qv := vec.New(dim)
+		for d := range qv {
+			qv[d] = (r.Float64() - 0.5) * 20
+		}
+		gi, gd := ScanNearestX032(qv, b)
+		wi, wd := ScanNearestX0(qv, b)
+		if gi != wi || math.Float64bits(gd) != math.Float64bits(wd) {
+			t.Fatalf("flat scan: f32 (%d, %v) != f64 (%d, %v)", gi, gd, wi, wd)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package cf
+
+import "sync/atomic"
+
+// Scan32Stats accumulates filter statistics for the f32 scan tier while
+// installed via SetScan32Probe: how many scans ran, how many candidates
+// the f32 filter retained for f64 rescore (buffer occupancy at rescore
+// time — the tier's effective rescore depth), and how many scans
+// overflowed the candidate buffer and fell back to the full f64 kernel.
+// The probe exists for benchmarking and diagnostics (cmd/birchbench's
+// slab workloads); production runs leave it uninstalled, costing the
+// scans one nil-check per call.
+type Scan32Stats struct {
+	Scans     atomic.Int64
+	Retained  atomic.Int64
+	Fallbacks atomic.Int64
+}
+
+// RescoreDepth returns the mean number of candidates the filter retained
+// per non-fallback scan.
+func (s *Scan32Stats) RescoreDepth() float64 {
+	n := s.Scans.Load() - s.Fallbacks.Load()
+	if n <= 0 {
+		return 0
+	}
+	return float64(s.Retained.Load()) / float64(n)
+}
+
+// FallbackRate returns the fraction of scans that overflowed the
+// candidate buffer and re-ran the exact f64 kernel.
+func (s *Scan32Stats) FallbackRate() float64 {
+	n := s.Scans.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Fallbacks.Load()) / float64(n)
+}
+
+// scan32Probe is the installed probe, nil when disabled.
+var scan32Probe atomic.Pointer[Scan32Stats]
+
+// SetScan32Probe installs (or, with nil, removes) the f32 scan probe.
+func SetScan32Probe(p *Scan32Stats) { scan32Probe.Store(p) }
+
+// probeRetained32 records a completed f32 filter pass that kept n
+// candidates for rescore.
+//
+//birchlint:hotpath
+func probeRetained32(n int) {
+	if p := scan32Probe.Load(); p != nil {
+		p.Scans.Add(1)
+		p.Retained.Add(int64(n))
+	}
+}
+
+// probeFallback32 records an f32 scan that overflowed the candidate
+// buffer and fell back to the exact f64 kernel.
+//
+//birchlint:hotpath
+func probeFallback32() {
+	if p := scan32Probe.Load(); p != nil {
+		p.Scans.Add(1)
+		p.Fallbacks.Add(1)
+	}
+}

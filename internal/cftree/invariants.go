@@ -53,6 +53,12 @@ func (t *Tree) CheckInvariants() error {
 		if err := n.checkBlockSync(); err != nil {
 			return fmt.Errorf("cftree: node at depth %d: %w", depth, err)
 		}
+		for i := range n.entries {
+			if k := n.entries[i].CF.Kind(); k != t.params.Core {
+				return fmt.Errorf("cftree: entry %d at depth %d carries core %v, tree core %v",
+					i, depth, k, t.params.Core)
+			}
+		}
 		if n.leaf {
 			if leafDepth == -1 {
 				leafDepth = depth

@@ -150,7 +150,8 @@ func (n *Node) checkBlockSync() error {
 // summaryCF returns the sum of all entry CFs in n as a fresh CF. Paths
 // that must materialize a new CF anyway (growing a new root, the parent
 // entry of a fresh sibling) use this; everything else prefers
-// SummaryInto.
+// SummaryInto. The fresh CF adopts the entries' core kind on the first
+// Merge, so this works unchanged under either backend.
 func (n *Node) summaryCF(dim int) cf.CF {
 	s := cf.New(dim)
 	n.SummaryInto(&s)
@@ -166,7 +167,7 @@ func (t *Tree) newNode(leaf bool, capHint int) *Node {
 	return &Node{
 		leaf:    leaf,
 		entries: make([]Entry, 0, capHint),
-		blk:     cf.NewBlock(t.params.Dim, capHint),
+		blk:     cf.NewBlockOpts(t.params.Dim, capHint, t.params.Core, t.params.SlabTier),
 	}
 }
 

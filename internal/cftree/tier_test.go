@@ -1,0 +1,217 @@
+package cftree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// streamPoints yields a deterministic mixed-cluster stream.
+func streamPoints(seed int64, dim, n int, spread float64) []vec.Vector {
+	r := rand.New(rand.NewSource(seed))
+	centers := make([]vec.Vector, 5)
+	for i := range centers {
+		c := vec.New(dim)
+		for d := range c {
+			c[d] = (r.Float64() - 0.5) * 2 * spread
+		}
+		centers[i] = c
+	}
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		c := centers[r.Intn(len(centers))]
+		p := vec.New(dim)
+		for d := range p {
+			p[d] = c[d] + r.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestTreeTierF32MatchesF64 is the whole-tree consequence of the scan
+// tier's bit-exactness: because every f32 descent decision reproduces the
+// f64 scan's argmin exactly, two trees fed the same stream under the two
+// tiers take identical shapes and hold bit-identical leaf statistics —
+// for every metric and both CF-core backends.
+func TestTreeTierF32MatchesF64(t *testing.T) {
+	const dim = 3
+	for _, kind := range []cf.CoreKind{cf.CoreClassic, cf.CoreBETULA} {
+		for _, m := range []cf.Metric{cf.D0, cf.D1, cf.D2, cf.D3, cf.D4} {
+			build := func(tier cf.SlabTier) *Tree {
+				p := Params{
+					Dim:               dim,
+					Branching:         5,
+					LeafCap:           4,
+					Threshold:         1.5,
+					ThresholdKind:     cf.ThresholdDiameter,
+					Metric:            m,
+					MergingRefinement: true,
+					Core:              kind,
+					SlabTier:          tier,
+				}
+				tr := mustTree(t, p)
+				core := cf.CoreFor(kind)
+				for _, pt := range streamPoints(77, dim, 600, 40) {
+					tr.Insert(core.FromPoint(pt))
+				}
+				return tr
+			}
+			t64 := build(cf.TierF64)
+			t32 := build(cf.TierF32)
+
+			if t64.Height() != t32.Height() || t64.Nodes() != t32.Nodes() ||
+				t64.LeafEntries() != t32.LeafEntries() || t64.Points() != t32.Points() {
+				t.Fatalf("%v/%v: shapes differ: f64 h=%d nodes=%d entries=%d; f32 h=%d nodes=%d entries=%d",
+					kind, m, t64.Height(), t64.Nodes(), t64.LeafEntries(),
+					t32.Height(), t32.Nodes(), t32.LeafEntries())
+			}
+			l64, l32 := t64.LeafCFs(), t32.LeafCFs()
+			for i := range l64 {
+				if l64[i].N != l32[i].N {
+					t.Fatalf("%v/%v: leaf %d N: f64 %d, f32 %d", kind, m, i, l64[i].N, l32[i].N)
+				}
+				if math.Float64bits(l64[i].SS) != math.Float64bits(l32[i].SS) {
+					t.Fatalf("%v/%v: leaf %d scalar bits differ", kind, m, i)
+				}
+				for d := range l64[i].LS {
+					if math.Float64bits(l64[i].LS[d]) != math.Float64bits(l32[i].LS[d]) {
+						t.Fatalf("%v/%v: leaf %d comp %d bits differ", kind, m, i, d)
+					}
+				}
+			}
+			if err := t32.CheckInvariants(); err != nil {
+				t.Fatalf("%v/%v: f32 invariants: %v", kind, m, err)
+			}
+		}
+	}
+}
+
+// TestTreeBetulaConservation: a betula tree conserves mass and mean —
+// leaf Ns sum to the stream count, and the N-weighted mean of leaf means
+// reproduces the stream mean (the BCF additivity invariant, which the
+// tree's absorb/split/merge machinery must never break).
+func TestTreeBetulaConservation(t *testing.T) {
+	const dim = 4
+	p := Params{
+		Dim:               dim,
+		Branching:         6,
+		LeafCap:           4,
+		Threshold:         1.0,
+		ThresholdKind:     cf.ThresholdDiameter,
+		Metric:            cf.D2,
+		MergingRefinement: true,
+		Core:              cf.CoreBETULA,
+	}
+	tr := mustTree(t, p)
+	pts := streamPoints(78, dim, 1500, 60)
+	streamMean := vec.New(dim)
+	for _, pt := range pts {
+		tr.Insert(cf.Betula.FromPoint(pt))
+		for d := range pt {
+			streamMean[d] += pt[d]
+		}
+	}
+	for d := range streamMean {
+		streamMean[d] /= float64(len(pts))
+	}
+
+	if tr.Points() != int64(len(pts)) {
+		t.Fatalf("points = %d, want %d", tr.Points(), len(pts))
+	}
+	var mass int64
+	weighted := vec.New(dim)
+	for _, leaf := range tr.LeafCFs() {
+		if leaf.Kind() != cf.CoreBETULA {
+			t.Fatalf("leaf carries kind %v", leaf.Kind())
+		}
+		mass += leaf.N
+		for d := range leaf.LS {
+			weighted[d] += float64(leaf.N) * leaf.LS[d]
+		}
+		if err := leaf.Validate(); err != nil {
+			t.Fatalf("leaf: %v", err)
+		}
+	}
+	if mass != int64(len(pts)) {
+		t.Fatalf("leaf mass = %d, want %d", mass, len(pts))
+	}
+	for d := range weighted {
+		got := weighted[d] / float64(mass)
+		if math.Abs(got-streamMean[d]) > 1e-9*(1+math.Abs(streamMean[d])) {
+			t.Fatalf("component %d: weighted leaf mean %g, stream mean %g", d, got, streamMean[d])
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild preserves the kind and the conservation law.
+	nt, outliers, err := tr.Rebuild(tr.Threshold()*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outliers) != 0 {
+		t.Fatalf("nil outlier predicate extracted %d entries", len(outliers))
+	}
+	if nt.Points() != int64(len(pts)) {
+		t.Fatalf("rebuilt points = %d", nt.Points())
+	}
+	for _, leaf := range nt.LeafCFs() {
+		if leaf.Kind() != cf.CoreBETULA {
+			t.Fatalf("rebuilt leaf carries kind %v", leaf.Kind())
+		}
+	}
+	if err := nt.CheckInvariants(); err != nil {
+		t.Fatalf("rebuilt invariants: %v", err)
+	}
+}
+
+// TestTreeRejectsMismatchedCore: inserting an entry of the wrong backend
+// must fail loudly (error from InsertNoSplit, panic from Insert), never
+// silently mix representations.
+func TestTreeRejectsMismatchedCore(t *testing.T) {
+	p := defaultParams()
+	p.Core = cf.CoreBETULA
+	tr := mustTree(t, p)
+	if err := tr.InsertNoSplit(cf.FromPoint(vec.Of(1, 2))); err == nil {
+		t.Fatal("classic entry accepted by betula tree")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Insert of mismatched core did not panic")
+			}
+		}()
+		tr.Insert(cf.FromPoint(vec.Of(1, 2)))
+	}()
+
+	// And the reverse direction.
+	tc := mustTree(t, defaultParams())
+	if err := tc.InsertNoSplit(cf.Betula.FromPoint(vec.Of(1, 2))); err == nil {
+		t.Fatal("betula entry accepted by classic tree")
+	}
+}
+
+// TestParamsCoreTierValidation pins Params.Validate on the new knobs.
+func TestParamsCoreTierValidation(t *testing.T) {
+	p := defaultParams()
+	p.Core = cf.CoreKind(99)
+	if _, err := New(p, bigPager()); err == nil {
+		t.Fatal("invalid core kind accepted")
+	}
+	p = defaultParams()
+	p.SlabTier = cf.SlabTier(99)
+	if _, err := New(p, bigPager()); err == nil {
+		t.Fatal("invalid slab tier accepted")
+	}
+	p = defaultParams()
+	p.Core = cf.CoreBETULA
+	p.SlabTier = cf.TierF32
+	if _, err := New(p, bigPager()); err != nil {
+		t.Fatalf("betula+f32 params rejected: %v", err)
+	}
+}

@@ -33,6 +33,15 @@ type Params struct {
 	// reference path for differential tests and benchmark baselines. Both
 	// produce bit-identical trees.
 	Scan ScanMode
+	// Core selects the CF statistic backend: the paper's (N, LS, SS)
+	// triple (default) or the numerically stable BETULA mean/deviation
+	// form. Every entry inserted must carry this kind.
+	Core cf.CoreKind
+	// SlabTier selects the scan-slab precision: TierF64 (default) or
+	// TierF32, which streams float32 slab mirrors on the fused descent
+	// scans and rescores candidates in float64 — bit-identical results
+	// at half the scan bandwidth. Only meaningful with ScanFused.
+	SlabTier cf.SlabTier
 }
 
 // ScanMode selects how the closest-entry scan is executed.
@@ -80,6 +89,12 @@ func (p Params) Validate() error {
 	}
 	if p.Scan != ScanFused && p.Scan != ScanEntries {
 		return fmt.Errorf("cftree: invalid scan mode %v", p.Scan)
+	}
+	if !p.Core.Valid() {
+		return fmt.Errorf("cftree: invalid core kind %v", p.Core)
+	}
+	if !p.SlabTier.Valid() {
+		return fmt.Errorf("cftree: invalid slab tier %v", p.SlabTier)
 	}
 	return nil
 }
@@ -130,11 +145,15 @@ func New(params Params, pgr *pager.Pager) (*Tree, error) {
 	t := &Tree{
 		params: params,
 		pgr:    pgr,
-		kernel: cf.KernelFor(params.Metric),
+		kernel: cf.KernelForCore(params.Metric, params.Core),
 		query:  cf.NewQuery(params.Dim),
 	}
 	if params.Scan == ScanFused {
-		t.scan = cf.ScanKernelFor(params.Metric)
+		if params.SlabTier == cf.TierF32 {
+			t.scan = cf.ScanKernel32For(params.Metric, params.Core)
+		} else {
+			t.scan = cf.ScanKernelForCore(params.Metric, params.Core)
+		}
 	}
 	t.root = t.newNode(true, params.LeafCap+1)
 	t.leafHead, t.leafTail = t.root, t.root
@@ -201,6 +220,10 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 	if ent.Dim() != t.params.Dim {
 		return fmt.Errorf("cftree: entry dimension %d, tree dimension %d",
 			ent.Dim(), t.params.Dim)
+	}
+	if ent.Kind() != t.params.Core {
+		return fmt.Errorf("cftree: entry core %v, tree core %v",
+			ent.Kind(), t.params.Core)
 	}
 
 	// Phase A: descend to the leaf along the closest-child path,

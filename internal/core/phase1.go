@@ -69,6 +69,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Metric:            cfg.Metric,
 		MergingRefinement: cfg.MergingRefinement,
 		Scan:              cfg.Scan,
+		Core:              cfg.Core,
+		SlabTier:          cfg.SlabTier,
 	}, pgr)
 	if err != nil {
 		return nil, err
@@ -80,7 +82,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		pgr:     pgr,
 		tree:    tree,
 		est:     thresholdEstimator{dim: cfg.Dim},
-		scratch: cf.New(cfg.Dim),
+		scratch: cf.NewCore(cfg.Dim, cfg.Core),
 		started: time.Now(),
 	}, nil
 }
@@ -124,6 +126,9 @@ func (e *Engine) AddCF(ent cf.CF) error {
 	}
 	if ent.Dim() != e.cfg.Dim {
 		return fmt.Errorf("core: point dimension %d, config dimension %d", ent.Dim(), e.cfg.Dim)
+	}
+	if ent.Kind() != e.cfg.Core {
+		return fmt.Errorf("core: entry core %v, config core %v", ent.Kind(), e.cfg.Core)
 	}
 	e.scanned.Add(ent.N)
 

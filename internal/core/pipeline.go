@@ -220,7 +220,7 @@ func refine(e *Engine, points []vec.Vector, seeds []cf.CF, res *Result) error {
 	// pass and reused afterwards, so the steady-state pass allocates
 	// nothing (gated by kmeans.TestAssignSteadyStateAllocs). Centroids
 	// are refreshed in place between passes for the same reason.
-	var asg kmeans.Assigner
+	asg := kmeans.Assigner{Core: e.cfg.Core}
 	workers := e.cfg.tailWorkers()
 	var labels []int
 	var sums []cf.CF

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/quality"
+)
+
+// TestPipelineSlabTierBitIdentical is the end-to-end form of the f32
+// tier's exactness contract: a full Phase 1–4 run under TierF32 must
+// produce bit-identical results to the TierF64 run — same cluster count,
+// same labels, same centroid bits — for both CF-core backends. The f32
+// tier is a bandwidth optimization, never an accuracy knob.
+func TestPipelineSlabTierBitIdentical(t *testing.T) {
+	pts, _ := gaussianBlobs(7, 6, 300, 40, 1)
+	for _, kind := range []cf.CoreKind{cf.CoreClassic, cf.CoreBETULA} {
+		run := func(tier cf.SlabTier) *Result {
+			cfg := DefaultConfig(2, 6)
+			cfg.Core = kind
+			cfg.SlabTier = tier
+			res, err := Run(pts, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", kind, tier, err)
+			}
+			return res
+		}
+		r64 := run(cf.TierF64)
+		r32 := run(cf.TierF32)
+
+		if len(r64.Clusters) != len(r32.Clusters) {
+			t.Fatalf("%v: f64 %d clusters, f32 %d", kind, len(r64.Clusters), len(r32.Clusters))
+		}
+		for i := range r64.Clusters {
+			a, b := &r64.Clusters[i], &r32.Clusters[i]
+			if a.N != b.N || math.Float64bits(a.SS) != math.Float64bits(b.SS) {
+				t.Fatalf("%v: cluster %d stats differ: N %d/%d", kind, i, a.N, b.N)
+			}
+			for d := range a.LS {
+				if math.Float64bits(a.LS[d]) != math.Float64bits(b.LS[d]) {
+					t.Fatalf("%v: cluster %d comp %d bits differ", kind, i, d)
+				}
+			}
+		}
+		for i := range r64.Centroids {
+			for d := range r64.Centroids[i] {
+				if math.Float64bits(r64.Centroids[i][d]) != math.Float64bits(r32.Centroids[i][d]) {
+					t.Fatalf("%v: centroid %d comp %d bits differ", kind, i, d)
+				}
+			}
+		}
+		if len(r64.Labels) != len(r32.Labels) {
+			t.Fatalf("%v: label counts differ", kind)
+		}
+		for i := range r64.Labels {
+			if r64.Labels[i] != r32.Labels[i] {
+				t.Fatalf("%v: label %d: f64 %d, f32 %d", kind, i, r64.Labels[i], r32.Labels[i])
+			}
+		}
+	}
+}
+
+// TestRunBetulaRecoversClusters: the BETULA backend drives the whole
+// pipeline to the same qualitative result as classic on well-separated
+// data — mass conserved, clusters recovered.
+func TestRunBetulaRecoversClusters(t *testing.T) {
+	pts, truth := gaussianBlobs(8, 9, 400, 30, 1)
+	cfg := DefaultConfig(2, 9)
+	cfg.Core = cf.CoreBETULA
+	res, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 9 {
+		t.Fatalf("clusters = %d, want 9", len(res.Clusters))
+	}
+	var mass int64
+	for i := range res.Clusters {
+		if res.Clusters[i].Kind() != cf.CoreBETULA {
+			t.Fatalf("cluster %d carries kind %v", i, res.Clusters[i].Kind())
+		}
+		mass += res.Clusters[i].N
+	}
+	if mass+int64(res.Outliers) != int64(len(pts)) {
+		t.Fatalf("mass %d + outliers %d != %d", mass, res.Outliers, len(pts))
+	}
+	if ri := quality.RandIndex(res.Labels, truth); ri < 0.95 {
+		t.Fatalf("Rand index %g < 0.95", ri)
+	}
+}
+
+// TestConfigCoreTierValidation pins Config.Validate on the new knobs.
+func TestConfigCoreTierValidation(t *testing.T) {
+	c := DefaultConfig(2, 3)
+	c.Core = cf.CoreKind(42)
+	if err := c.Validate(); err == nil {
+		t.Fatal("invalid core accepted")
+	}
+	c = DefaultConfig(2, 3)
+	c.SlabTier = cf.SlabTier(42)
+	if err := c.Validate(); err == nil {
+		t.Fatal("invalid slab tier accepted")
+	}
+	c = DefaultConfig(2, 3)
+	c.Core = cf.CoreBETULA
+	c.SlabTier = cf.TierF32
+	if err := c.Validate(); err != nil {
+		t.Fatalf("betula+f32 config rejected: %v", err)
+	}
+}

@@ -28,6 +28,13 @@ const assignChunk = 4096
 // pass (gated by TestAssignSteadyStateAllocs). The slices returned by
 // Assign are owned by the Assigner and valid until the next call.
 type Assigner struct {
+	// Core selects the CF backend of the per-cluster summaries the
+	// assigner accumulates (zero value: the classic triple). The BIRCH
+	// pipeline sets it to its configured core so Phase 4's sums inherit
+	// the same numerical behaviour as the tree — under BETULA the sums
+	// stay stable even when the data sits at extreme offsets.
+	Core cf.CoreKind
+
 	finder    Finder
 	labels    []int
 	sums      []cf.CF // K final per-cluster sums
@@ -61,8 +68,8 @@ func (a *Assigner) Assign(points, centroids []vec.Vector, discardBeyond float64,
 		a.labels = make([]int, n)
 	}
 	a.labels = a.labels[:n]
-	a.sums = growCFs(a.sums, k, dim)
-	a.chunkSums = growCFs(a.chunkSums, chunks*k, dim)
+	a.sums = growCFs(a.sums, k, dim, a.Core)
+	a.chunkSums = growCFs(a.chunkSums, chunks*k, dim, a.Core)
 	a.finder.Reset(centroids, FinderAuto)
 
 	limit := math.Inf(1)
@@ -115,19 +122,19 @@ func (a *Assigner) assignChunk(points []vec.Vector, c, lo, hi, k int, limit floa
 	}
 }
 
-// growCFs returns a slice of n empty CFs of the given dimension, reusing
-// s's slots (and their LS buffers) where the dimension matches.
+// growCFs returns a slice of n empty CFs of the given dimension and core
+// kind, reusing s's slots (and their LS buffers) where both match.
 //
 //birchlint:coldpath
-func growCFs(s []cf.CF, n, dim int) []cf.CF {
+func growCFs(s []cf.CF, n, dim int, kind cf.CoreKind) []cf.CF {
 	if cap(s) >= n {
 		s = s[:n]
 	} else {
 		s = append(s[:cap(s)], make([]cf.CF, n-cap(s))...)
 	}
 	for i := range s {
-		if s[i].Dim() != dim {
-			s[i] = cf.New(dim)
+		if s[i].Dim() != dim || s[i].Kind() != kind {
+			s[i] = cf.NewCore(dim, kind)
 		} else {
 			s[i].Reset()
 		}

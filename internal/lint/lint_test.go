@@ -145,6 +145,7 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 	//   core/alloc_test.go    TestEngineAddAbsorbAllocs
 	//   kmeans/parallel_test.go TestAssignSteadyStateAllocs
 	//   cf/flatscan_test.go   TestBlockSetPointZeroAlloc
+	//   cf/scan32_test.go     TestScan32Allocs
 	//   stream/snapshot_test.go TestSnapshotClassifyAllocs
 	for _, want := range []string{
 		"birch/internal/cftree.Tree.Insert",
@@ -156,6 +157,15 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 		"birch/internal/cf.Block.AppendPoint",
 		"birch/internal/stream.Engine.Classify",
 		"birch/internal/stream.Snapshot.Classify",
+		"birch/internal/cf.ScanNearestX032",
+		"birch/internal/cf.scan32D0",
+		"birch/internal/cf.scan32D1",
+		"birch/internal/cf.scan32D2",
+		"birch/internal/cf.scan32D3",
+		"birch/internal/cf.scan32D4",
+		"birch/internal/cf.scan32D2b",
+		"birch/internal/cf.scan32D3b",
+		"birch/internal/cf.candBuf.push",
 	} {
 		if !annotated[want] {
 			t.Errorf("AllocsPerRun-gated function %s is missing //birchlint:hotpath", want)

@@ -27,8 +27,15 @@ import (
 )
 
 // snapshotMagic identifies the format; the version guards against layout
-// changes.
-var snapshotMagic = [8]byte{'B', 'I', 'R', 'C', 'H', 'S', 'S', '1'}
+// changes. Version 2 added a CF-core tag byte after the magic: a snapshot
+// of BETULA (N, μ, S) components must never be decoded as a classic
+// (N, LS, SS) triple — the bytes would parse but every statistic derived
+// from them would be silently wrong. Version 1 snapshots predate the
+// backend choice and are accepted as classic.
+var snapshotMagic = [8]byte{'B', 'I', 'R', 'C', 'H', 'S', 'S', '2'}
+
+// snapshotMagicV1 is the pre-core-tag format, read-compatible as classic.
+var snapshotMagicV1 = [8]byte{'B', 'I', 'R', 'C', 'H', 'S', 'S', '1'}
 
 // WriteSnapshot serializes the Clusterer's current Phase 1 state: the
 // dimensionality, the current threshold, and every leaf-entry CF. It can
@@ -42,6 +49,9 @@ func (c *Clusterer) WriteSnapshot(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(c.cfg.Core)); err != nil {
 		return err
 	}
 	hdr := []uint64{
@@ -76,8 +86,25 @@ func ResumeSnapshot(r io.Reader, cfg Config) (*Clusterer, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("birch: reading snapshot magic: %w", err)
 	}
-	if magic != snapshotMagic {
+	snapCore := cf.CoreClassic
+	switch magic {
+	case snapshotMagic:
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("birch: reading snapshot core tag: %w", err)
+		}
+		snapCore = cf.CoreKind(kb)
+		if !snapCore.Valid() {
+			return nil, fmt.Errorf("birch: unknown snapshot core kind %d", kb)
+		}
+	case snapshotMagicV1:
+		// Pre-core-tag snapshots always carried classic triples.
+	default:
 		return nil, errors.New("birch: not a BIRCH snapshot (bad magic)")
+	}
+	if snapCore != cfg.Core {
+		return nil, fmt.Errorf("birch: snapshot core %v, config core %v — a %v snapshot cannot be reinterpreted under another backend",
+			snapCore, cfg.Core, snapCore)
 	}
 	var dim, count uint64
 	var tbits uint64
@@ -106,7 +133,7 @@ func ResumeSnapshot(r io.Reader, cfg Config) (*Clusterer, error) {
 	}
 	c := &Clusterer{cfg: cfg, eng: eng}
 	for i := uint64(0); i < count; i++ {
-		entry, err := readCF(br, int(dim))
+		entry, err := readCF(br, int(dim), snapCore)
 		if err != nil {
 			return nil, fmt.Errorf("birch: reading snapshot entry %d: %w", i, err)
 		}
@@ -117,7 +144,8 @@ func ResumeSnapshot(r io.Reader, cfg Config) (*Clusterer, error) {
 	return c, nil
 }
 
-// writeCF emits one CF as N, SS, LS[0..d).
+// writeCF emits one CF as N, SS, LS[0..d) — under BETULA the same slots
+// carry (N, S, μ[0..d)).
 func writeCF(w io.Writer, c *cf.CF) error {
 	if err := binary.Write(w, binary.LittleEndian, c.N); err != nil {
 		return err
@@ -133,11 +161,11 @@ func writeCF(w io.Writer, c *cf.CF) error {
 	return nil
 }
 
-// readCF parses one CF of dimension d. The components are decoded into
-// locals and assembled through cf.FromComponents, which validates the
-// triple — raw cf.CF field writes outside internal/cf are a birchlint
-// violation (cfmutate).
-func readCF(r io.Reader, dim int) (cf.CF, error) {
+// readCF parses one CF of dimension d under the given core backend. The
+// components are decoded into locals and assembled through the backend's
+// FromComponents, which validates them — raw cf.CF field writes outside
+// internal/cf are a birchlint violation (cfmutate).
+func readCF(r io.Reader, dim int, kind cf.CoreKind) (cf.CF, error) {
 	var n int64
 	var ss float64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -152,5 +180,5 @@ func readCF(r io.Reader, dim int) (cf.CF, error) {
 			return cf.CF{}, err
 		}
 	}
-	return cf.FromComponents(n, ls, ss)
+	return cf.CoreFor(kind).FromComponents(n, ls, ss)
 }

@@ -178,13 +178,133 @@ func TestResumeSnapshotCorruptCF(t *testing.T) {
 	}
 	data := buf.Bytes()
 	// Corrupt the CF payload (flip the SS field to garbage that violates
-	// Cauchy–Schwarz): header is 8 magic + 24 header bytes; N is next 8,
-	// SS the 8 after.
-	for i := 8 + 24 + 8; i < 8+24+16; i++ {
+	// Cauchy–Schwarz): header is 8 magic + 1 core tag + 24 header bytes;
+	// N is next 8, SS the 8 after.
+	for i := 9 + 24 + 8; i < 9+24+16; i++ {
 		data[i] = 0
 	}
 	if _, err := ResumeSnapshot(bytes.NewReader(data), noRefineConfig(2)); err == nil {
 		t.Fatal("corrupt CF accepted")
+	}
+}
+
+// betulaConfig returns a no-refine config on the BETULA backend.
+func betulaConfig(k int) Config {
+	cfg := noRefineConfig(k)
+	cfg.Core = CoreBETULA
+	return cfg
+}
+
+func TestSnapshotRoundTripBetula(t *testing.T) {
+	pts := blobPoints(35, 3, 400, 60, 1)
+	half := len(pts) / 2
+
+	c1, err := New(betulaConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:half] {
+		if err := c1.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := ResumeSnapshot(&buf, betulaConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[half:] {
+		if err := c2.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	var mass int64
+	for i := range res.Clusters {
+		mass += res.Clusters[i].N
+	}
+	if mass != int64(len(pts)) {
+		t.Fatalf("mass %d, want %d", mass, len(pts))
+	}
+}
+
+// TestSnapshotCoreMismatchRejected is the format-v2 safety property: the
+// same byte layout carries (N, LS, SS) under classic and (N, μ, S) under
+// BETULA, so reinterpreting a snapshot under the other backend would
+// parse cleanly and corrupt every derived statistic silently. The core
+// tag must make that a load-time error in both directions.
+func TestSnapshotCoreMismatchRejected(t *testing.T) {
+	cb, err := New(betulaConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Insert(Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var bbuf bytes.Buffer
+	if err := cb.WriteSnapshot(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSnapshot(bytes.NewReader(bbuf.Bytes()), noRefineConfig(2)); err == nil {
+		t.Fatal("betula snapshot accepted under classic config")
+	}
+
+	cc, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Insert(Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	if err := cc.WriteSnapshot(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSnapshot(bytes.NewReader(cbuf.Bytes()), betulaConfig(2)); err == nil {
+		t.Fatal("classic snapshot accepted under betula config")
+	}
+}
+
+// TestSnapshotV1ReadAsClassic: a version-1 snapshot (pre-core-tag) is the
+// version-2 byte stream minus the tag byte with a '1' in the magic; it
+// must load as classic and reject a betula config.
+func TestSnapshotV1ReadAsClassic(t *testing.T) {
+	c, err := New(noRefineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{{1, 2}, {40, 50}} {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// Synthesize the v1 layout: magic ends in '1', no core-tag byte.
+	v1 := append([]byte("BIRCHSS1"), v2[9:]...)
+
+	r, err := ResumeSnapshot(bytes.NewReader(v1), noRefineConfig(2))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if err := r.Insert(Point{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSnapshot(bytes.NewReader(v1), betulaConfig(2)); err == nil {
+		t.Fatal("v1 (classic) snapshot accepted under betula config")
 	}
 }
 
