@@ -4,7 +4,11 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint lint-escapes test test-stream test-tail race fuzz-smoke bench bench-scan bench-slab bench-tail bench-smoke check clean
+.PHONY: all build vet lint lint-escapes test test-stream test-tail test-crash race fuzz-smoke bench bench-scan bench-slab bench-tail bench-wal bench-smoke check clean
+
+# Randomized kill points per (core, tier) cell of the crash-recovery
+# battery; 26 × 4 cells ≥ the 100-kill bar CI gates on.
+CRASH_TRIALS ?= 26
 
 all: build
 
@@ -44,6 +48,12 @@ test-stream:
 test-tail:
 	$(GO) test -race -run 'TailWorkers|TestAssign|TestCluster|ClosestLeafPairDistanceWorkers|ClassifyBatch|NearestBatch' ./internal/kmeans ./internal/cftree ./internal/core ./internal/stream
 
+# Full crash-recovery battery (DESIGN.md §14): kill the durable engine
+# at CRASH_TRIALS randomized byte offsets per core×tier cell, reopen,
+# and assert exact CF conservation against an uncrashed reference.
+test-crash:
+	BIRCH_CRASH_TRIALS=$(CRASH_TRIALS) $(GO) test -race -run 'TestCrashRecoveryBattery|TestCrashDuringCheckpoint' -count=1 ./internal/stream
+
 race: test-stream test-tail
 	$(GO) test -race ./...
 
@@ -55,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzScanBlockSync -fuzztime $(FUZZTIME) ./internal/cftree
 	$(GO) test -run '^$$' -fuzz FuzzScanF32Rescore -fuzztime $(FUZZTIME) ./internal/cf
 	$(GO) test -run '^$$' -fuzz FuzzStreamInsertClose -fuzztime $(FUZZTIME) ./internal/stream
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/pager
 
 # Full benchmark harness: fixed-seed Phase 1 and pipeline workloads,
 # written to BENCH_phase1.json / BENCH_pipeline.json in the repo root.
@@ -81,13 +92,19 @@ bench-slab:
 bench-tail:
 	$(GO) run ./cmd/birchbench -only tail -out .
 
+# Durability workloads only: WAL ingest overhead (off vs rotation-sync
+# vs fsync-per-record) and warm-restart replay cost, written to
+# BENCH_wal.json in the repo root.
+bench-wal:
+	$(GO) run ./cmd/birchbench -only wal -out .
+
 # Reduced-size run for CI: exercises the harness end to end (including
 # its JSON self-validation) without meaningful measurement time. The
 # numbers from shared CI runners are noise; only the exit code matters.
 bench-smoke:
 	$(GO) run ./cmd/birchbench -quick -reps 1 -out $(or $(BENCH_SMOKE_DIR),/tmp/birchbench-smoke)
 
-check: build vet lint test race fuzz-smoke
+check: build vet lint test test-crash race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

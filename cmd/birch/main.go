@@ -118,12 +118,13 @@ func run(inputPath, outputPath string, opt options) error {
 	elapsed := time.Since(start)
 
 	out := os.Stdout
+	var outFile *os.File
 	if outputPath != "-" {
 		f, err := os.Create(outputPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		outFile = f
 		out = f
 	}
 	w := bufio.NewWriter(out)
@@ -135,7 +136,15 @@ func run(inputPath, outputPath string, opt options) error {
 		fmt.Fprintf(w, "# no labels: phase 4 disabled; clusters summarized on stderr\n")
 	}
 	if err := w.Flush(); err != nil {
+		if outFile != nil {
+			_ = outFile.Close()
+		}
 		return err
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", outputPath, err)
+		}
 	}
 
 	if opt.centroids || res.Labels == nil {

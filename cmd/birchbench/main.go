@@ -120,6 +120,15 @@ type Workload struct {
 	RescoreDepth  float64 `json:"rescore_depth,omitempty"`
 	FallbackRate  float64 `json:"fallback_rate,omitempty"`
 
+	// Durability (BENCH_wal.json) fields: DurableVsOff is the durable
+	// row's throughput over the wal_off baseline at the same writer count
+	// (< 1 means the WAL costs throughput), WALBytesPerPoint the log bytes
+	// written per ingested point (CRC framing included), and
+	// ReplayNsPerPoint the warm restart's per-point WAL replay cost.
+	DurableVsOff     float64 `json:"durable_vs_off,omitempty"`
+	WALBytesPerPoint float64 `json:"wal_bytes_per_point,omitempty"`
+	ReplayNsPerPoint float64 `json:"replay_ns_per_point,omitempty"`
+
 	K               int     `json:"k,omitempty"`
 	RefNsPerPoint   float64 `json:"ref_ns_per_point,omitempty"`
 	ParNsPerPoint   float64 `json:"par_ns_per_point,omitempty"`
@@ -158,10 +167,10 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
-	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only) or "tail" (parallel-tail workloads only)`)
+	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only), "tail" (parallel-tail workloads only) or "wal" (durability workloads only)`)
 	flag.Parse()
-	if *only != "all" && *only != "scan" && *only != "slab" && *only != "tail" {
-		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab or tail)", *only))
+	if *only != "all" && *only != "scan" && *only != "slab" && *only != "tail" && *only != "wal" {
+		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab, tail or wal)", *only))
 	}
 
 	meta := Meta{
@@ -186,6 +195,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("birchbench OK: %d slab workloads -> %s\n", len(slab), *outDir)
+		return
+	}
+
+	if *only == "wal" {
+		wal := runWALWorkloads(*quick, *reps)
+		if err := writeReport(filepath.Join(*outDir, walFile), meta, wal, *baseDir); err != nil {
+			fatal(err)
+		}
+		if err := verifyWAL(*outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d wal workloads -> %s\n", len(wal), *outDir)
 		return
 	}
 
@@ -222,6 +243,7 @@ func main() {
 	pipeline := runPipelineWorkloads(*quick, *reps, *workers)
 	streamed := runStreamWorkloads(*quick, *reps)
 	tail := runTailWorkloads(*quick, *reps, *workers)
+	wal := runWALWorkloads(*quick, *reps)
 
 	if err := writeReport(filepath.Join(*outDir, phase1File), meta, phase1, *baseDir); err != nil {
 		fatal(err)
@@ -235,11 +257,14 @@ func main() {
 	if err := writeReport(filepath.Join(*outDir, tailFile), meta, tail, *baseDir); err != nil {
 		fatal(err)
 	}
+	if err := writeReport(filepath.Join(*outDir, walFile), meta, wal, *baseDir); err != nil {
+		fatal(err)
+	}
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail + %d wal workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), len(wal), *outDir)
 }
 
 func fatal(err error) {
@@ -534,6 +559,9 @@ func verify(dir string, quick bool) error {
 		return err
 	}
 	if err := verifyTail(dir, quick); err != nil {
+		return err
+	}
+	if err := verifyWAL(dir); err != nil {
 		return err
 	}
 	wantPhase1 := make([]string, 0, 4)

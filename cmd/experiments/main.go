@@ -210,8 +210,11 @@ func svgFig(dir, name string, clusters func() ([]cf.CF, error)) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := viz.WriteClustersSVG(f, cs, 900, 900); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("SVG written to %s\n", filepath.Join(dir, name))
@@ -230,8 +233,11 @@ func dumpImages(dir string, res *bench.ImageResult) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		if err := fn(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	s := res.Scene
 	if err := write("fig9_nir.pgm", func(f *os.File) error {

@@ -146,8 +146,11 @@ func writeImages(dir string, scene *dataset.ImageScene, pass1 []int, pass2 []int
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		if err := fn(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	if err := write("nir.pgm", func(f *os.File) error {
 		return viz.WritePGM(f, scene.NIR, scene.Width, scene.Height)

@@ -108,6 +108,15 @@ func (n *Node) takeEntries(capHint int) []Entry {
 	return old
 }
 
+// setChild attaches c as entry i's child without touching the entry's
+// CF, so no scan-block slot changes. Checkpoint loading uses it: entries
+// are appended CF-first (rebuilding each block slot bit-exactly through
+// appendEntry) and the subtree below each entry is attached after it has
+// been read.
+func (n *Node) setChild(i int, c *Node) {
+	n.entries[i].Child = c
+}
+
 // refreshSummary recomputes entry i's CF as the summary of its child (in
 // place, via SummaryInto) and syncs the scan-block slot. Split
 // propagation uses it after a child's entries were redistributed.

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/vec"
+)
+
+// durableTestConfig is sized so a few hundred points force rebuilds and
+// outlier spills, making the checkpoint carry every kind of state.
+func durableTestConfig(core cf.CoreKind) Config {
+	cfg := DefaultConfig(2, 4)
+	cfg.Memory = 6 * 1024
+	cfg.Refine = false
+	cfg.Core = core
+	return cfg
+}
+
+func streamPoints(t *testing.T, e *Engine, seed int64, n int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := vec.Of(r.Float64()*100, r.Float64()*100)
+		if err := e.Add(p); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+}
+
+// enginesEqualBitwise fails unless a and b carry identical durable state.
+func enginesEqualBitwise(t *testing.T, label string, a, b *Engine) {
+	t.Helper()
+	var da, db strings.Builder
+	if err := a.tree.Dump(&da); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.tree.Dump(&db); err != nil {
+		t.Fatal(err)
+	}
+	if da.String() != db.String() {
+		t.Fatalf("%s: tree dumps differ", label)
+	}
+	la, lb := a.tree.LeafCFs(), b.tree.LeafCFs()
+	if len(la) != len(lb) {
+		t.Fatalf("%s: %d vs %d leaf CFs", label, len(la), len(lb))
+	}
+	for i := range la {
+		if la[i].N != lb[i].N || math.Float64bits(la[i].SS) != math.Float64bits(lb[i].SS) {
+			t.Fatalf("%s: leaf CF %d differs", label, i)
+		}
+		for j := range la[i].LS {
+			if math.Float64bits(la[i].LS[j]) != math.Float64bits(lb[i].LS[j]) {
+				t.Fatalf("%s: leaf CF %d LS[%d] differs", label, i, j)
+			}
+		}
+	}
+	if math.Float64bits(a.tree.Threshold()) != math.Float64bits(b.tree.Threshold()) {
+		t.Fatalf("%s: thresholds differ: %v vs %v", label, a.tree.Threshold(), b.tree.Threshold())
+	}
+	if a.est.totalN != b.est.totalN || len(a.est.histN) != len(b.est.histN) {
+		t.Fatalf("%s: estimator shape differs", label)
+	}
+	for i := range a.est.histN {
+		if math.Float64bits(a.est.histN[i]) != math.Float64bits(b.est.histN[i]) ||
+			math.Float64bits(a.est.histT[i]) != math.Float64bits(b.est.histT[i]) {
+			t.Fatalf("%s: estimator history differs at %d", label, i)
+		}
+	}
+	if a.scanned.Load() != b.scanned.Load() || a.spills.Load() != b.spills.Load() ||
+		a.rebuilds.Load() != b.rebuilds.Load() || a.discarded.Load() != b.discarded.Load() {
+		t.Fatalf("%s: counters differ", label)
+	}
+	if a.pgr.Stats() != b.pgr.Stats() {
+		t.Fatalf("%s: pager stats differ: %+v vs %+v", label, a.pgr.Stats(), b.pgr.Stats())
+	}
+	if a.pgr.DiskUsed() != b.pgr.DiskUsed() {
+		t.Fatalf("%s: disk used differs: %d vs %d", label, a.pgr.DiskUsed(), b.pgr.DiskUsed())
+	}
+	if len(a.outlierBuf) != len(b.outlierBuf) {
+		t.Fatalf("%s: outlier buffers differ: %d vs %d", label, len(a.outlierBuf), len(b.outlierBuf))
+	}
+	for i := range a.outlierBuf {
+		oa, ob := &a.outlierBuf[i], &b.outlierBuf[i]
+		if oa.N != ob.N || math.Float64bits(oa.SS) != math.Float64bits(ob.SS) {
+			t.Fatalf("%s: outlier %d differs", label, i)
+		}
+	}
+}
+
+func TestEngineCheckpointResumeContinuesBitIdentically(t *testing.T) {
+	for _, core := range []cf.CoreKind{cf.CoreClassic, cf.CoreBETULA} {
+		t.Run(core.String(), func(t *testing.T) {
+			cfg := durableTestConfig(core)
+			ref, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamPoints(t, ref, 1234, 900)
+			if ref.spills.Load() == 0 || ref.rebuilds.Load() == 0 {
+				t.Fatalf("test config not under pressure (spills=%d rebuilds=%d)",
+					ref.spills.Load(), ref.rebuilds.Load())
+			}
+			if len(ref.outlierBuf) == 0 {
+				t.Fatal("expected a non-empty outlier buffer at checkpoint time")
+			}
+
+			var buf bytes.Buffer
+			if err := ref.WriteCheckpoint(&buf); err != nil {
+				t.Fatalf("WriteCheckpoint: %v", err)
+			}
+			got, err := ResumeEngine(bytes.NewReader(buf.Bytes()), cfg)
+			if err != nil {
+				t.Fatalf("ResumeEngine: %v", err)
+			}
+			enginesEqualBitwise(t, "after resume", ref, got)
+
+			// Continuation: more pressure, more rebuilds, then the final
+			// outlier resolution — every step must match bit-for-bit.
+			streamPoints(t, ref, 777, 600)
+			streamPoints(t, got, 777, 600)
+			enginesEqualBitwise(t, "after continued stream", ref, got)
+
+			sa := ref.FinishPhase1()
+			sb := got.FinishPhase1()
+			sa.Duration, sb.Duration = 0, 0
+			if sa != sb {
+				t.Fatalf("Phase1Stats differ:\n%+v\n%+v", sa, sb)
+			}
+		})
+	}
+}
+
+func TestEngineCheckpointAfterFinishRejected(t *testing.T) {
+	cfg := durableTestConfig(cf.CoreClassic)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamPoints(t, e, 1, 50)
+	e.FinishPhase1()
+	if err := e.WriteCheckpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteCheckpoint after FinishPhase1 accepted")
+	}
+}
+
+func TestEngineCheckpointCoreMismatchRejected(t *testing.T) {
+	cfg := durableTestConfig(cf.CoreClassic)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamPoints(t, e, 2, 200)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeEngine(bytes.NewReader(buf.Bytes()), durableTestConfig(cf.CoreBETULA)); err == nil {
+		t.Fatal("classic checkpoint accepted under BETULA config")
+	}
+}
+
+func TestEngineCheckpointCorruptionRejected(t *testing.T) {
+	cfg := durableTestConfig(cf.CoreClassic)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamPoints(t, e, 3, 400)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for cut := 0; cut < len(img)-1; cut += 41 {
+		if _, err := ResumeEngine(bytes.NewReader(img[:cut]), cfg); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for off := 8; off < len(img); off += 17 {
+		mut := append([]byte(nil), img...)
+		mut[off] ^= 0x10
+		if _, err := ResumeEngine(bytes.NewReader(mut), cfg); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+	if _, err := ResumeEngine(bytes.NewReader(img), cfg); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+}
+
+func TestEngineCheckpointDiskAccountingMismatchRejected(t *testing.T) {
+	// Corrupting the outlier/disk agreement specifically must be caught
+	// by the consistency cross-check even if the CRC were recomputed —
+	// here we just assert the error class distinguishes corruption.
+	cfg := durableTestConfig(cf.CoreClassic)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamPoints(t, e, 4, 400)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mut := buf.Bytes()
+	mut[20] ^= 0xFF // somewhere in the engine section
+	_, rerr := ResumeEngine(bytes.NewReader(mut), cfg)
+	if rerr == nil {
+		t.Fatal("corrupted engine section accepted")
+	}
+	if !errors.Is(rerr, ErrEngineCheckpointCorrupt) {
+		t.Fatalf("error not classified as engine corruption: %v", rerr)
+	}
+}

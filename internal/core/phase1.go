@@ -43,24 +43,24 @@ type Engine struct {
 	finished  bool
 }
 
-// NewEngine builds an Engine from cfg.
-func NewEngine(cfg Config) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// pagerConfig derives the resource budgets one engine charges against.
+func pagerConfig(cfg Config) pager.Config {
 	diskBudget := 0
 	if cfg.OutlierHandling {
 		diskBudget = int(float64(cfg.Memory) * cfg.OutlierDiskPct / 100)
 	}
-	pgr, err := pager.New(pager.Config{
+	return pager.Config{
 		PageSize:     cfg.PageSize,
 		MemoryBudget: cfg.Memory,
 		DiskBudget:   diskBudget,
-	})
-	if err != nil {
-		return nil, err
 	}
-	tree, err := cftree.New(cftree.Params{
+}
+
+// treeParams derives the CF-tree shape from cfg; the checkpoint resume
+// path (durable.go) must rebuild trees under exactly the parameters
+// NewEngine would use.
+func treeParams(cfg Config) cftree.Params {
+	return cftree.Params{
 		Dim:               cfg.Dim,
 		Branching:         pager.BranchingFactor(cfg.PageSize, cfg.Dim),
 		LeafCap:           pager.LeafCapacity(cfg.PageSize, cfg.Dim),
@@ -71,7 +71,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Scan:              cfg.Scan,
 		Core:              cfg.Core,
 		SlabTier:          cfg.SlabTier,
-	}, pgr)
+	}
+}
+
+// NewEngine builds an Engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pgr, err := pager.New(pagerConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	tree, err := cftree.New(treeParams(cfg), pgr)
 	if err != nil {
 		return nil, err
 	}

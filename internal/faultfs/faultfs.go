@@ -1,0 +1,446 @@
+// Package faultfs is an in-memory pager.FS with programmable fail
+// points, built to prove the durability layer instead of eyeballing it.
+//
+// The disk models the volatile/durable split of a real drive: bytes
+// written through File.WriteAt land in a volatile page cache (a
+// write-order journal) and only become durable when File.Sync is called
+// on that file. A simulated crash discards the volatile state —
+// entirely (Crash), or after applying an arbitrary prefix of the
+// pending write stream measured in bytes (CrashAt), which tears the
+// straddling write in half exactly like a kill -9 mid-pwrite. Metadata
+// operations (Create, Remove, Rename, Truncate) are immediately
+// durable, deliberately: a checkpoint renamed into place before its
+// contents were synced will reopen as garbage here, surfacing the
+// missing-fsync-before-rename bug class.
+//
+// Additional fail points: FailWriteAfter arms short/torn writes that
+// also return an error, FailNextSync makes one fsync fail without
+// persisting anything, and DropSyncs models an fsync that lies
+// (returns nil, persists nothing).
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"birch/internal/pager"
+)
+
+// ErrCrashed is returned by file handles that were open when the disk
+// crashed; the process they belonged to is conceptually dead.
+var ErrCrashed = errors.New("faultfs: file handle invalidated by crash")
+
+// ErrInjectedWrite is the default error returned by writes that hit an
+// armed FailWriteAfter fail point.
+var ErrInjectedWrite = errors.New("faultfs: injected write failure")
+
+// ErrInjectedSync is the default error returned by a Sync that hit an
+// armed FailNextSync fail point.
+var ErrInjectedSync = errors.New("faultfs: injected sync failure")
+
+type memFile struct {
+	durable  []byte
+	volatile []byte
+}
+
+// pend is one journaled (not yet durable) write.
+type pend struct {
+	name string
+	off  int64
+	data []byte
+}
+
+// Disk is the crash-simulating filesystem. All methods are safe for
+// concurrent use; the per-disk mutex is acceptable because faultfs backs
+// tests, not production I/O.
+type Disk struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	journal []pend
+	gen     uint64 // bumped on crash; stale handles error out
+
+	// Fail-point state.
+	writeBudget  int64 // bytes of writes still accepted; -1 = unlimited
+	writeErr     error
+	syncErr      error // one-shot
+	dropSyncs    bool
+	totalWritten int64
+	syncs        int64
+	crashes      int64
+}
+
+var _ pager.FS = (*Disk)(nil)
+
+// NewDisk returns an empty disk with no fail points armed.
+func NewDisk() *Disk {
+	return &Disk{files: map[string]*memFile{}, writeBudget: -1}
+}
+
+// --- fail-point configuration ---
+
+// FailWriteAfter arms a write fail point: the next n bytes written (to
+// any file) succeed, then the write in flight is torn — its prefix up to
+// the budget is applied as a short write — and it and every later write
+// return err (ErrInjectedWrite if nil).
+func (d *Disk) FailWriteAfter(n int64, err error) {
+	if err == nil {
+		err = ErrInjectedWrite
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeBudget, d.writeErr = n, err
+}
+
+// FailNextSync makes the next Sync on any file return err (ErrInjectedSync
+// if nil) without persisting anything. One-shot.
+func (d *Disk) FailNextSync(err error) {
+	if err == nil {
+		err = ErrInjectedSync
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncErr = err
+}
+
+// DropSyncs toggles lying-fsync mode: Sync returns nil but persists
+// nothing, so a later crash still discards the "synced" bytes.
+func (d *Disk) DropSyncs(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropSyncs = on
+}
+
+// ClearFaults disarms every fail point.
+func (d *Disk) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeBudget, d.writeErr, d.syncErr, d.dropSyncs = -1, nil, nil, false
+}
+
+// --- crash simulation ---
+
+// Crash simulates power loss: every pending (unsynced) write is lost,
+// all open handles are invalidated, and durable state remains. The disk
+// itself stays usable so a recovery path can reopen it.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashLocked()
+}
+
+// CrashAt simulates power loss after the drive persisted exactly n bytes
+// of the pending write stream, applied in write order; the write
+// straddling byte n is torn (its prefix survives). n ≥ PendingBytes()
+// persists everything; n = 0 is Crash.
+func (d *Disk) CrashAt(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.journal {
+		if n <= 0 {
+			break
+		}
+		data := p.data
+		if int64(len(data)) > n {
+			data = data[:n] // torn write
+		}
+		n -= int64(len(data))
+		if f, ok := d.files[p.name]; ok {
+			f.durable = writeAtBytes(f.durable, p.off, data)
+		}
+	}
+	d.crashLocked()
+}
+
+func (d *Disk) crashLocked() {
+	for _, f := range d.files {
+		f.volatile = append([]byte(nil), f.durable...)
+	}
+	d.journal = nil
+	d.gen++
+	d.crashes++
+	// A crash also clears armed fail points: the "process" that armed
+	// them is gone and recovery runs against a healthy disk by default.
+	d.writeBudget, d.writeErr, d.syncErr, d.dropSyncs = -1, nil, nil, false
+}
+
+// --- observation ---
+
+// PendingBytes returns the total bytes written but not yet durable.
+func (d *Disk) PendingBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, p := range d.journal {
+		n += int64(len(p.data))
+	}
+	return n
+}
+
+// Syncs returns how many successful Sync calls the disk has served.
+func (d *Disk) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// TotalWritten returns the total bytes ever accepted by WriteAt.
+func (d *Disk) TotalWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalWritten
+}
+
+// DurableLen returns the durable length of the named file, or -1 if the
+// file does not exist.
+func (d *Disk) DurableLen(name string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return -1
+	}
+	return int64(len(f.durable))
+}
+
+// --- pager.FS ---
+
+// Create makes (or truncates) the named file. Creation is metadata and
+// therefore immediately durable; pending writes to a previous
+// incarnation of the name are dropped.
+func (d *Disk) Create(name string) (pager.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropJournalLocked(name)
+	d.files[name] = &memFile{}
+	return &handle{d: d, name: name, gen: d.gen}, nil
+}
+
+// Open opens an existing file.
+func (d *Disk) Open(name string) (pager.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return nil, fmt.Errorf("faultfs: open %s: file does not exist", name)
+	}
+	return &handle{d: d, name: name, gen: d.gen}, nil
+}
+
+// Remove deletes the named file (immediately durable).
+func (d *Disk) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return fmt.Errorf("faultfs: remove %s: file does not exist", name)
+	}
+	d.dropJournalLocked(name)
+	delete(d.files, name)
+	return nil
+}
+
+// Rename replaces newName with oldName's file (immediately durable).
+// Pending writes follow the file to its new name.
+func (d *Disk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: file does not exist", oldName)
+	}
+	d.dropJournalLocked(newName)
+	for i := range d.journal {
+		if d.journal[i].name == oldName {
+			d.journal[i].name = newName
+		}
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+	return nil
+}
+
+// List returns all file names, sorted.
+func (d *Disk) List() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *Disk) dropJournalLocked(name string) {
+	kept := d.journal[:0]
+	for _, p := range d.journal {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	d.journal = kept
+}
+
+// writeAtBytes returns buf with data written at off, zero-extending the
+// gap if off is beyond the current end.
+func writeAtBytes(buf []byte, off int64, data []byte) []byte {
+	end := off + int64(len(data))
+	for int64(len(buf)) < end {
+		buf = append(buf, make([]byte, end-int64(len(buf)))...)
+	}
+	copy(buf[off:end], data)
+	return buf
+}
+
+// --- file handle ---
+
+type handle struct {
+	d      *Disk
+	name   string
+	gen    uint64
+	closed bool
+}
+
+func (h *handle) file() (*memFile, error) {
+	if h.closed {
+		return nil, fmt.Errorf("faultfs: %s: use of closed file", h.name)
+	}
+	if h.gen != h.d.gen {
+		return nil, ErrCrashed
+	}
+	f, ok := h.d.files[h.name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %s: file was removed", h.name)
+	}
+	return f, nil
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.volatile)) {
+		return 0, fmt.Errorf("faultfs: %s: read at %d past EOF %d", h.name, off, len(f.volatile))
+	}
+	n := copy(p, f.volatile[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("faultfs: %s: short read at %d", h.name, off)
+	}
+	return n, nil
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	d := h.d
+	data := p
+	var injected error
+	if d.writeBudget >= 0 {
+		if int64(len(data)) > d.writeBudget {
+			data = data[:d.writeBudget] // short write, then fail
+			injected = d.writeErr
+		}
+		d.writeBudget -= int64(len(data))
+	}
+	if len(data) > 0 {
+		f.volatile = writeAtBytes(f.volatile, off, data)
+		d.journal = append(d.journal, pend{name: h.name, off: off, data: append([]byte(nil), data...)})
+		d.totalWritten += int64(len(data))
+	}
+	if injected != nil {
+		return len(data), injected
+	}
+	return len(data), nil
+}
+
+func (h *handle) Size() (int64, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(f.volatile)), nil
+}
+
+// Truncate clips the file at n. Like the other metadata operations it is
+// immediately durable; pending writes entirely beyond the cut are
+// dropped and straddling ones are clipped.
+func (h *handle) Truncate(n int64) error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	if int64(len(f.volatile)) > n {
+		f.volatile = f.volatile[:n]
+	}
+	if int64(len(f.durable)) > n {
+		f.durable = f.durable[:n]
+	}
+	kept := h.d.journal[:0]
+	for _, p := range h.d.journal {
+		if p.name == h.name {
+			if p.off >= n {
+				continue
+			}
+			if p.off+int64(len(p.data)) > n {
+				p.data = p.data[:n-p.off]
+			}
+		}
+		kept = append(kept, p)
+	}
+	h.d.journal = kept
+	return nil
+}
+
+func (h *handle) Sync() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	d := h.d
+	if d.syncErr != nil {
+		err := d.syncErr
+		d.syncErr = nil
+		return err
+	}
+	if d.dropSyncs {
+		d.syncs++
+		return nil
+	}
+	kept := d.journal[:0]
+	for _, p := range d.journal {
+		if p.name == h.name {
+			f.durable = writeAtBytes(f.durable, p.off, p.data)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	d.journal = kept
+	d.syncs++
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("faultfs: %s: double close", h.name)
+	}
+	h.closed = true
+	if h.gen != h.d.gen {
+		return ErrCrashed
+	}
+	return nil
+}

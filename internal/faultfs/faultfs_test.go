@@ -1,0 +1,269 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"birch/internal/pager"
+)
+
+func mustCreate(t *testing.T, d *Disk, name string) pager.File {
+	t.Helper()
+	f, err := d.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	return f
+}
+
+func readAll(t *testing.T, d *Disk, name string) []byte {
+	t.Helper()
+	f, err := d.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", name, err)
+	}
+	n, err := f.Size()
+	if err != nil {
+		t.Fatalf("Size(%s): %v", name, err)
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("ReadAt(%s): %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+	return buf
+}
+
+func TestWritesVolatileUntilSync(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PendingBytes(); got != 5 {
+		t.Fatalf("PendingBytes = %d, want 5", got)
+	}
+	d.Crash()
+	if got := readAll(t, d, "a"); len(got) != 0 {
+		t.Fatalf("unsynced bytes survived crash: %q", got)
+	}
+
+	f2 := mustCreate(t, d, "b")
+	if _, err := f2.WriteAt([]byte("world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PendingBytes(); got != 0 {
+		t.Fatalf("PendingBytes after sync = %d, want 0", got)
+	}
+	d.Crash()
+	if got := readAll(t, d, "b"); !bytes.Equal(got, []byte("world")) {
+		t.Fatalf("synced bytes lost: %q", got)
+	}
+}
+
+func TestCrashAtTearsStraddlingWrite(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abcdefghij"), 10); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashAt(15)
+	got := readAll(t, d, "a")
+	if want := []byte("0123456789abcde"); !bytes.Equal(got, want) {
+		t.Fatalf("CrashAt(15) = %q, want %q", got, want)
+	}
+}
+
+func TestCrashAtBeyondPendingPersistsAll(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashAt(999)
+	if got := readAll(t, d, "a"); !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFailWriteAfterShortWrite(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	boom := errors.New("boom")
+	d.FailWriteAfter(4, boom)
+	n, err := f.WriteAt([]byte("0123456789"), 0)
+	if n != 4 || !errors.Is(err, boom) {
+		t.Fatalf("WriteAt = (%d, %v), want (4, boom)", n, err)
+	}
+	// Later writes fail outright.
+	n, err = f.WriteAt([]byte("xy"), 4)
+	if n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("second WriteAt = (%d, %v), want (0, boom)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, d, "a"); !bytes.Equal(got, []byte("0123")) {
+		t.Fatalf("durable = %q, want %q", got, "0123")
+	}
+	d.ClearFaults()
+	if _, err := f.WriteAt([]byte("ok"), 4); err != nil {
+		t.Fatalf("write after ClearFaults: %v", err)
+	}
+}
+
+func TestRenameWithoutSyncLosesContents(t *testing.T) {
+	// The classic bug: write tmp, rename into place, never sync. The
+	// rename (metadata) survives the crash but the contents do not.
+	d := NewDisk()
+	f := mustCreate(t, d, "ckpt.tmp")
+	if _, err := f.WriteAt([]byte("checkpoint"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("ckpt.tmp", "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	names, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "ckpt" {
+		t.Fatalf("List = %v, want [ckpt]", names)
+	}
+	if got := readAll(t, d, "ckpt"); len(got) != 0 {
+		t.Fatalf("unsynced contents survived rename+crash: %q", got)
+	}
+}
+
+func TestRenameAfterSyncKeepsContents(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "ckpt.tmp")
+	if _, err := f.WriteAt([]byte("checkpoint"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("ckpt.tmp", "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := readAll(t, d, "ckpt"); !bytes.Equal(got, []byte("checkpoint")) {
+		t.Fatalf("synced contents lost: %q", got)
+	}
+}
+
+func TestDropSyncsLies(t *testing.T) {
+	d := NewDisk()
+	d.DropSyncs(true)
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync should return nil, got %v", err)
+	}
+	d.Crash()
+	if got := readAll(t, d, "a"); len(got) != 0 {
+		t.Fatalf("dropped sync persisted data: %q", got)
+	}
+}
+
+func TestFailNextSync(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sync boom")
+	d.FailNextSync(boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want boom", err)
+	}
+	if d.PendingBytes() != 4 {
+		t.Fatal("failed sync must not persist")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync (fail point is one-shot): %v", err)
+	}
+	if d.PendingBytes() != 0 {
+		t.Fatal("second sync should persist")
+	}
+}
+
+func TestHandlesInvalidatedByCrash(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	d.Crash()
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Close after crash = %v, want ErrCrashed", err)
+	}
+	// The disk itself remains usable for recovery.
+	if _, err := d.Create("b"); err != nil {
+		t.Fatalf("Create after crash: %v", err)
+	}
+}
+
+func TestTruncateClipsPendingWrites(t *testing.T) {
+	d := NewDisk()
+	f := mustCreate(t, d, "a")
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := readAll(t, d, "a"); !bytes.Equal(got, []byte("0123")) {
+		t.Fatalf("got %q, want 0123", got)
+	}
+}
+
+func TestSyncIsPerFile(t *testing.T) {
+	d := NewDisk()
+	fa := mustCreate(t, d, "a")
+	fb := mustCreate(t, d, "b")
+	if _, err := fa.WriteAt([]byte("aaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.WriteAt([]byte("bbbb"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := readAll(t, d, "a"); !bytes.Equal(got, []byte("aaaa")) {
+		t.Fatalf("a = %q", got)
+	}
+	if got := readAll(t, d, "b"); len(got) != 0 {
+		t.Fatalf("b survived without sync: %q", got)
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// durafileWriteMethods are the methods that make a file "written" for
+// the purposes of this pass: once any of them ran, the deferred Close
+// (or Sync) carries the only report of whether those bytes survived.
+var durafileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"ReadFrom":    true,
+	"Truncate":    true,
+	"Append":      true, // pager.WAL's write entry point
+}
+
+// DuraFile flags `defer x.Close()` / `defer x.Sync()` on durable files
+// the enclosing function writes. A durable file is any value whose type
+// carries both `Sync() error` and `Close() error` (os.File, pager.File,
+// pager.WAL, ...); on such a type a deferred, unchecked Close discards
+// the very error that says whether the written bytes reached the device
+// — the missing-fsync/close-check bug class the crash battery
+// (internal/faultfs) exists to catch at runtime. The pass complements
+// ioerrcheck, which exempts deferred calls entirely.
+//
+// "Written" means the function either calls a write-like method
+// (Write/WriteAt/WriteString/ReadFrom/Truncate/Append) on the value or
+// obtained it from a Create call (creating a file is writing intent).
+// Read-side `defer f.Close()` after os.Open stays legal: there is
+// nothing durable to lose.
+//
+// The sanctioned patterns are an explicit `return f.Close()` /
+// `if err := f.Close(); ...` on the success path (with `_ = f.Close()`
+// as the error-path ack), or a deferred closure that handles the error.
+type DuraFile struct{}
+
+// Name implements Pass.
+func (DuraFile) Name() string { return "durafile" }
+
+// Doc implements Pass.
+func (DuraFile) Doc() string {
+	return "flags deferred unchecked Close/Sync on written durable (syncable) files — WAL, checkpoint, and os.File write paths must check their close errors"
+}
+
+// Run implements Pass.
+func (p DuraFile) Run(m *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			out = append(out, p.checkFunc(m, pkg, fd.Body)...)
+			return false // FuncDecls do not nest; FuncLits are scanned within
+		})
+	}
+	return out
+}
+
+// checkFunc flags offending defers within one function body (including
+// any function literals it contains — a defer in a closure over a file
+// the closure writes is the same bug).
+func (p DuraFile) checkFunc(m *Module, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	// Pass 1: which expressions are written? Keyed by the printed
+	// receiver expression — a heuristic, but within one function body
+	// the same spelling names the same file in any sane code.
+	written := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && durafileWriteMethods[sel.Sel.Name] {
+				written[types.ExprString(sel.X)] = true
+			}
+		case *ast.AssignStmt:
+			// x, err := os.Create(...) / fs.Create(...): creation is
+			// writing intent even before the first Write lands.
+			for i, rhs := range st.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Create" {
+					continue
+				}
+				// Multi-value RHS (f, err := Create(...)) maps LHS 0 to
+				// the file; a single-call RHS covers both shapes.
+				if len(st.Rhs) == 1 && len(st.Lhs) > 0 {
+					written[types.ExprString(st.Lhs[0])] = true
+				} else if i < len(st.Lhs) {
+					written[types.ExprString(st.Lhs[i])] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: deferred Close/Sync method values on durable receivers.
+	var out []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(ds.Call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Close" && name != "Sync" {
+			return true
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || !isDurableFileType(tv.Type) {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if !written[recv] {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(ds.Pos()),
+			Pass: "durafile",
+			Message: fmt.Sprintf("deferred %s.%s() discards its error on a file this function writes; close/sync explicitly and check the error (durable state silently truncates otherwise)",
+				recv, name),
+		})
+		return true
+	})
+	return out
+}
+
+// isDurableFileType reports whether t carries both Sync() error and
+// Close() error — the contract of a file whose close outcome matters.
+func isDurableFileType(t types.Type) bool {
+	return hasNullaryErrorMethod(t, "Sync") && hasNullaryErrorMethod(t, "Close")
+}
+
+// hasNullaryErrorMethod reports whether t (or *t) has a method
+// `name() error`.
+func hasNullaryErrorMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -86,6 +86,7 @@ func AllPasses() []Pass {
 		DetLint{},
 		ImmutLint{},
 		LeakLint{},
+		DuraFile{},
 	}
 }
 

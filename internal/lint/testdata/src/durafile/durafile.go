@@ -1,0 +1,96 @@
+// Package fixture exercises the durafile pass. Lines marked "flagged"
+// appear in testdata/durafile.golden; everything else must stay silent.
+package fixture
+
+import (
+	"bufio"
+	"os"
+
+	"birch/internal/pager"
+)
+
+func tornCheckpoint(path string, img []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // flagged: written file, close error dropped
+	_, err = f.Write(img)
+	return err
+}
+
+func deferredSync(f *os.File, img []byte) error {
+	defer f.Sync() // flagged: deferred sync error dropped
+	_, err := f.WriteString(string(img))
+	return err
+}
+
+func walTail(w *pager.WAL, rec []byte) error {
+	defer w.Close() // flagged: WAL close error dropped after Append
+	_, err := w.Append(rec)
+	return err
+}
+
+func pagerFile(fs pager.FS, name string, img []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // flagged: created durable file, close unchecked
+	if _, err := f.WriteAt(img, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func readOnly(path string, buf []byte) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // ok: read-side close, nothing durable to lose
+	_, err = f.ReadAt(buf, 0)
+	return err
+}
+
+func explicitClose(path string, img []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(img); err != nil {
+		_ = f.Close() // ok: error path acknowledges the close
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close() // ok: success path propagates the close error
+}
+
+func deferredClosure(path string, img []byte) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() { // ok: closure handles the close error explicitly
+		if e := f.Close(); err == nil {
+			err = e
+		}
+	}()
+	_, err = f.Write(img)
+	return err
+}
+
+func notDurable(bw *bufio.Writer, img []byte) error {
+	defer bw.Flush() // ok for this pass: no Sync/Close contract (ioerrcheck's beat)
+	_, err := bw.Write(img)
+	return err
+}
+
+func suppressed(f *os.File, img []byte) error {
+	defer f.Close() //birchlint:ignore durafile fixture demonstrates suppression
+	_, err := f.Write(img)
+	return err
+}

@@ -1,0 +1,117 @@
+// File-backed mode: the minimal filesystem surface the durability layer
+// (CF-tree checkpoints and the per-shard write-ahead log) needs. The
+// interface is deliberately tiny — positional reads/writes, size,
+// truncate, sync, and flat-namespace metadata ops — so a test double can
+// implement it exactly and inject faults at every byte (internal/faultfs).
+//
+// Durability contract: data written through File.WriteAt is volatile
+// until File.Sync returns nil. Metadata operations (Create, Remove,
+// Rename) are modeled as immediately durable, which mirrors a journaled
+// POSIX filesystem closely enough to surface the classic bug class this
+// layer exists to catch: renaming a checkpoint into place without
+// syncing its contents first.
+package pager
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is one named durable file. Writers use positional I/O only
+// (io.WriterAt) so offsets are explicit in the code and in fault-point
+// configuration.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+	// Truncate discards everything at and beyond offset n.
+	Truncate(n int64) error
+	// Sync makes all writes issued so far durable. Until it returns nil,
+	// written bytes may be lost (wholly or partially, in write order) by
+	// a crash.
+	Sync() error
+	// Close releases the handle. It does not imply Sync.
+	Close() error
+}
+
+// FS is a flat namespace of Files. Implementations: DirFS (a real
+// directory) and faultfs.Disk (in-memory, crash-simulating).
+type FS interface {
+	// Create makes (or truncates) the named file and opens it for
+	// read/write.
+	Create(name string) (File, error)
+	// Open opens an existing named file for read/write.
+	Open(name string) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically replaces newName with oldName's file.
+	Rename(oldName, newName string) error
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+}
+
+// DirFS returns an FS rooted at an existing OS directory. Names must be
+// plain file names (no separators); the flat namespace keeps the fault
+// model and the recovery scan simple.
+func DirFS(dir string) FS { return dirFS{dir: dir} }
+
+type dirFS struct{ dir string }
+
+func (d dirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+func (d dirFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (d dirFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (d dirFS) Remove(name string) error { return os.Remove(d.path(name)) }
+
+func (d dirFS) Rename(oldName, newName string) error {
+	return os.Rename(d.path(oldName), d.path(newName))
+}
+
+func (d dirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+
+func (o osFile) Size() (int64, error) {
+	fi, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (o osFile) Truncate(n int64) error { return o.f.Truncate(n) }
+func (o osFile) Sync() error            { return o.f.Sync() }
+func (o osFile) Close() error           { return o.f.Close() }

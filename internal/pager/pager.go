@@ -268,6 +268,26 @@ func (p *Pager) NoteRebuild() { p.rebuilds.Add(1) }
 // NoteScan counts one full pass over the dataset.
 func (p *Pager) NoteScan() { p.datasetScans.Add(1) }
 
+// RestoreStats overwrites the monotone counters and the outlier-disk
+// usage with checkpointed values during a warm restart, so accumulated
+// I/O accounting (and the disk-budget reservation backing any
+// checkpointed outlier entries) survives a process restart. The live/
+// peak page gauges are left alone: they were re-established by
+// reconstructing the tree, and overwriting them would double-count the
+// reload's allocations. Call this only on a quiesced pager, after the
+// tree has been rebuilt from its checkpoint.
+func (p *Pager) RestoreStats(s Stats, diskUsed int) {
+	p.pagesAllocated.Store(s.PagesAllocated)
+	p.pagesFreed.Store(s.PagesFreed)
+	p.pageWrites.Store(s.PageWrites)
+	p.pageReads.Store(s.PageReads)
+	p.outliersWritten.Store(s.OutliersWritten)
+	p.outliersRead.Store(s.OutliersRead)
+	p.rebuilds.Store(s.Rebuilds)
+	p.datasetScans.Store(s.DatasetScans)
+	p.diskUsed.Store(int64(diskUsed))
+}
+
 // Stats returns a snapshot of the accumulated counters. Each counter is
 // loaded atomically; see the Pager doc comment for cross-counter
 // consistency semantics.

@@ -5,17 +5,19 @@ import (
 
 	"birch/internal/cf"
 	"birch/internal/core"
+	"birch/internal/pager"
 	"birch/internal/vec"
 )
 
 // op is one mailbox message. Exactly one of the fields is meaningful per
 // message; routing everything through the mailbox is what serializes
-// control operations (sync, check, raiseT) with data operations (pts) on
-// the shard's single owner goroutine.
+// control operations (sync, check, ckpt, raiseT) with data operations
+// (pts) on the shard's single owner goroutine.
 type op struct {
 	pts    []vec.Vector       // points to insert
 	sync   chan<- shardReport // request an owner-built summary report
 	check  chan<- error       // request a tree invariant check
+	ckpt   chan<- error       // request a durable checkpoint (durable.go)
 	raiseT float64            // >0: raise the shard threshold (advisory)
 }
 
@@ -36,6 +38,13 @@ type shard struct {
 	eng   *core.Engine
 	mail  chan op
 	final shardReport
+
+	// wal is the shard's write-ahead log (nil without a durable store).
+	// Like eng it is single-owner: only the worker goroutine — and, after
+	// wg.Wait, the closing goroutine — touches it. walBuf is the reusable
+	// record-encoding scratch buffer.
+	wal    *pager.WAL
+	walBuf []byte
 }
 
 // runShard is the worker loop: drain the mailbox until Close closes it,
@@ -49,6 +58,16 @@ func (e *Engine) runShard(s *shard) {
 }
 
 func (e *Engine) applyOp(s *shard, o op) {
+	if len(o.pts) > 0 && s.wal != nil {
+		// Write-ahead: log the batch before applying it, so the durable
+		// log always covers the in-memory tree. Append failure degrades
+		// durability, not availability — the batch is still applied and
+		// the error surfaces through Err.
+		s.walBuf = encodeBatch(s.walBuf[:0], o.pts)
+		if _, err := s.wal.Append(s.walBuf); err != nil {
+			e.setErr(fmt.Errorf("stream: shard %d wal append: %w", s.id, err))
+		}
+	}
 	for _, p := range o.pts {
 		if err := s.eng.Add(p); err != nil {
 			e.setErr(fmt.Errorf("stream: shard %d insert: %w", s.id, err))
@@ -65,6 +84,9 @@ func (e *Engine) applyOp(s *shard, o op) {
 			err = fmt.Errorf("stream: shard %d: %w", s.id, terr)
 		}
 		o.check <- err
+	}
+	if o.ckpt != nil {
+		o.ckpt <- e.checkpointShard(s)
 	}
 	if o.sync != nil {
 		o.sync <- reportShard(s)

@@ -41,7 +41,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +84,10 @@ type Engine struct {
 	cfg  core.Config
 	opts Options
 
+	// dur is non-nil when the engine was opened on a durable store
+	// (Open with DurableOptions); see durable.go.
+	dur *durableState
+
 	shards []*shard
 	rr     atomic.Uint64 // round-robin fan-out cursor
 
@@ -119,52 +122,8 @@ const defaultMailboxDepth = 256
 // global clustering knobs (K, GlobalAlgorithm, Phase2/Phase3InputSize)
 // shape the published snapshots.
 func New(cfg core.Config, opts Options) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Shards <= 0 {
-		opts.Shards = runtime.GOMAXPROCS(0)
-	}
-	if opts.MailboxDepth <= 0 {
-		opts.MailboxDepth = defaultMailboxDepth
-	}
-
-	shardCfg := cfg
-	shardCfg.Memory = cfg.Memory / opts.Shards
-	if shardCfg.Memory < cfg.PageSize {
-		shardCfg.Memory = cfg.PageSize
-	}
-	// Shards must never discard data: outlier decisions belong to the
-	// global serving layer, and a shard-local spill buffer would hide
-	// mass from the snapshot. Memory pressure is absorbed by
-	// threshold-raising rebuilds instead.
-	shardCfg.Refine = false
-	shardCfg.Phase2 = false
-	shardCfg.OutlierHandling = false
-	shardCfg.DelaySplit = false
-
-	e := &Engine{
-		cfg:    cfg,
-		opts:   opts,
-		quit:   make(chan struct{}),
-		shards: make([]*shard, opts.Shards),
-	}
-	for i := range e.shards {
-		eng, err := core.NewEngine(shardCfg)
-		if err != nil {
-			return nil, err
-		}
-		e.shards[i] = &shard{id: i, eng: eng, mail: make(chan op, opts.MailboxDepth)}
-	}
-	for _, s := range e.shards {
-		e.wg.Add(1)
-		go e.runShard(s)
-	}
-	if opts.CompactInterval > 0 {
-		e.compactWG.Add(1)
-		go e.runCompactor()
-	}
-	return e, nil
+	e, _, err := Open(cfg, opts, nil)
+	return e, err
 }
 
 // Insert streams one point into the engine. The point is cloned, so the
@@ -308,6 +267,9 @@ func (e *Engine) Close() error {
 		}
 		e.mu.Unlock()
 		e.wg.Wait()
+		// Workers have exited, so shard state is quiesced: take the final
+		// durability barrier (checkpoint + WAL close) inline.
+		e.closeDurable()
 		reports := make([]shardReport, len(e.shards))
 		for i, s := range e.shards {
 			reports[i] = s.final
