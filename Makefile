@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint lint-escapes test test-stream test-tail test-crash race fuzz-smoke bench bench-scan bench-slab bench-tail bench-wal bench-smoke check clean
+.PHONY: all build vet lint lint-escapes test test-stream test-tail test-crash race fuzz-smoke bench bench-scan bench-slab bench-tail bench-wal bench-serve bench-smoke serve-smoke check clean
 
 # Randomized kill points per (core, tier) cell of the crash-recovery
 # battery; 26 × 4 cells ≥ the 100-kill bar CI gates on.
@@ -97,6 +97,20 @@ bench-tail:
 # BENCH_wal.json in the repo root.
 bench-wal:
 	$(GO) run ./cmd/birchbench -only wal -out .
+
+# Network-serving workloads only (DESIGN.md §15): open-loop QPS ramps to
+# the saturation knee for JSON single-point and binary batched classify,
+# a closed-loop batch-size sweep, overload shedding (429), and graceful-
+# drain conservation, written to BENCH_serve.json in the repo root.
+bench-serve:
+	$(GO) run ./cmd/birchbench -only serve -out .
+
+# Reduced-size serve run for CI: same workloads and correctness
+# self-checks (knee found, 429s shed, drain exact) at throwaway
+# measurement durations. Performance numbers are noise on shared
+# runners; only the exit code matters.
+serve-smoke:
+	$(GO) run ./cmd/birchbench -quick -only serve -out $(or $(BENCH_SMOKE_DIR),/tmp/birchbench-smoke)
 
 # Reduced-size run for CI: exercises the harness end to end (including
 # its JSON self-validation) without meaningful measurement time. The

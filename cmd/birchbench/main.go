@@ -57,15 +57,19 @@ type Workload struct {
 	Points int   `json:"points"`
 	Seed   int64 `json:"seed"`
 
-	NsPerPoint     float64 `json:"ns_per_point"`
-	AllocsPerPoint float64 `json:"allocs_per_point"`
-	BytesPerPoint  float64 `json:"bytes_per_point"`
+	// The per-point cost columns are omitempty because not every report
+	// measures them: the concurrent-ingest workloads (BENCH_stream.json)
+	// report throughput and latency percentiles instead, and previously
+	// serialized these as dead `"ns_per_point": 0` entries.
+	NsPerPoint     float64 `json:"ns_per_point,omitempty"`
+	AllocsPerPoint float64 `json:"allocs_per_point,omitempty"`
+	BytesPerPoint  float64 `json:"bytes_per_point,omitempty"`
 
 	// LeafEntries is the subcluster count Phase 1 handed onward; Rebuilds
 	// counts threshold escalations. Both double as determinism probes: they
 	// must not drift between runs of the same seed.
-	LeafEntries int `json:"leaf_entries"`
-	Rebuilds    int `json:"rebuilds"`
+	LeafEntries int `json:"leaf_entries,omitempty"`
+	Rebuilds    int `json:"rebuilds,omitempty"`
 
 	// Workers and SpeedupVsSeq are set only on parallel pipeline workloads.
 	Workers      int     `json:"workers,omitempty"`
@@ -167,10 +171,12 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
-	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only), "tail" (parallel-tail workloads only) or "wal" (durability workloads only)`)
+	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only), "tail" (parallel-tail workloads only), "wal" (durability workloads only), "stream" (concurrent-ingest workloads only) or "serve" (network serving workloads only)`)
 	flag.Parse()
-	if *only != "all" && *only != "scan" && *only != "slab" && *only != "tail" && *only != "wal" {
-		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab, tail or wal)", *only))
+	switch *only {
+	case "all", "scan", "slab", "tail", "wal", "stream", "serve":
+	default:
+		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab, tail, wal, stream or serve)", *only))
 	}
 
 	meta := Meta{
@@ -210,6 +216,30 @@ func main() {
 		return
 	}
 
+	if *only == "stream" {
+		streamed := runStreamWorkloads(*quick, *reps)
+		if err := writeReport(filepath.Join(*outDir, streamFile), meta, streamed, *baseDir); err != nil {
+			fatal(err)
+		}
+		if err := verifyStream(*outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d stream workloads -> %s\n", len(streamed), *outDir)
+		return
+	}
+
+	if *only == "serve" {
+		serve := runServeWorkloads(*quick)
+		if err := writeServeReport(filepath.Join(*outDir, serveFile), meta, serve); err != nil {
+			fatal(err)
+		}
+		if err := verifyServe(*outDir, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d serve workloads -> %s\n", len(serve), *outDir)
+		return
+	}
+
 	if *only == "tail" {
 		tail := runTailWorkloads(*quick, *reps, *workers)
 		if err := writeReport(filepath.Join(*outDir, tailFile), meta, tail, *baseDir); err != nil {
@@ -244,6 +274,7 @@ func main() {
 	streamed := runStreamWorkloads(*quick, *reps)
 	tail := runTailWorkloads(*quick, *reps, *workers)
 	wal := runWALWorkloads(*quick, *reps)
+	serve := runServeWorkloads(*quick)
 
 	if err := writeReport(filepath.Join(*outDir, phase1File), meta, phase1, *baseDir); err != nil {
 		fatal(err)
@@ -260,11 +291,14 @@ func main() {
 	if err := writeReport(filepath.Join(*outDir, walFile), meta, wal, *baseDir); err != nil {
 		fatal(err)
 	}
+	if err := writeServeReport(filepath.Join(*outDir, serveFile), meta, serve); err != nil {
+		fatal(err)
+	}
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail + %d wal workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), len(wal), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail + %d wal + %d serve workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), len(wal), len(serve), *outDir)
 }
 
 func fatal(err error) {
@@ -549,10 +583,35 @@ func verifyScan(dir string, quick bool) error {
 	return nil
 }
 
+// verifyStream re-reads the concurrent-ingest report and checks every
+// workload carries live throughput and latency measurements.
+func verifyStream(dir string) error {
+	rep, err := readReport(filepath.Join(dir, streamFile))
+	if err != nil {
+		return err
+	}
+	for _, spec := range streamSpecs() {
+		w, ok := rep.Workloads[spec.Name]
+		if !ok {
+			return fmt.Errorf("%s: missing workload %q", streamFile, spec.Name)
+		}
+		if w.PointsPerSec <= 0 || w.P99InsertNs <= 0 {
+			return fmt.Errorf("%s: workload %q has degenerate measurements", streamFile, spec.Name)
+		}
+	}
+	if rep.Meta.GoVersion == "" {
+		return fmt.Errorf("%s: missing meta.go_version", streamFile)
+	}
+	return nil
+}
+
 // verify re-reads the emitted files and checks every expected workload
 // key is present with sane fields — the bench-smoke contract.
 func verify(dir string, quick bool) error {
 	if err := verifyScan(dir, quick); err != nil {
+		return err
+	}
+	if err := verifyServe(dir, quick); err != nil {
 		return err
 	}
 	if err := verifySlab(dir, quick); err != nil {

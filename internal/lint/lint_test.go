@@ -147,6 +147,7 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 	//   cf/flatscan_test.go   TestBlockSetPointZeroAlloc
 	//   cf/scan32_test.go     TestScan32Allocs
 	//   stream/snapshot_test.go TestSnapshotClassifyAllocs
+	//   server/alloc_test.go  TestWireEncodeAllocs, TestWireDecodeAllocs
 	for _, want := range []string{
 		"birch/internal/cftree.Tree.Insert",
 		"birch/internal/cftree.Tree.InsertNoSplit",
@@ -166,6 +167,11 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 		"birch/internal/cf.scan32D2b",
 		"birch/internal/cf.scan32D3b",
 		"birch/internal/cf.candBuf.push",
+		"birch/internal/server.AppendPointsFrame",
+		"birch/internal/server.AppendClassifyResultFrame",
+		"birch/internal/server.DecodeFrame",
+		"birch/internal/server.DecodePointsInto",
+		"birch/internal/server.DecodeClassifyResultInto",
 	} {
 		if !annotated[want] {
 			t.Errorf("AllocsPerRun-gated function %s is missing //birchlint:hotpath", want)

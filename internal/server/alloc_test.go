@@ -1,0 +1,94 @@
+package server
+
+// Dynamic allocation gates for the wire codec's batch hot paths. These
+// are the AllocsPerRun halves of the //birchlint:hotpath annotations on
+// (see TestHotPathAnnotationCoverage in internal/lint):
+//
+//	server.AppendPointsFrame, server.AppendClassifyResultFrame,
+//	server.DecodeFrame, server.DecodePointsInto,
+//	server.DecodeClassifyResultInto
+//
+// plus their emit primitives appendU32/appendU64/beginFrame/finishFrame,
+// which the hotpath pass covers through the call graph. Against warm
+// reused buffers — the steady state of a serving batch loop — every one
+// of them must run allocation-free; the first call may grow the buffers.
+
+import (
+	"testing"
+)
+
+func TestWireEncodeAllocs(t *testing.T) {
+	pts := testPoints(64, 8)
+	buf, err := AppendPointsFrame(nil, pts, 8) // warm the buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendPointsFrame(buf[:0], pts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("AppendPointsFrame: %v allocs/run against a warm buffer, want 0", got)
+	}
+
+	idx := make([]int, 64)
+	dist := make([]float64, 64)
+	res := AppendClassifyResultFrame(nil, idx, dist)
+	if got := testing.AllocsPerRun(200, func() {
+		res = AppendClassifyResultFrame(res[:0], idx, dist)
+	}); got != 0 {
+		t.Fatalf("AppendClassifyResultFrame: %v allocs/run against a warm buffer, want 0", got)
+	}
+}
+
+func TestWireDecodeAllocs(t *testing.T) {
+	pts := testPoints(64, 8)
+	frame, err := AppendPointsFrame(nil, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the reused decode buffers once.
+	_, payload, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing, decoded, err := DecodePointsInto(payload, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_, payload, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backing, decoded, err = DecodePointsInto(payload, 8, backing, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("DecodeFrame+DecodePointsInto: %v allocs/run against warm buffers, want 0", got)
+	}
+
+	idx := make([]int, 64)
+	dist := make([]float64, 64)
+	resFrame := AppendClassifyResultFrame(nil, idx, dist)
+	_, resPayload, err := DecodeFrame(resFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, gd, err := DecodeClassifyResultInto(resPayload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		var err error
+		gi, gd, err = DecodeClassifyResultInto(resPayload, gi, gd)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("DecodeClassifyResultInto: %v allocs/run against warm buffers, want 0", got)
+	}
+}

@@ -1,0 +1,356 @@
+package server
+
+// Wire codec: the compact binary framing birchd speaks on its batch
+// paths (insert-batch, classify-batch, summary). JSON is kept for
+// operability — curl, dashboards, one-off scripts — but float-heavy
+// batch traffic would spend most of its cycles in strconv; the binary
+// codec moves raw IEEE-754 bits instead, which is also what makes the
+// coordinator's wire-level CF merge exact: a summary survives the trip
+// bit-for-bit, so merging remote summaries equals merging local ones.
+//
+// Framing follows the WAL's discipline (pager/wal.go): every message is
+//
+//	[u32 frameLen = 1 + len(payload)] [u32 crc] [u8 type] [payload]
+//
+// little-endian, where crc is CRC-32C (Castagnoli) over type||payload.
+// A frame is rejected on bad length, bad CRC or unknown type before any
+// payload field is trusted; payload shapes are then validated against
+// the declared counts, so a truncated or corrupt body can never smuggle
+// a malformed batch into the engine.
+//
+// Payload shapes (all integers little-endian, all floats as Float64bits):
+//
+//	MsgPoints          u32 count, u32 dim, count·dim × u64
+//	MsgClassifyResult  u32 count, count × (u32 cluster, u64 distBits)
+//	MsgAck             u64 accepted
+//	MsgSummaries       u8 coreKind, u32 dim, u32 shards, then per shard:
+//	                   u64 thresholdBits, u32 cfs, per CF:
+//	                   u64 N, dim × u64 comps, u64 scalar
+//	MsgError           UTF-8 message bytes
+//
+// MsgSummaries carries the *raw storage slots* of each CF — (N, LS, SS)
+// under the classic core, (N, μ, S) under BETULA — tagged with the core
+// kind; decode goes through cf.Core.FromComponents, the sanctioned
+// validation gate for untrusted summaries.
+//
+// The encode/decode pairs on the batch hot paths are zero-allocation
+// against reused buffers (append-with-assign-back only); the AllocsPerRun
+// gates live in alloc_test.go and the annotations are checked by the
+// birchlint hotpath pass.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/vec"
+)
+
+// Message types. The zero value is deliberately invalid.
+const (
+	MsgPoints         byte = 0x01
+	MsgClassifyResult byte = 0x02
+	MsgAck            byte = 0x03
+	MsgSummaries      byte = 0x04
+	MsgError          byte = 0x05
+)
+
+// frameHeader is the fixed byte overhead per frame: len + crc + type.
+const frameHeader = 9
+
+// maxFramePayload bounds a single frame; larger declared lengths are
+// treated as corruption (mirrors pager.walMaxPayload).
+const maxFramePayload = 1 << 26
+
+// ContentTypeFrame is the HTTP content type of a request or response
+// body holding exactly one wire frame.
+const ContentTypeFrame = "application/x-birch-frame"
+
+var wireCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame shape errors. Decode functions wrap these with context where it
+// is free; the sentinels keep the hot paths allocation-clean.
+var (
+	ErrFrameTooShort = errors.New("server: frame shorter than its header")
+	ErrFrameLength   = errors.New("server: frame length inconsistent with body")
+	ErrFrameCRC      = errors.New("server: frame CRC mismatch")
+	ErrFrameType     = errors.New("server: unknown frame type")
+	ErrPayloadShape  = errors.New("server: payload inconsistent with declared counts")
+)
+
+// appendU32 / appendU64 are the primitive emitters; append with
+// assign-back keeps them allocation-free against a warm buffer.
+//
+//birchlint:hotpath
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	dst = append(dst, b[:]...)
+	return dst
+}
+
+//birchlint:hotpath
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	dst = append(dst, b[:]...)
+	return dst
+}
+
+// beginFrame reserves the 9-byte frame header at dst's tail and returns
+// the extended buffer plus the frame's start offset for finishFrame.
+//
+//birchlint:hotpath
+func beginFrame(dst []byte, typ byte) ([]byte, int) {
+	start := len(dst)
+	var hdr [frameHeader]byte
+	hdr[8] = typ
+	dst = append(dst, hdr[:]...)
+	return dst, start
+}
+
+// finishFrame back-fills the length and CRC of the frame that begins at
+// start, now that its payload has been appended after the header.
+//
+//birchlint:hotpath
+func finishFrame(dst []byte, start int) []byte {
+	body := dst[start+8:] // type byte || payload
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(body, wireCRCTable))
+	return dst
+}
+
+// AppendPointsFrame appends one MsgPoints frame carrying pts to dst.
+// Every point must have dimension dim. Zero allocations against a
+// buffer with sufficient capacity.
+//
+//birchlint:hotpath
+func AppendPointsFrame(dst []byte, pts []vec.Vector, dim int) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgPoints)
+	dst = appendU32(dst, uint32(len(pts)))
+	dst = appendU32(dst, uint32(dim))
+	for i := range pts {
+		if len(pts[i]) != dim {
+			return dst[:start], fmt.Errorf("server: point %d dimension %d, frame dimension %d", i, len(pts[i]), dim)
+		}
+		for _, v := range pts[i] {
+			dst = appendU64(dst, math.Float64bits(v))
+		}
+	}
+	return finishFrame(dst, start), nil
+}
+
+// AppendClassifyResultFrame appends one MsgClassifyResult frame pairing
+// idx[i] with dist[i]. The slices must be the same length.
+//
+//birchlint:hotpath
+func AppendClassifyResultFrame(dst []byte, idx []int, dist []float64) []byte {
+	if len(idx) != len(dist) {
+		panic("server: AppendClassifyResultFrame length mismatch")
+	}
+	dst, start := beginFrame(dst, MsgClassifyResult)
+	dst = appendU32(dst, uint32(len(idx)))
+	for i := range idx {
+		dst = appendU32(dst, uint32(idx[i]))
+		dst = appendU64(dst, math.Float64bits(dist[i]))
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendAckFrame appends one MsgAck frame acknowledging accepted points.
+func AppendAckFrame(dst []byte, accepted int64) []byte {
+	dst, start := beginFrame(dst, MsgAck)
+	dst = appendU64(dst, uint64(accepted))
+	return finishFrame(dst, start)
+}
+
+// AppendErrorFrame appends one MsgError frame carrying msg.
+func AppendErrorFrame(dst []byte, msg string) []byte {
+	dst, start := beginFrame(dst, MsgError)
+	dst = append(dst, msg...)
+	return finishFrame(dst, start)
+}
+
+// AppendSummariesFrame appends one MsgSummaries frame carrying the raw
+// per-shard leaf-CF summaries: the engine side of the wire-level CF
+// merge. Every CF must belong to the declared core kind and dimension.
+func AppendSummariesFrame(dst []byte, kind cf.CoreKind, dim int, sums []core.Summary) ([]byte, error) {
+	dst, start := beginFrame(dst, MsgSummaries)
+	dst = append(dst, byte(kind))
+	dst = appendU32(dst, uint32(dim))
+	dst = appendU32(dst, uint32(len(sums)))
+	for si := range sums {
+		dst = appendU64(dst, math.Float64bits(sums[si].Threshold))
+		dst = appendU32(dst, uint32(len(sums[si].CFs)))
+		for ci := range sums[si].CFs {
+			c := &sums[si].CFs[ci]
+			if c.Kind() != kind {
+				return dst[:start], fmt.Errorf("server: summary %d CF %d is %v, frame core is %v", si, ci, c.Kind(), kind)
+			}
+			if len(c.LS) != dim {
+				return dst[:start], fmt.Errorf("server: summary %d CF %d dimension %d, frame dimension %d", si, ci, len(c.LS), dim)
+			}
+			dst = appendU64(dst, uint64(c.N))
+			for _, v := range c.LS {
+				dst = appendU64(dst, math.Float64bits(v))
+			}
+			dst = appendU64(dst, math.Float64bits(c.SS))
+		}
+	}
+	return finishFrame(dst, start), nil
+}
+
+// DecodeFrame validates the framing of exactly one message — length,
+// CRC, known type — and returns its type and payload. The payload
+// aliases frame; no bytes are copied.
+//
+//birchlint:hotpath
+func DecodeFrame(frame []byte) (typ byte, payload []byte, err error) {
+	if len(frame) < frameHeader {
+		return 0, nil, ErrFrameTooShort
+	}
+	n := binary.LittleEndian.Uint32(frame)
+	if n < 1 || n > maxFramePayload+1 || int(n) != len(frame)-8 {
+		return 0, nil, ErrFrameLength
+	}
+	body := frame[8:]
+	if crc32.Checksum(body, wireCRCTable) != binary.LittleEndian.Uint32(frame[4:]) {
+		return 0, nil, ErrFrameCRC
+	}
+	typ = body[0]
+	if typ < MsgPoints || typ > MsgError {
+		return 0, nil, ErrFrameType
+	}
+	return typ, body[1:], nil
+}
+
+// DecodePointsInto decodes a MsgPoints payload, reusing the caller's
+// backing array and vector-header slice (grown only when capacity
+// requires). The returned vectors alias backing, which stays valid until
+// the caller's next reuse. Zero allocations against warm buffers.
+//
+//birchlint:hotpath
+func DecodePointsInto(payload []byte, wantDim int, backing []float64, pts []vec.Vector) ([]float64, []vec.Vector, error) {
+	if len(payload) < 8 {
+		return backing, pts[:0], ErrPayloadShape
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	dim := int(binary.LittleEndian.Uint32(payload[4:]))
+	if dim != wantDim {
+		return backing, pts[:0], fmt.Errorf("server: frame dimension %d, engine dimension %d", dim, wantDim)
+	}
+	if count < 0 || len(payload) != 8+count*dim*8 {
+		return backing, pts[:0], ErrPayloadShape
+	}
+	need := count * dim
+	if cap(backing) < need {
+		backing = make([]float64, need)
+	}
+	backing = backing[:need]
+	for i := 0; i < need; i++ {
+		backing[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+i*8:]))
+	}
+	if cap(pts) < count {
+		pts = make([]vec.Vector, count)
+	}
+	pts = pts[:count]
+	for i := 0; i < count; i++ {
+		pts[i] = backing[i*dim : (i+1)*dim]
+	}
+	return backing, pts, nil
+}
+
+// DecodeClassifyResultInto decodes a MsgClassifyResult payload into the
+// caller's reused slices. Zero allocations against warm buffers.
+//
+//birchlint:hotpath
+func DecodeClassifyResultInto(payload []byte, idx []int, dist []float64) ([]int, []float64, error) {
+	if len(payload) < 4 {
+		return idx[:0], dist[:0], ErrPayloadShape
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	if count < 0 || len(payload) != 4+count*12 {
+		return idx[:0], dist[:0], ErrPayloadShape
+	}
+	if cap(idx) < count {
+		idx = make([]int, count)
+	}
+	if cap(dist) < count {
+		dist = make([]float64, count)
+	}
+	idx, dist = idx[:count], dist[:count]
+	for i := 0; i < count; i++ {
+		off := 4 + i*12
+		idx[i] = int(int32(binary.LittleEndian.Uint32(payload[off:])))
+		dist[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4:]))
+	}
+	return idx, dist, nil
+}
+
+// DecodeAck decodes a MsgAck payload.
+func DecodeAck(payload []byte) (int64, error) {
+	if len(payload) != 8 {
+		return 0, ErrPayloadShape
+	}
+	return int64(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// DecodeSummaries decodes a MsgSummaries payload, materializing every CF
+// through the declared core's FromComponents — the sanctioned validation
+// gate for summaries from untrusted bytes. This is the coordinator's
+// pull path, not a per-point hot path, so it allocates its results.
+func DecodeSummaries(payload []byte) (cf.CoreKind, int, []core.Summary, error) {
+	if len(payload) < 9 {
+		return 0, 0, nil, ErrPayloadShape
+	}
+	kind := cf.CoreKind(payload[0])
+	if !kind.Valid() {
+		return 0, 0, nil, fmt.Errorf("server: unknown core kind %d in summaries frame", payload[0])
+	}
+	dim := int(binary.LittleEndian.Uint32(payload[1:]))
+	shards := int(binary.LittleEndian.Uint32(payload[5:]))
+	if dim <= 0 || shards < 0 {
+		return 0, 0, nil, ErrPayloadShape
+	}
+	backend := cf.CoreFor(kind)
+	off := 9
+	sums := make([]core.Summary, 0, shards)
+	for s := 0; s < shards; s++ {
+		if len(payload) < off+12 {
+			return 0, 0, nil, ErrPayloadShape
+		}
+		threshold := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		n := int(binary.LittleEndian.Uint32(payload[off+8:]))
+		off += 12
+		cfSize := 8 + dim*8 + 8
+		if n < 0 || len(payload) < off+n*cfSize {
+			return 0, 0, nil, ErrPayloadShape
+		}
+		sum := core.Summary{Threshold: threshold, CFs: make([]cf.CF, 0, n)}
+		for i := 0; i < n; i++ {
+			cn := int64(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+			comps := vec.New(dim)
+			for d := 0; d < dim; d++ {
+				comps[d] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+				off += 8
+			}
+			scalar := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+			c, err := backend.FromComponents(cn, comps, scalar)
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("server: summaries frame shard %d CF %d: %w", s, i, err)
+			}
+			sum.CFs = append(sum.CFs, c)
+		}
+		sums = append(sums, sum)
+	}
+	if off != len(payload) {
+		return 0, 0, nil, ErrPayloadShape
+	}
+	return kind, dim, sums, nil
+}

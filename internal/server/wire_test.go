@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+	"birch/internal/stream"
+	"birch/internal/vec"
+)
+
+func testPoints(n, dim int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := vec.New(dim)
+		for d := 0; d < dim; d++ {
+			// Mix of magnitudes, signs and irrationals so bit-exactness is
+			// a real claim, not an integer coincidence.
+			p[d] = float64(i-d)*1e8 + math.Sqrt(float64(i*7+d+2))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestPointsFrameRoundTrip(t *testing.T) {
+	for _, spec := range []struct{ n, dim int }{{0, 3}, {1, 1}, {17, 4}, {64, 2}, {256, 8}} {
+		pts := testPoints(spec.n, spec.dim)
+		frame, err := AppendPointsFrame(nil, pts, spec.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("n=%d dim=%d: %v", spec.n, spec.dim, err)
+		}
+		if typ != MsgPoints {
+			t.Fatalf("type %d, want MsgPoints", typ)
+		}
+		_, got, err := DecodePointsInto(payload, spec.dim, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != spec.n {
+			t.Fatalf("decoded %d points, want %d", len(got), spec.n)
+		}
+		for i := range got {
+			for d := range got[i] {
+				if math.Float64bits(got[i][d]) != math.Float64bits(pts[i][d]) {
+					t.Fatalf("point %d dim %d: bits differ", i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyResultFrameRoundTrip(t *testing.T) {
+	idx := []int{0, 3, -1, 99, 7}
+	dist := []float64{0, 1.5, math.Sqrt(2), 1e-300, 2.5e17}
+	frame := AppendClassifyResultFrame(nil, idx, dist)
+	typ, payload, err := DecodeFrame(frame)
+	if err != nil || typ != MsgClassifyResult {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	gi, gd, err := DecodeClassifyResultInto(payload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if gi[i] != idx[i] || math.Float64bits(gd[i]) != math.Float64bits(dist[i]) {
+			t.Fatalf("slot %d: got (%d,%v) want (%d,%v)", i, gi[i], gd[i], idx[i], dist[i])
+		}
+	}
+}
+
+func TestAckAndErrorFrames(t *testing.T) {
+	frame := AppendAckFrame(nil, 123456789)
+	typ, payload, err := DecodeFrame(frame)
+	if err != nil || typ != MsgAck {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	if n, err := DecodeAck(payload); err != nil || n != 123456789 {
+		t.Fatalf("ack %d err=%v", n, err)
+	}
+
+	frame = AppendErrorFrame(nil, "boom")
+	typ, payload, err = DecodeFrame(frame)
+	if err != nil || typ != MsgError {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	if string(payload) != "boom" {
+		t.Fatalf("error payload %q", payload)
+	}
+}
+
+// TestSummariesFrameRoundTrip is the codec half of the coordinator
+// bit-equality criterion: real engine summaries — both CF cores — must
+// survive the wire with every storage slot bit-identical.
+func TestSummariesFrameRoundTrip(t *testing.T) {
+	for _, kind := range []cf.CoreKind{cf.CoreClassic, cf.CoreBETULA} {
+		cfg := core.DefaultConfig(3, 4)
+		cfg.Core = kind
+		cfg.Refine = false
+		eng, err := stream.New(cfg, stream.Options{Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := eng.InsertBatch(ctx, testPoints(400, 3)); err != nil {
+			t.Fatal(err)
+		}
+		sums, err := eng.ShardSummaries(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		frame, err := AppendSummariesFrame(nil, kind, cfg.Dim, sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := DecodeFrame(frame)
+		if err != nil || typ != MsgSummaries {
+			t.Fatalf("core %v: typ=%d err=%v", kind, typ, err)
+		}
+		gotKind, gotDim, got, err := DecodeSummaries(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotKind != kind || gotDim != cfg.Dim || len(got) != len(sums) {
+			t.Fatalf("core %v: got kind=%v dim=%d shards=%d", kind, gotKind, gotDim, len(got))
+		}
+		for s := range sums {
+			if math.Float64bits(got[s].Threshold) != math.Float64bits(sums[s].Threshold) {
+				t.Fatalf("core %v shard %d: threshold bits differ", kind, s)
+			}
+			if len(got[s].CFs) != len(sums[s].CFs) {
+				t.Fatalf("core %v shard %d: %d CFs, want %d", kind, s, len(got[s].CFs), len(sums[s].CFs))
+			}
+			for i := range sums[s].CFs {
+				a, b := &sums[s].CFs[i], &got[s].CFs[i]
+				if a.Kind() != b.Kind() || a.N != b.N || math.Float64bits(a.SS) != math.Float64bits(b.SS) {
+					t.Fatalf("core %v shard %d CF %d: header slots differ", kind, s, i)
+				}
+				for d := range a.LS {
+					if math.Float64bits(a.LS[d]) != math.Float64bits(b.LS[d]) {
+						t.Fatalf("core %v shard %d CF %d comp %d: bits differ", kind, s, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrameCorruptionRejected flips, truncates and extends frames and
+// requires every mutation to be rejected before payload interpretation.
+func TestFrameCorruptionRejected(t *testing.T) {
+	frame, err := AppendPointsFrame(nil, testPoints(5, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, _, err := DecodeFrame(append(frame[:len(frame):len(frame)], 0)); err == nil {
+		t.Fatal("extended frame accepted")
+	}
+	if _, _, err := DecodeFrame(frame[:4]); err == nil {
+		t.Fatal("header-only frame accepted")
+	}
+	for _, pos := range []int{0, 4, 8, 9, len(frame) - 1} {
+		bad := append([]byte(nil), frame...)
+		bad[pos] ^= 0x40
+		if _, _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+	// Dimension mismatch is caught by the payload decoder.
+	_, payload, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodePointsInto(payload, 3, nil, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// FuzzFrameDecode throws arbitrary bytes at the frame and payload
+// decoders: they must reject or parse, never panic, and anything
+// DecodeFrame accepts must be re-encodable to the identical bytes for
+// point frames (the codec is canonical).
+func FuzzFrameDecode(f *testing.F) {
+	seed, _ := AppendPointsFrame(nil, testPoints(3, 2), 2)
+	f.Add(seed)
+	f.Add(AppendClassifyResultFrame(nil, []int{1}, []float64{2}))
+	f.Add(AppendAckFrame(nil, 7))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgPoints:
+			if len(payload) >= 8 {
+				backing, pts, err := DecodePointsInto(payload, 2, nil, nil)
+				if err == nil {
+					re, err := AppendPointsFrame(nil, pts, 2)
+					if err != nil {
+						t.Fatalf("re-encode of accepted frame failed: %v", err)
+					}
+					if string(re) != string(data) {
+						t.Fatalf("points frame not canonical: %d vs %d bytes", len(re), len(data))
+					}
+					_ = backing
+				}
+			}
+		case MsgClassifyResult:
+			DecodeClassifyResultInto(payload, nil, nil)
+		case MsgAck:
+			DecodeAck(payload)
+		case MsgSummaries:
+			DecodeSummaries(payload)
+		}
+	})
+}

@@ -22,6 +22,7 @@ func (e *Engine) runCompactor() {
 		case <-e.quit:
 			return
 		case <-t.C:
+			e.ticks.Add(1)
 			e.compact()
 		}
 	}
@@ -67,28 +68,60 @@ func (e *Engine) publish(reports []shardReport) *Snapshot {
 	snap.Gen = e.gen
 	e.snap.Store(snap)
 	e.compactions.Add(1)
+	// Serving-health gauge: record the compactor tick this snapshot went
+	// out on, so Stats can report how stale the published view is in
+	// compaction periods (SnapshotAgeTicks).
+	e.pubTick.Store(e.ticks.Load())
 	return snap
 }
 
-// buildSnapshot runs the merge pipeline over owner-built shard reports:
-// pairwise CF-merge reduction (core.ReduceSummaries) to two summaries, a
-// final merge engine, Phase 2 condensation, and Phase 3 global
-// clustering. Everything in the returned Snapshot is freshly built here,
-// which is what makes publications immutable.
+// buildSnapshot runs the serving merge pipeline over owner-built shard
+// reports and attaches the per-shard gauges. The pipeline itself lives
+// in MergeServingSnapshot so the network coordinator (internal/server)
+// can run the identical code over summaries pulled off the wire.
 func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 	shardStats := make([]ShardStats, len(reports))
-	sums := make([]core.Summary, 0, len(reports))
+	sums := make([]core.Summary, len(reports))
 	for i, r := range reports {
 		shardStats[i] = r.stats
-		if len(r.sum.CFs) > 0 {
-			sums = append(sums, r.sum)
+		sums[i] = r.sum
+	}
+	snap, err := MergeServingSnapshot(e.cfg, sums)
+	if err != nil {
+		e.setErr(err)
+		return nil
+	}
+	snap.Shards = shardStats
+	return snap
+}
+
+// MergeServingSnapshot merges leaf-CF summaries into a fresh serving
+// Snapshot by the engine's compaction pipeline: pairwise CF-merge
+// reduction (core.ReduceSummaries) to a handful of summaries, a final
+// merge engine at cfg's initial threshold, Phase 2 condensation, and
+// Phase 3 global clustering. Everything in the returned Snapshot is
+// freshly built, so it is immutable like an engine publication (Gen and
+// Shards are left for the caller).
+//
+// The function is the distribution seam of the CF Additivity Theorem:
+// the streaming engine feeds it in-process shard reports, while the
+// network coordinator feeds it per-shard summaries fetched from remote
+// birchd daemons — for the same summaries in the same order the result
+// is bit-identical, which is what makes scale-out exact rather than
+// approximate.
+func MergeServingSnapshot(cfg core.Config, sums []core.Summary) (*Snapshot, error) {
+	nonEmpty := make([]core.Summary, 0, len(sums))
+	for _, s := range sums {
+		if len(s.CFs) > 0 {
+			nonEmpty = append(nonEmpty, s)
 		}
 	}
+	sums = nonEmpty
 	if len(sums) == 0 {
-		return &Snapshot{Shards: shardStats}
+		return &Snapshot{}, nil
 	}
 
-	mcfg := e.cfg
+	mcfg := cfg
 	mcfg.Refine = false // no point access on the serving path
 	mcfg.OutlierHandling = false
 	mcfg.DelaySplit = false
@@ -103,8 +136,7 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 		var err error
 		sums, _, err = core.ReduceSummaries(mcfg, sums, directMergeMax)
 		if err != nil {
-			e.setErr(fmt.Errorf("stream: compaction reduce: %w", err))
-			return nil
+			return nil, fmt.Errorf("stream: compaction reduce: %w", err)
 		}
 	}
 	// The final engine keeps the configured initial threshold instead of
@@ -116,8 +148,7 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 	// reacts exactly as sequential Phase 1 would.
 	eng, err := core.NewEngine(mcfg)
 	if err != nil {
-		e.setErr(fmt.Errorf("stream: compaction engine: %w", err))
-		return nil
+		return nil, fmt.Errorf("stream: compaction engine: %w", err)
 	}
 	var merged int64
 	for _, s := range sums {
@@ -127,8 +158,7 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 	for _, s := range sums {
 		for i := range s.CFs {
 			if err := eng.AddCF(s.CFs[i]); err != nil {
-				e.setErr(fmt.Errorf("stream: compaction merge: %w", err))
-				return nil
+				return nil, fmt.Errorf("stream: compaction merge: %w", err)
 			}
 		}
 	}
@@ -140,7 +170,6 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 		Points:      tree.Points(),
 		Threshold:   tree.Threshold(),
 		Subclusters: tree.LeafCFs(),
-		Shards:      shardStats,
 	}
 
 	var p3 core.Phase3Stats
@@ -150,12 +179,12 @@ func (e *Engine) buildSnapshot(reports []shardReport) *Snapshot {
 		// transiently (e.g. fewer leaf entries than K early in the stream).
 		snap.Centroids = centroidsOf(snap.Subclusters)
 		snap.buildFinder()
-		return snap
+		return snap, nil
 	}
 	snap.Clusters = clusters
 	snap.Centroids = centroidsOf(clusters)
 	snap.buildFinder()
-	return snap
+	return snap, nil
 }
 
 func centroidsOf(cfs []cf.CF) []vec.Vector {

@@ -226,6 +226,17 @@ func Open(cfg core.Config, opts Options, dur *DurableOptions) (*Engine, *Recover
 	return e, rec, nil
 }
 
+// ShardEngineConfig returns the configuration one shard engine of a
+// W-shard deployment runs with: an equal memory slice and every
+// mass-discarding path disabled (exactly what New derives internally).
+// It is exported for the network layer: a birchd shard daemon that is
+// one of W coordinator peers must run its engine with
+// ShardEngineConfig(cfg, W) for the coordinator's wire-level CF merge to
+// be bit-identical to a single in-process W-shard engine.
+func ShardEngineConfig(cfg core.Config, shards int) core.Config {
+	return shardConfig(cfg, shards)
+}
+
 // shardConfig derives the per-shard engine configuration New documents:
 // an equal memory slice and every mass-discarding path disabled.
 func shardConfig(cfg core.Config, shards int) core.Config {

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"birch/internal/cf"
+	"birch/internal/core"
+)
+
+// snapshotsBitIdentical fails the test unless a and b carry bit-identical
+// serving state: Points, Threshold, and the raw storage slots (N, LS/μ,
+// SS/S) of every subcluster, cluster and centroid. It is the comparison
+// the coordinator's wire-merge acceptance criterion is stated in.
+func snapshotsBitIdentical(t *testing.T, a, b *Snapshot) {
+	t.Helper()
+	if a.Points != b.Points {
+		t.Fatalf("Points: %d != %d", a.Points, b.Points)
+	}
+	if math.Float64bits(a.Threshold) != math.Float64bits(b.Threshold) {
+		t.Fatalf("Threshold bits differ: %v != %v", a.Threshold, b.Threshold)
+	}
+	cfsBitIdentical(t, "subcluster", a.Subclusters, b.Subclusters)
+	cfsBitIdentical(t, "cluster", a.Clusters, b.Clusters)
+	if len(a.Centroids) != len(b.Centroids) {
+		t.Fatalf("centroid count: %d != %d", len(a.Centroids), len(b.Centroids))
+	}
+	for i := range a.Centroids {
+		for d := range a.Centroids[i] {
+			if math.Float64bits(a.Centroids[i][d]) != math.Float64bits(b.Centroids[i][d]) {
+				t.Fatalf("centroid %d dim %d bits differ: %v != %v",
+					i, d, a.Centroids[i][d], b.Centroids[i][d])
+			}
+		}
+	}
+}
+
+func cfsBitIdentical(t *testing.T, what string, a, b []cf.CF) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s count: %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind() != b[i].Kind() {
+			t.Fatalf("%s %d kind: %v != %v", what, i, a[i].Kind(), b[i].Kind())
+		}
+		if a[i].N != b[i].N {
+			t.Fatalf("%s %d N: %d != %d", what, i, a[i].N, b[i].N)
+		}
+		for d := range a[i].LS {
+			if math.Float64bits(a[i].LS[d]) != math.Float64bits(b[i].LS[d]) {
+				t.Fatalf("%s %d LS[%d] bits differ: %v != %v", what, i, d, a[i].LS[d], b[i].LS[d])
+			}
+		}
+		if math.Float64bits(a[i].SS) != math.Float64bits(b[i].SS) {
+			t.Fatalf("%s %d SS bits differ: %v != %v", what, i, a[i].SS, b[i].SS)
+		}
+	}
+}
+
+// TestMergeServingSnapshotMatchesFlush pins the refactoring seam the
+// network coordinator depends on: running MergeServingSnapshot over
+// ShardSummaries must produce a snapshot bit-identical to the engine's
+// own Flush publication, for both CF cores and several shard counts —
+// it is literally the same pipeline, and this test keeps it that way.
+func TestMergeServingSnapshotMatchesFlush(t *testing.T) {
+	pts := latticePoints(8000)
+	for _, kind := range []cf.CoreKind{cf.CoreClassic, cf.CoreBETULA} {
+		for _, w := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("core=%v/W=%d", kind, w), func(t *testing.T) {
+				cfg := core.DefaultConfig(2, 8)
+				cfg.Core = kind
+				cfg.Refine = false
+				eng, err := New(cfg, Options{Shards: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				ctx := context.Background()
+				for i := 0; i < len(pts); i += 50 {
+					hi := i + 50
+					if hi > len(pts) {
+						hi = len(pts)
+					}
+					if err := eng.InsertBatch(ctx, pts[i:hi]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				sums, err := eng.ShardSummaries(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sums) != w {
+					t.Fatalf("ShardSummaries returned %d summaries, want %d", len(sums), w)
+				}
+				merged, err := MergeServingSnapshot(cfg, sums)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Flush(ctx); err != nil {
+					t.Fatal(err)
+				}
+				snapshotsBitIdentical(t, eng.Snapshot(), merged)
+			})
+		}
+	}
+}
+
+// TestShardEngineConfigComposition pins the identity the sharded network
+// deployment relies on: a daemon that runs ShardEngineConfig(cfg, W) as
+// its engine configuration with one shard ends up with exactly the shard
+// engine a single in-process W-shard engine would run.
+func TestShardEngineConfigComposition(t *testing.T) {
+	cfg := core.DefaultConfig(4, 16)
+	cfg.Memory = 1 << 20
+	for _, w := range []int{1, 2, 4, 8} {
+		direct := shardConfig(cfg, w)
+		viaDaemon := shardConfig(ShardEngineConfig(cfg, w), 1)
+		if direct != viaDaemon {
+			t.Fatalf("W=%d: shardConfig(cfg,W) != shardConfig(ShardEngineConfig(cfg,W),1):\n%+v\nvs\n%+v",
+				w, direct, viaDaemon)
+		}
+	}
+}
+
+// TestServingHealthGauges checks the Stats gauges a server exports:
+// CompactorLagPoints tracks accepted-but-unpublished mass, and
+// SnapshotAgeTicks reports compactor periods since the last publication.
+func TestServingHealthGauges(t *testing.T) {
+	cfg := core.DefaultConfig(2, 4)
+	cfg.Refine = false
+	eng, err := New(cfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	pts := latticePoints(500)
+	if err := eng.InsertBatch(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.CompactorLagPoints != int64(len(pts)) {
+		t.Fatalf("before first publish: CompactorLagPoints = %d, want %d (nothing published yet)",
+			st.CompactorLagPoints, len(pts))
+	}
+	if st.SnapshotAgeTicks != 0 {
+		t.Fatalf("no compactor timer ran: SnapshotAgeTicks = %d, want 0", st.SnapshotAgeTicks)
+	}
+
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.CompactorLagPoints != 0 {
+		t.Fatalf("after Flush: CompactorLagPoints = %d, want 0", st.CompactorLagPoints)
+	}
+
+	// Simulate a compactor that has ticked past the last publication
+	// (e.g. repeated merge failures): the age gauge is their difference.
+	eng.ticks.Add(3)
+	if got := eng.Stats().SnapshotAgeTicks; got != 3 {
+		t.Fatalf("SnapshotAgeTicks = %d, want 3", got)
+	}
+	// A publication resets the age to the current tick count.
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().SnapshotAgeTicks; got != 0 {
+		t.Fatalf("after republish: SnapshotAgeTicks = %d, want 0", got)
+	}
+}

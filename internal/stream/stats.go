@@ -29,7 +29,19 @@ type Stats struct {
 	Compactions int64 // snapshots published over the engine's lifetime
 	Clusters    int   // global clusters in the current snapshot
 	Subclusters int   // merged leaf subclusters in the current snapshot
-	Shards      []ShardStats
+
+	// Serving-health gauges. SnapshotAgeTicks is how many compactor
+	// periods have elapsed since the current snapshot was published: 0
+	// while every tick republishes (or no compactor timer runs), and
+	// climbing when compaction keeps failing or can't keep up — a server
+	// reads it to tell how stale its serving view is. CompactorLagPoints
+	// is Inserted − Published: the point mass accepted by writers but not
+	// yet visible to readers (mailbox queues plus work since the last
+	// publication).
+	SnapshotAgeTicks   int64
+	CompactorLagPoints int64
+
+	Shards []ShardStats
 }
 
 // Stats returns the engine-wide gauges. Safe to call concurrently with
@@ -45,6 +57,16 @@ func (e *Engine) Stats() Stats {
 		st.Clusters = len(s.Clusters)
 		st.Subclusters = len(s.Subclusters)
 		st.Shards = s.Shards
+	}
+	// ticks is read after pubTick so a publish racing this call can only
+	// make the age smaller, never negative by more than a stale read;
+	// clamp for the callers that export the gauge.
+	pub := e.pubTick.Load()
+	if age := e.ticks.Load() - pub; age > 0 {
+		st.SnapshotAgeTicks = age
+	}
+	if lag := st.Inserted - st.Published; lag > 0 {
+		st.CompactorLagPoints = lag
 	}
 	return st
 }

@@ -108,6 +108,14 @@ type Engine struct {
 	inserted    atomic.Int64 // points accepted by Insert/InsertBatch
 	compactions atomic.Int64 // snapshots published
 
+	// Serving-health gauges: ticks counts compactor timer fires over the
+	// engine's lifetime; pubTick records the tick count at the moment the
+	// current snapshot was published. Their difference is how many
+	// compaction periods the published view has been allowed to go stale
+	// (0 while every tick republishes successfully).
+	ticks   atomic.Int64
+	pubTick atomic.Int64
+
 	err atomic.Pointer[engineError] // first asynchronous shard error
 }
 
@@ -277,6 +285,24 @@ func (e *Engine) Close() error {
 		e.publish(reports)
 	})
 	return e.Err()
+}
+
+// ShardSummaries returns the owner-built leaf-CF summary of every shard,
+// in shard order — the engine's side of the wire-level CF merge: a
+// coordinator (internal/server) fetches these from each birchd daemon
+// and feeds them to MergeServingSnapshot. Like Flush it serializes with
+// all previously accepted work, so the summaries cover every point whose
+// Insert/InsertBatch returned before the call.
+func (e *Engine) ShardSummaries(ctx context.Context) ([]core.Summary, error) {
+	reports, err := e.syncShards(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]core.Summary, len(reports))
+	for i, r := range reports {
+		sums[i] = r.sum
+	}
+	return sums, nil
 }
 
 // Err returns the first asynchronous shard error, or nil.
