@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet lint lint-escapes test test-stream test-tail test-crash race fuzz-smoke bench bench-scan bench-slab bench-tail bench-wal bench-serve bench-smoke serve-smoke check clean
+.PHONY: all build vet lint lint-escapes test test-stream test-tail test-crash race fuzz-smoke bench bench-scan bench-slab bench-sparse bench-tail bench-wal bench-serve bench-smoke serve-smoke sparse-smoke check clean
 
 # Randomized kill points per (core, tier) cell of the crash-recovery
 # battery; 26 × 4 cells ≥ the 100-kill bar CI gates on.
@@ -64,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInsertInvariants -fuzztime $(FUZZTIME) ./internal/cftree
 	$(GO) test -run '^$$' -fuzz FuzzScanBlockSync -fuzztime $(FUZZTIME) ./internal/cftree
 	$(GO) test -run '^$$' -fuzz FuzzScanF32Rescore -fuzztime $(FUZZTIME) ./internal/cf
+	$(GO) test -run '^$$' -fuzz FuzzSparseKernelParity -fuzztime $(FUZZTIME) ./internal/cf
 	$(GO) test -run '^$$' -fuzz FuzzStreamInsertClose -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/pager
 
@@ -84,6 +85,21 @@ bench-scan:
 # fallback-rate probes, written to BENCH_slab32.json in the repo root.
 bench-slab:
 	$(GO) run ./cmd/birchbench -only slab -out .
+
+# Sparse fast-path workloads only: dense fused scan vs sparse gather
+# kernel on Zipfian documents across the d × density grid, the density
+# sweeps pinning the cf.SparseGatherMaxDensity crossover, and the
+# end-to-end dense-vs-InsertSparse tree pairs, written to
+# BENCH_sparse.json in the repo root. Every dense/sparse pair is checked
+# bit-identical before timing.
+bench-sparse:
+	$(GO) run ./cmd/birchbench -only sparse -out .
+
+# Reduced-size sparse run for CI: same workloads and the same
+# bit-parity self-checks at throwaway measurement sizes. Only the exit
+# code matters.
+sparse-smoke:
+	$(GO) run ./cmd/birchbench -quick -only sparse -out $(or $(BENCH_SMOKE_DIR),/tmp/birchbench-smoke)
 
 # Parallel-tail workloads only: Phase 4 refinement passes (reference vs
 # chunked Assigner at 1 and 8 workers) and the classify serving path

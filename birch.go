@@ -52,6 +52,7 @@ package birch
 
 import (
 	"errors"
+	"fmt"
 
 	"birch/internal/cf"
 	"birch/internal/cftree"
@@ -62,6 +63,22 @@ import (
 
 // Point is a d-dimensional data point.
 type Point = vec.Vector
+
+// SparsePoint is a d-dimensional data point in sparse (CSR-style
+// index/value) form: only the nonzero coordinates are stored. Inserting
+// a SparsePoint is contractually bit-identical to inserting its
+// densification — the sparse representation is purely a performance
+// path for high-dimensional, mostly-zero data (documents, one-hot
+// features). Build one with NewSparsePoint, which validates the
+// invariants (strictly increasing in-range indices, finite values).
+type SparsePoint = vec.Sparse
+
+// NewSparsePoint builds a validated d-dimensional sparse point from
+// parallel index/value slices (indices strictly increasing, in [0, d);
+// values finite). The slices are referenced, not copied.
+func NewSparsePoint(d int, idx []int32, val []float64) (SparsePoint, error) {
+	return vec.NewSparse(d, idx, val)
+}
 
 // CF is a Clustering Feature: the (N, LS, SS) summary of a subcluster.
 // Its methods expose the centroid, radius and diameter of the summarized
@@ -83,6 +100,11 @@ const (
 	D3 = cf.D3
 	// D4 is the variance-increase (Ward) distance.
 	D4 = cf.D4
+	// DCos is the cosine distance between centroids — the natural metric
+	// for direction-dominated high-dimensional data (e.g. tf-idf
+	// document vectors), added beyond the paper's five. See the Metric
+	// documentation in internal/cf for the exact definition.
+	DCos = cf.DCos
 )
 
 // ThresholdKind selects which property the leaf threshold T bounds.
@@ -174,6 +196,23 @@ func Cluster(points []Point, cfg Config) (*Result, error) {
 	return core.Run(points, cfg)
 }
 
+// ClusterSparse runs the full BIRCH pipeline over sparse points,
+// streaming them through the Phase 1 sparse fast path. The clustering
+// is bit-identical to Cluster over the densified points; with
+// cfg.Refine on, the Phase 4 re-scan runs over the densifications.
+func ClusterSparse(points []SparsePoint, cfg Config) (*Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range points {
+		if err := c.InsertSparse(sp); err != nil {
+			return nil, fmt.Errorf("birch: sparse point %d: %w", i, err)
+		}
+	}
+	return c.Finish()
+}
+
 // ClusterParallel runs Phase 1 data-parallel across the given number of
 // workers (0 = GOMAXPROCS) and merges the per-shard subcluster summaries
 // via CF additivity before Phases 2–4 — the parallel execution the
@@ -217,6 +256,28 @@ func (c *Clusterer) Insert(p Point) error {
 	}
 	if c.cfg.Refine {
 		c.points = append(c.points, p.Clone())
+	}
+	return nil
+}
+
+// InsertSparse adds one sparse point to the stream. The result is
+// bit-identical to Insert(sp.Dense()); below the measured density
+// crossover (cf.SparseGatherMaxDensity) the descent additionally rides
+// the sparse gather kernels where the metric admits them. The point is
+// validated here, at the public boundary. With cfg.Refine on, the
+// densification is buffered for the Phase 4 re-scan.
+func (c *Clusterer) InsertSparse(sp SparsePoint) error {
+	if c.done {
+		return errors.New("birch: InsertSparse after Finish")
+	}
+	if err := sp.Validate(); err != nil {
+		return fmt.Errorf("birch: InsertSparse: %w", err)
+	}
+	if err := c.eng.AddSparse(sp); err != nil {
+		return err
+	}
+	if c.cfg.Refine {
+		c.points = append(c.points, sp.Dense())
 	}
 	return nil
 }
@@ -298,7 +359,8 @@ func (c *Clusterer) Finish() (*Result, error) {
 // Method overview (all safe for concurrent use):
 //
 //   - Insert / InsertBatch stream points in, blocking only on
-//     backpressure (cancellable via context).
+//     backpressure (cancellable via context); InsertSparse /
+//     InsertSparseBatch are the sparse-point equivalents.
 //   - Classify / Centroids / Snapshot serve reads from the current
 //     immutable snapshot with a single atomic load — no locks, safe on
 //     any goroutine at any rate, valid even after Close.

@@ -133,6 +133,20 @@ type Workload struct {
 	WALBytesPerPoint float64 `json:"wal_bytes_per_point,omitempty"`
 	ReplayNsPerPoint float64 `json:"replay_ns_per_point,omitempty"`
 
+	// Sparse fast-path (BENCH_sparse.json) fields: NNZ is the nonzeros
+	// per document; the standard ns column holds the sparse-path numbers
+	// (gather scan, or InsertSparse for the tree pairs), DenseNsPerPoint
+	// the dense fused path on the identical workload, and SparseVsDense
+	// their ratio (< 1 means the sparse path is faster — both paths are
+	// bit-identical, so the ratio is pure kernel cost). CrossoverDensity
+	// is set only on the density-sweep workloads: the measured nnz/d where
+	// the gather scan stops beating the fused dense scan, the constant
+	// behind cf.SparseGatherMaxDensity.
+	NNZ              int     `json:"nnz,omitempty"`
+	DenseNsPerPoint  float64 `json:"dense_ns_per_point,omitempty"`
+	SparseVsDense    float64 `json:"sparse_vs_dense,omitempty"`
+	CrossoverDensity float64 `json:"crossover_density,omitempty"`
+
 	K               int     `json:"k,omitempty"`
 	RefNsPerPoint   float64 `json:"ref_ns_per_point,omitempty"`
 	ParNsPerPoint   float64 `json:"par_ns_per_point,omitempty"`
@@ -171,12 +185,12 @@ func main() {
 	baseDir := flag.String("baseline", "", "directory holding a previous run's BENCH_*.json to compare against")
 	reps := flag.Int("reps", 3, "repetitions per workload (best-of)")
 	workers := flag.Int("workers", 8, "worker count for the parallel pipeline workload")
-	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only), "tail" (parallel-tail workloads only), "wal" (durability workloads only), "stream" (concurrent-ingest workloads only) or "serve" (network serving workloads only)`)
+	only := flag.String("only", "all", `run a subset: "all", "scan" (descent-scan workloads only), "slab" (precision-tier workloads only), "sparse" (sparse fast-path workloads only), "tail" (parallel-tail workloads only), "wal" (durability workloads only), "stream" (concurrent-ingest workloads only) or "serve" (network serving workloads only)`)
 	flag.Parse()
 	switch *only {
-	case "all", "scan", "slab", "tail", "wal", "stream", "serve":
+	case "all", "scan", "slab", "sparse", "tail", "wal", "stream", "serve":
 	default:
-		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab, tail, wal, stream or serve)", *only))
+		fatal(fmt.Errorf("unknown -only value %q (want all, scan, slab, sparse, tail, wal, stream or serve)", *only))
 	}
 
 	meta := Meta{
@@ -201,6 +215,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("birchbench OK: %d slab workloads -> %s\n", len(slab), *outDir)
+		return
+	}
+
+	if *only == "sparse" {
+		sparse := runSparseWorkloads(*quick, *reps)
+		if err := writeReport(filepath.Join(*outDir, sparseFile), meta, sparse, *baseDir); err != nil {
+			fatal(err)
+		}
+		if err := verifySparse(*outDir, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("birchbench OK: %d sparse workloads -> %s\n", len(sparse), *outDir)
 		return
 	}
 
@@ -275,6 +301,7 @@ func main() {
 	tail := runTailWorkloads(*quick, *reps, *workers)
 	wal := runWALWorkloads(*quick, *reps)
 	serve := runServeWorkloads(*quick)
+	sparse := runSparseWorkloads(*quick, *reps)
 
 	if err := writeReport(filepath.Join(*outDir, phase1File), meta, phase1, *baseDir); err != nil {
 		fatal(err)
@@ -294,11 +321,14 @@ func main() {
 	if err := writeServeReport(filepath.Join(*outDir, serveFile), meta, serve); err != nil {
 		fatal(err)
 	}
+	if err := writeReport(filepath.Join(*outDir, sparseFile), meta, sparse, *baseDir); err != nil {
+		fatal(err)
+	}
 	if err := verify(*outDir, *quick); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d tail + %d wal + %d serve workloads -> %s\n",
-		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(tail), len(wal), len(serve), *outDir)
+	fmt.Printf("birchbench OK: %d phase1 + %d pipeline + %d stream + %d scan + %d slab + %d sparse + %d tail + %d wal + %d serve workloads -> %s\n",
+		len(phase1), len(pipeline), len(streamed), len(scan), len(slab), len(sparse), len(tail), len(wal), len(serve), *outDir)
 }
 
 func fatal(err error) {
@@ -615,6 +645,9 @@ func verify(dir string, quick bool) error {
 		return err
 	}
 	if err := verifySlab(dir, quick); err != nil {
+		return err
+	}
+	if err := verifySparse(dir, quick); err != nil {
 		return err
 	}
 	if err := verifyTail(dir, quick); err != nil {

@@ -4,6 +4,12 @@
 //
 //	datagen -ds DS1 > ds1.csv
 //	datagen -pattern sine -k 50 -n 500 -r 1.5 -noise 5 -order randomized > custom.csv
+//
+// With -sparse it instead emits synthetic Zipfian sparse documents
+// (dataset.SparseDocs) in SVMlight-style lines — "label idx:val ..." —
+// the workload behind the sparse/high-dimensional benchmarks:
+//
+//	datagen -sparse -dim 1024 -k 20 -n 500 -nnz 50 > docs.svm
 package main
 
 import (
@@ -32,8 +38,18 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		truth    = flag.Bool("truth", true, "emit the ground-truth label as a third column")
 		showInfo = flag.Bool("info", false, "print dataset summary to stderr")
+
+		sparse = flag.Bool("sparse", false, "emit Zipfian sparse documents (SVMlight lines) instead of dense CSV")
+		dim    = flag.Int("dim", 1024, "sparse: vocabulary size (dimensionality)")
+		nnz    = flag.Int("nnz", 50, "sparse: nonzero terms per document")
+		zipfS  = flag.Float64("zipf", 1.1, "sparse: Zipf exponent of the term-rank law")
 	)
 	flag.Parse()
+
+	if *sparse {
+		emitSparse(*dim, *k, *n, *nnz, *zipfS, *seed, *truth, *showInfo)
+		return
+	}
 
 	ds, err := build(*name, *pattern, *k, *n, *nLow, *nHigh, *r, *kg, *nc, *noise, *order, *seed)
 	if err != nil {
@@ -53,6 +69,31 @@ func main() {
 	if *showInfo {
 		fmt.Fprintf(os.Stderr, "datagen: %s pattern=%s K=%d N=%d order=%s\n",
 			ds.Name, ds.Params.Pattern, len(ds.Centers), ds.N(), ds.Params.Order)
+	}
+}
+
+// emitSparse writes SparseDocs output as SVMlight-style lines: the
+// ground-truth topic label (when -truth) followed by idx:val pairs in
+// index order.
+func emitSparse(dim, k, nPer, nnz int, zipfS float64, seed int64, truth, showInfo bool) {
+	docs, labels := dataset.SparseDocs(dim, k, nPer, nnz, zipfS, seed)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, sp := range docs {
+		if truth {
+			fmt.Fprintf(w, "%d", labels[i])
+		}
+		for t, ix := range sp.Idx {
+			if t > 0 || truth {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d:%g", ix, sp.Val[t])
+		}
+		fmt.Fprintln(w)
+	}
+	if showInfo {
+		fmt.Fprintf(os.Stderr, "datagen: sparse docs dim=%d K=%d N=%d nnz=%d zipf=%g\n",
+			dim, k, len(docs), nnz, zipfS)
 	}
 }
 

@@ -82,6 +82,14 @@ func ParseSlabTier(s string) (SlabTier, error) {
 //
 // which halves the per-node float64 footprint relative to classic.
 //
+// Both backends additionally maintain the one-word cn side slab: slot i's
+// centroid norm ‖x0ᵢ‖, computed from the just-written x0 slab row by the
+// same accumulate-squares-then-sqrt operations the cosine kernel performs
+// on its candidate side (setNorm). DCos scans read it instead of
+// re-deriving the norm per scan, which is what makes the cosine metric's
+// fused path a pure dot-product stream — and the sparse gather kernels
+// O(nnz) instead of O(d) per candidate.
+//
 // The hoisted values are computed by exactly the floating-point
 // operations the kernels would perform (v/float64(N), SS/float64(N),
 // float64(N)) on the same operands, so consuming a slot is bit-identical
@@ -116,6 +124,7 @@ type Block struct {
 	x0   []float64 // dim+1 floats per entry: centroid, float64(N)
 	ls   []float64 // classic: dim+3 floats per entry: raw LS, SS/N, SS, float64(N)
 	sb   []float64 // betula: 2 floats per entry: S/N, S
+	cn   []float64 // 1 float per entry: centroid norm ‖x0‖ (DCos candidate term)
 
 	x032 []float32 // TierF32: dim+1 per entry: centroid row, norm UB
 	ls32 []float32 // TierF32 classic: dim+3 per entry: LS row, SS/N, SS, norm UB
@@ -151,6 +160,7 @@ func NewBlockOpts(dim, capEntries int, kind CoreKind, tier SlabTier) *Block {
 		tier: tier,
 		n:    make([]int64, 0, capEntries),
 		x0:   make([]float64, 0, capEntries*(dim+1)),
+		cn:   make([]float64, 0, capEntries),
 	}
 	if kind == CoreBETULA {
 		b.sb = make([]float64, 0, capEntries*2)
@@ -221,6 +231,7 @@ func (b *Block) Set(i int, c *CF) {
 		b.ls[loff+d+2] = n
 	}
 	b.n[i] = c.N
+	b.setNorm(i)
 	if b.tier == TierF32 {
 		b.sync32(i)
 	}
@@ -272,6 +283,7 @@ func (b *Block) SetPoint(i int, p vec.Vector) {
 		b.ls[loff+d+2] = 1
 	}
 	b.n[i] = 1
+	b.setNorm(i)
 	if b.tier == TierF32 {
 		b.sync32(i)
 	}
@@ -287,12 +299,32 @@ func (b *Block) AppendPoint(p vec.Vector) {
 	b.SetPoint(len(b.n)-1, p)
 }
 
+// setNorm refreshes slot i's centroid-norm word from the x0 slab row:
+// the squares of the stored centroid components accumulated in component
+// order, then the square root — exactly the candidate-side operations
+// kernelCos performs (its dot accumulator is independent, so omitting it
+// here changes no bits). The slab row IS the kernel's operand stream, so
+// slab-derived and kernel-derived norms cannot disagree.
+//
+//birchlint:hotpath
+func (b *Block) setNorm(i int) {
+	d := b.dim
+	xoff := i * (d + 1)
+	row := b.x0[xoff : xoff+d : xoff+d]
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	b.cn[i] = math.Sqrt(s)
+}
+
 // appendSlot grows every active slab by one zeroed slot.
 //
 //birchlint:hotpath
 func (b *Block) appendSlot() {
 	b.n = append(b.n, 0)
 	b.x0 = appendZeros(b.x0, b.dim+1)
+	b.cn = appendZeros(b.cn, 1)
 	if b.kind == CoreBETULA {
 		b.sb = appendZeros(b.sb, 2)
 	} else {
@@ -393,6 +425,8 @@ func (b *Block) Remove(i int) {
 	xs := b.x0Stride()
 	copy(b.x0[i*xs:], b.x0[(i+1)*xs:])
 	b.x0 = b.x0[:len(b.x0)-xs]
+	copy(b.cn[i:], b.cn[i+1:])
+	b.cn = b.cn[:len(b.cn)-1]
 	if b.kind == CoreBETULA {
 		copy(b.sb[i*2:], b.sb[(i+1)*2:])
 		b.sb = b.sb[:len(b.sb)-2]
@@ -422,6 +456,7 @@ func (b *Block) Remove(i int) {
 func (b *Block) Truncate(k int) {
 	b.n = b.n[:k]
 	b.x0 = b.x0[:k*b.x0Stride()]
+	b.cn = b.cn[:k]
 	if b.kind == CoreBETULA {
 		b.sb = b.sb[:k*2]
 	} else {
@@ -526,6 +561,14 @@ func (b *Block) CheckSync(i int, c *CF) error {
 		if math.Float64bits(b.ls[loff+d+2]) != math.Float64bits(n) {
 			return fmt.Errorf("cf: block slot %d ls-slab N=%g, want %g", i, b.ls[loff+d+2], n)
 		}
+	}
+	var cnsq float64
+	for j := 0; j < d; j++ {
+		v := b.x0[xoff+j]
+		cnsq += v * v
+	}
+	if math.Float64bits(b.cn[i]) != math.Float64bits(math.Sqrt(cnsq)) {
+		return fmt.Errorf("cf: block slot %d centroid norm=%g, want %g", i, b.cn[i], math.Sqrt(cnsq))
 	}
 	if b.tier == TierF32 {
 		return b.checkSync32(i)

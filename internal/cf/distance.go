@@ -26,6 +26,12 @@ const (
 	// D4 is the variance-increase distance: the square root of the growth
 	// in total within-cluster SSE caused by merging c1 and c2.
 	D4
+	// DCos is the cosine (normalized-Euclidean) distance between the two
+	// centroids: d² = 2·(1 − cos θ) = ‖a/‖a‖ − b/‖b‖‖², the metric of the
+	// document/embedding workloads (K-tree, De Vries & Geva; PAPERS.md).
+	// Not one of the paper's five, but computable from CF triples alone
+	// just like D0–D4, so it slots into the same kernel/scan machinery.
+	DCos
 )
 
 // String returns the paper's name for the metric.
@@ -41,13 +47,15 @@ func (m Metric) String() string {
 		return "D3"
 	case D4:
 		return "D4"
+	case DCos:
+		return "COS"
 	default:
 		return fmt.Sprintf("Metric(%d)", int(m))
 	}
 }
 
-// Valid reports whether m is one of D0–D4.
-func (m Metric) Valid() bool { return m >= D0 && m <= D4 }
+// Valid reports whether m is one of D0–D4 or DCos.
+func (m Metric) Valid() bool { return m >= D0 && m <= DCos }
 
 // ParseMetric converts a string such as "D2" or "d2" to a Metric.
 func ParseMetric(s string) (Metric, error) {
@@ -62,8 +70,10 @@ func ParseMetric(s string) (Metric, error) {
 		return D3, nil
 	case "D4", "d4":
 		return D4, nil
+	case "COS", "cos", "Cos", "cosine":
+		return DCos, nil
 	}
-	return 0, fmt.Errorf("cf: unknown metric %q (want D0..D4)", s)
+	return 0, fmt.Errorf("cf: unknown metric %q (want D0..D4 or COS)", s)
 }
 
 // Distance returns the metric-m distance between the clusters summarized by
@@ -89,6 +99,9 @@ func Distance(m Metric, a, b *CF) float64 {
 	case D4:
 		//birchlint:ignore sqrtclamp betula D4 is the Ward form, a product of squares like classic
 		return math.Sqrt(DistanceSq(D4, a, b))
+	case DCos:
+		//birchlint:ignore sqrtclamp cosDistSq clamps at 0 (cosine similarity can exceed 1 by rounding)
+		return math.Sqrt(DistanceSq(DCos, a, b))
 	default:
 		panic("cf: invalid metric " + m.String())
 	}
@@ -126,6 +139,11 @@ func DistanceSq(m Metric, a, b *CF) float64 {
 			return varianceIncreaseBetula(a, b)
 		}
 		return varianceIncrease(a, b)
+	case DCos:
+		if a.kind == CoreBETULA {
+			return centroidCosineSqBetula(a, b)
+		}
+		return centroidCosineSq(a, b)
 	default:
 		panic("cf: invalid metric " + m.String())
 	}
@@ -259,4 +277,61 @@ func varianceIncreaseBetula(a, b *CF) float64 {
 		cdistSq += d * d
 	}
 	return na * nb / (na + nb) * cdistSq
+}
+
+// centroidCosineSq computes DCos² between the centroids without
+// allocating them: one pass accumulates the dot product and both squared
+// norms in three independent accumulators, then cosDistSq combines them.
+// The kernel and scan paths reproduce exactly these per-accumulator
+// operation sequences (hoisting whole subexpressions only), which is what
+// makes the fused cosine paths bit-identical to this reference.
+func centroidCosineSq(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var dot, aa, bb float64
+	for i := range a.LS {
+		xa := a.LS[i] / na
+		xb := b.LS[i] / nb
+		dot += xa * xb
+		aa += xa * xa
+		bb += xb * xb
+	}
+	return cosDistSq(dot, math.Sqrt(aa), math.Sqrt(bb))
+}
+
+// centroidCosineSqBetula is the BETULA DCos²: the stored means are the
+// centroids, so the per-component divisions disappear.
+func centroidCosineSqBetula(a, b *CF) float64 {
+	var dot, aa, bb float64
+	for i := range a.LS {
+		xa := a.LS[i]
+		xb := b.LS[i]
+		dot += xa * xb
+		aa += xa * xa
+		bb += xb * xb
+	}
+	return cosDistSq(dot, math.Sqrt(aa), math.Sqrt(bb))
+}
+
+// cosDistSq combines a centroid dot product and the two centroid norms
+// into the squared cosine distance 2·(1 − dot/(an·bn)), clamped at 0
+// because rounding can push the cosine similarity just past 1. A zero
+// centroid has no direction: against another zero centroid the distance
+// is 0 (coincident), against anything else it is 2 (the orthogonal
+// convention, also the metric's mean value). Every DCos path — generic,
+// kernel, fused scan, sparse gather — funnels through this one tail, so
+// the convention cannot drift between paths.
+//
+//birchlint:hotpath
+func cosDistSq(dot, an, bn float64) float64 {
+	if an == 0 || bn == 0 { //birchlint:ignore floateq exact zero-norm test: a norm is 0 iff the centroid is the zero vector
+		if an == 0 && bn == 0 { //birchlint:ignore floateq exact zero-norm test, as above
+			return 0
+		}
+		return 2
+	}
+	v := 2 * (1 - dot/(an*bn))
+	if v < 0 {
+		return 0
+	}
+	return v
 }

@@ -54,9 +54,19 @@ type Query struct {
 	// performs per candidate, done once here. Under BETULA the stored
 	// mean is the centroid, so x0 is a plain copy of it.
 	x0 vec.Vector
+	// x0Norm is ‖x0‖, the query's constant norm in DCos, accumulated
+	// over the x0 components in index order — the same operations the
+	// generic cosine path performs on the query side, done once here.
+	x0Norm float64
 	// kind is the backend of the bound CF; kernels resolved via
 	// KernelForCore assume all candidates share it.
 	kind CoreKind
+	// spIdx/spVal are the sparse gather view of the bound query: the
+	// nonzero coordinates of the singleton point bound via BindSparse,
+	// aliased (not copied) for the duration of one insertion. nil after
+	// a dense Bind; the sparse scan kernels require them.
+	spIdx []int32
+	spVal []float64
 }
 
 // NewQuery returns a Query with scratch buffers for dimension dim.
@@ -82,13 +92,22 @@ func (q *Query) Bind(c *CF) {
 	q.ss = c.SS
 	q.n = float64(c.N)
 	q.ssOverN = c.SS / q.n
+	q.spIdx, q.spVal = nil, nil
+	var nsq float64
 	if c.kind == CoreBETULA {
 		copy(q.x0, c.LS)
+		for _, v := range q.x0 {
+			nsq += v * v
+		}
+		q.x0Norm = math.Sqrt(nsq)
 		return
 	}
 	for i := range q.x0 {
-		q.x0[i] = c.LS[i] / q.n
+		v := c.LS[i] / q.n
+		q.x0[i] = v
+		nsq += v * v
 	}
+	q.x0Norm = math.Sqrt(nsq)
 }
 
 // KernelFor returns the specialized kernel for metric m under the
@@ -113,6 +132,8 @@ func KernelForCore(m Metric, kind CoreKind) Kernel {
 			return kernelD3b
 		case D4:
 			return kernelD4b
+		case DCos:
+			return kernelCosB
 		default:
 			panic("cf: invalid metric " + m.String())
 		}
@@ -128,6 +149,8 @@ func KernelForCore(m Metric, kind CoreKind) Kernel {
 		return kernelD3
 	case D4:
 		return kernelD4
+	case DCos:
+		return kernelCos
 	default:
 		panic("cf: invalid metric " + m.String())
 	}
@@ -222,6 +245,25 @@ func kernelD4(q *Query, cand *CF) float64 {
 	return na * q.n / (na + q.n) * cdistSq
 }
 
+// kernelCos is DistanceSq(DCos, cand, q): the squared cosine distance
+// between centroids, with the query's centroid and norm hoisted. The
+// candidate-side dot and squared-norm accumulators are independent
+// streams, so dropping the generic path's query-norm accumulation from
+// the loop (it lives in Bind) changes no bits.
+//
+//birchlint:hotpath
+func kernelCos(q *Query, cand *CF) float64 {
+	na := float64(cand.N)
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var dot, aa float64
+	for i, ls := range cand.LS {
+		xa := ls / na
+		dot += xa * x0[i]
+		aa += xa * xa
+	}
+	return cosDistSq(dot, math.Sqrt(aa), q.x0Norm)
+}
+
 // The BETULA kernels mirror the betula DistanceSq bodies (distance.go)
 // bit-for-bit, under the same exactness contract as the classic kernels:
 // for every metric m and non-empty BETULA pair,
@@ -306,4 +348,18 @@ func kernelD4b(q *Query, cand *CF) float64 {
 		cdistSq += d * d
 	}
 	return na * q.n / (na + q.n) * cdistSq
+}
+
+// kernelCosB is the BETULA DCos: squared cosine distance over stored
+// means, query centroid and norm hoisted.
+//
+//birchlint:hotpath
+func kernelCosB(q *Query, cand *CF) float64 {
+	x0 := q.x0[:len(cand.LS)] // bounds-check elimination hint
+	var dot, aa float64
+	for i, mu := range cand.LS {
+		dot += mu * x0[i]
+		aa += mu * mu
+	}
+	return cosDistSq(dot, math.Sqrt(aa), q.x0Norm)
 }

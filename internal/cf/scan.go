@@ -70,6 +70,8 @@ func ScanKernelForCore(m Metric, kind CoreKind) ScanKernel {
 			return scanD3b
 		case D4:
 			return scanD4
+		case DCos:
+			return scanCos
 		default:
 			panic("cf: invalid metric " + m.String())
 		}
@@ -85,6 +87,8 @@ func ScanKernelForCore(m Metric, kind CoreKind) ScanKernel {
 		return scanD3
 	case D4:
 		return scanD4
+	case DCos:
+		return scanCos
 	default:
 		panic("cf: invalid metric " + m.String())
 	}
@@ -305,6 +309,37 @@ func scanD3b(q *Query, b *Block) (int, float64) {
 			s := sb[2*i+1] + q.ss + na*q.n/n*d2
 			d = 2 * s / (n - 1)
 		}
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanCos fuses kernelCos over the block: one dot-product stream per
+// candidate against the x0 slab, with the candidate's centroid norm read
+// from the cn side slab instead of re-accumulated — the slab word was
+// computed from the same row by the same operations (setNorm), so the
+// result is bit-identical to the kernel. Shared by both backends: the x0
+// slab stores centroids under each.
+//
+//birchlint:hotpath
+func scanCos(q *Query, b *Block) (int, float64) {
+	dim := b.dim
+	stride := dim + 1
+	k := len(b.n)
+	slab := b.x0
+	cn := b.cn
+	qx := q.x0[:dim] // bounds-check elimination hint
+	qn := q.x0Norm
+	best, bestD := 0, 0.0
+	for i, off := 0, 0; i < k; i, off = i+1, off+stride {
+		cx := slab[off : off+dim : off+dim]
+		var dot float64
+		for j, v := range cx {
+			dot += v * qx[j]
+		}
+		d := cosDistSq(dot, cn[i], qn)
 		if i == 0 || d < bestD {
 			best, bestD = i, d
 		}

@@ -117,7 +117,17 @@ func slackSq(s, a float64) float64 {
 // under the given CF-core backend. The returned scan requires TierF32
 // blocks of that kind and returns exactly what ScanKernelForCore(m, kind)
 // returns on the same block — index and Float64bits-identical distance.
+//
+// DCos has no f32 mirror path: its candidate loop is a pure dot product
+// whose error slack would be ε·A·‖q‖ — proportional to the product of
+// norms rather than to the distance, so on the normalized-similarity
+// scale (range [0, 4]) the filter admits nearly every slot and the
+// rescore devolves to the f64 scan anyway. The f64 cosine scan is
+// returned directly, which is trivially bit-identical.
 func ScanKernel32For(m Metric, kind CoreKind) ScanKernel {
+	if m == DCos {
+		return scanCos
+	}
 	if kind == CoreBETULA {
 		switch m {
 		case D0:

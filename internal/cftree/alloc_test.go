@@ -85,11 +85,13 @@ func TestInsertAppendAllocsBounded(t *testing.T) {
 		scratch.SetPoint(pt)
 		tr.Insert(scratch)
 	})
-	// One CF clone per append plus amortized split machinery. The bound
-	// is deliberately loose enough to survive splitter tweaks but tight
-	// enough to catch accidental per-point garbage (pre-optimization this
-	// path sat at ~4 allocs/op and the absorb path at ~2).
-	const maxAllocs = 4
+	// One CF clone per append plus amortized split machinery (each scan
+	// slab that outgrows its pre-sized capacity contributes one: n, x0,
+	// ls, and the cn centroid-norm slab). The bound is deliberately loose
+	// enough to survive splitter tweaks but tight enough to catch
+	// accidental per-point garbage (pre-optimization this path sat at ~4
+	// allocs/op and the absorb path at ~2).
+	const maxAllocs = 5
 	if allocs > maxAllocs {
 		t.Fatalf("append path allocates %.2f allocs/op, want <= %d", allocs, maxAllocs)
 	}

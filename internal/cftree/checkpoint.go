@@ -286,16 +286,8 @@ func ReadCheckpoint(r io.Reader, params Params, pgr *pager.Pager) (*Tree, error)
 	t := &Tree{
 		params: params,
 		pgr:    pgr,
-		kernel: cf.KernelForCore(params.Metric, params.Core),
-		query:  cf.NewQuery(params.Dim),
 	}
-	if params.Scan == ScanFused {
-		if params.SlabTier == cf.TierF32 {
-			t.scan = cf.ScanKernel32For(params.Metric, params.Core)
-		} else {
-			t.scan = cf.ScanKernelForCore(params.Metric, params.Core)
-		}
-	}
+	t.initKernels()
 
 	backend := cf.CoreFor(params.Core)
 	var leaves []*Node

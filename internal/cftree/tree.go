@@ -6,6 +6,7 @@ import (
 
 	"birch/internal/cf"
 	"birch/internal/pager"
+	"birch/internal/vec"
 )
 
 // Params fixes the shape and behaviour of a CF tree.
@@ -126,12 +127,41 @@ type Tree struct {
 	// one call; nil when params.Scan is ScanEntries, in which case
 	// closestEntry falls back to the per-entry kernel loop.
 	scan cf.ScanKernel
+	// sscan is the sparse gather argmin scan — O(nnz) per candidate
+	// instead of O(d) — resolved when the metric's algebra admits a
+	// bit-identical gather (DCos under either core, D2 classic) and the
+	// scan mode is fused; nil otherwise. InsertSparse descends through it
+	// when the point's density is below the measured gather/dense
+	// crossover.
+	sscan cf.ScanKernel
 	// query carries the incoming entry's hoisted constant terms during
 	// an insertion's closest-entry scans. Reused across insertions.
 	query *cf.Query
+	// spCF is the scratch singleton CF a sparse insert densifies into,
+	// reused so InsertSparse stays allocation-free on the absorb path.
+	spCF cf.CF
 	// path is the descent-path scratch reused across insertions so the
 	// absorb path allocates nothing.
 	path []pathStep
+}
+
+// initKernels resolves the metric-specialized kernels and per-insert
+// scratch for t.params — shared by New and the checkpoint loader.
+func (t *Tree) initKernels() {
+	p := t.params
+	t.kernel = cf.KernelForCore(p.Metric, p.Core)
+	t.query = cf.NewQuery(p.Dim)
+	t.spCF = cf.NewCore(p.Dim, p.Core)
+	if p.Scan == ScanFused {
+		if p.SlabTier == cf.TierF32 {
+			t.scan = cf.ScanKernel32For(p.Metric, p.Core)
+		} else {
+			t.scan = cf.ScanKernelForCore(p.Metric, p.Core)
+		}
+		if s, ok := cf.SparseScanKernelForCore(p.Metric, p.Core); ok {
+			t.sscan = s
+		}
+	}
 }
 
 // New creates an empty CF tree whose pages are charged to pgr.
@@ -145,16 +175,8 @@ func New(params Params, pgr *pager.Pager) (*Tree, error) {
 	t := &Tree{
 		params: params,
 		pgr:    pgr,
-		kernel: cf.KernelForCore(params.Metric, params.Core),
-		query:  cf.NewQuery(params.Dim),
 	}
-	if params.Scan == ScanFused {
-		if params.SlabTier == cf.TierF32 {
-			t.scan = cf.ScanKernel32For(params.Metric, params.Core)
-		} else {
-			t.scan = cf.ScanKernelForCore(params.Metric, params.Core)
-		}
-	}
+	t.initKernels()
 	t.root = t.newNode(true, params.LeafCap+1)
 	t.leafHead, t.leafTail = t.root, t.root
 	t.height = 1
@@ -206,6 +228,32 @@ func (t *Tree) InsertNoSplit(ent cf.CF) error {
 	return t.insert(ent, false)
 }
 
+// InsertSparse adds the single sparse point sp to the tree, splitting
+// nodes as needed. The resulting tree is bit-identical to
+// Insert(FromPoint(densify(sp))): the descent either reuses the dense
+// fused scan on the densified scratch CF, or — when the tree's metric
+// admits it and the point's density is under the measured crossover —
+// the O(nnz)-per-candidate gather scan, which returns the same index and
+// Float64bits-identical distances (sparse_test.go's differential battery
+// and the cross-path tree test pin this).
+//
+//birchlint:hotpath
+func (t *Tree) InsertSparse(sp vec.Sparse) {
+	if err := t.insertSparse(sp, true); err != nil {
+		// insertSparse with allowSplit=true never fails.
+		panic(err)
+	}
+}
+
+// InsertSparseNoSplit adds sp only if it can be absorbed or appended
+// without overflowing any node, returning ErrWouldSplit otherwise — the
+// sparse counterpart of InsertNoSplit for the delay-split spill path.
+//
+//birchlint:hotpath
+func (t *Tree) InsertSparseNoSplit(sp vec.Sparse) error {
+	return t.insertSparse(sp, false)
+}
+
 // pathStep records the descent through one nonleaf node.
 type pathStep struct {
 	node *Node
@@ -226,11 +274,40 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 			ent.Kind(), t.params.Core)
 	}
 
-	// Phase A: descend to the leaf along the closest-child path,
-	// recording the path so CFs can be updated after the decision. The
-	// query constants are bound once here; ent is not mutated until
+	// The query constants are bound once here; ent is not mutated until
 	// Phase C, after the last scan.
 	t.query.Bind(&ent)
+	return t.insertBound(ent, allowSplit)
+}
+
+// insertSparse densifies sp into the reusable scratch CF, binds the
+// query — attaching the gather view when the sparse scan is both
+// available and measured to win at this density — and runs the shared
+// descent. Every stored bit downstream derives from the densified
+// scratch CF, so the sparse and dense insert paths cannot diverge.
+//
+//birchlint:hotpath
+func (t *Tree) insertSparse(sp vec.Sparse, allowSplit bool) error {
+	if sp.Dim() != t.params.Dim {
+		return fmt.Errorf("cftree: sparse point dimension %d, tree dimension %d",
+			sp.Dim(), t.params.Dim)
+	}
+	t.spCF.SetPointSparse(sp)
+	if t.sscan != nil && cf.SparseGatherWins(sp.NNZ(), t.params.Dim) {
+		t.query.BindSparse(&t.spCF, sp)
+	} else {
+		t.query.Bind(&t.spCF)
+	}
+	return t.insertBound(t.spCF, allowSplit)
+}
+
+// insertBound is the descent shared by the dense and sparse insert
+// paths; the caller has validated ent and bound t.query to it.
+//
+//birchlint:hotpath
+func (t *Tree) insertBound(ent cf.CF, allowSplit bool) error {
+	// Phase A: descend to the leaf along the closest-child path,
+	// recording the path so CFs can be updated after the decision.
 	path := t.path[:0]
 	n := t.root
 	for !n.leaf {
@@ -290,6 +367,10 @@ func (t *Tree) insert(ent cf.CF, allowSplit bool) error {
 //
 //birchlint:hotpath
 func (t *Tree) closestEntry(n *Node) int {
+	if t.sscan != nil && t.query.Sparse() {
+		idx, _ := t.sscan(t.query, n.blk)
+		return idx
+	}
 	if t.scan != nil {
 		idx, _ := t.scan(t.query, n.blk)
 		return idx

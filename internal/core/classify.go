@@ -51,6 +51,34 @@ func (r *Result) ClassifyBatch(points []vec.Vector, workers int) ([]int, []float
 	return idx, dist
 }
 
+// ClassifySparse assigns a sparse point to the result's nearest cluster —
+// contractually identical to Classify(densify(sp)), which is exactly how
+// it is computed: the nearest-centroid metric is Euclidean, whose
+// difference-based terms do not admit a bit-identical gather (see
+// internal/cf/sparse.go), so the point is densified into a per-call
+// scratch (one allocation; Classify stays safe for concurrent use).
+func (r *Result) ClassifySparse(sp vec.Sparse) (int, float64) {
+	return r.Classify(sp.Dense())
+}
+
+// ClassifySparseBatch classifies many sparse points in one call,
+// identical to ClassifyBatch over their densifications. The batch is
+// densified into a single backing array (one allocation for the whole
+// batch); all points must share the result's dimensionality.
+func (r *Result) ClassifySparseBatch(points []vec.Sparse, workers int) ([]int, []float64) {
+	dense := make([]vec.Vector, len(points))
+	if len(points) > 0 {
+		d := points[0].Dim()
+		backing := make([]float64, len(points)*d)
+		for i, sp := range points {
+			row := vec.Vector(backing[i*d : (i+1)*d])
+			sp.DenseInto(row)
+			dense[i] = row
+		}
+	}
+	return r.ClassifyBatch(dense, workers)
+}
+
 // IsOutlier reports whether a new point would be treated as an outlier
 // under the given discard factor: its distance to the nearest centroid
 // exceeds factor × that cluster's radius. A zero radius cluster (a

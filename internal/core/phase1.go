@@ -123,6 +123,48 @@ func (e *Engine) Add(p vec.Vector) error {
 	return e.AddCF(e.scratch)
 }
 
+// AddSparse streams one sparse data point into Phase 1 — the CSR
+// counterpart of Add, with identical resulting state: the tree after
+// AddSparse(sp) is bit-identical to the tree after Add(densify(sp)).
+// When the configured metric admits a gather descent (DCos, classic D2)
+// and the point is below the measured density crossover, the closest-
+// entry scans cost O(nnz) per candidate instead of O(d). sp must be
+// structurally valid (vec.Sparse.Validate); the public API layer vets
+// untrusted input before it reaches here. The engine does not retain
+// sp's slices.
+//
+//birchlint:hotpath
+func (e *Engine) AddSparse(sp vec.Sparse) error {
+	if e.finished {
+		return fmt.Errorf("core: AddSparse after FinishPhase1")
+	}
+	if sp.Dim() != e.cfg.Dim {
+		return fmt.Errorf("core: point dimension %d, config dimension %d", sp.Dim(), e.cfg.Dim)
+	}
+	e.scanned.Add(1)
+
+	if e.pgr.MemoryFull() {
+		// The same delay-split ladder as AddCF, on the sparse paths.
+		if e.cfg.DelaySplit && e.cfg.OutlierHandling {
+			if err := e.tree.InsertSparseNoSplit(sp); err == nil {
+				return nil
+			}
+			if err := e.pgr.WriteOutlier(e.cfg.Dim); err == nil {
+				// Materialize an owned dense CF: the spill outlives this
+				// call and the outlier buffer stores CFs, not points.
+				e.outlierBuf = append(e.outlierBuf, cf.FromSparsePoint(sp, e.cfg.Core)) //birchlint:ignore hotpath spill path runs at most once per point and must own the vector
+				e.spills.Add(1)
+				return nil
+			}
+		}
+		if err := e.rebuild(); err != nil {
+			return err
+		}
+	}
+	e.tree.InsertSparse(sp)
+	return nil
+}
+
 // AddCF streams one pre-summarized subcluster into Phase 1. (Phase 1
 // itself only ever feeds single points, but re-clustering an existing
 // summary — e.g. merging two BIRCH runs — uses the same path.) The

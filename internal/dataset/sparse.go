@@ -1,0 +1,122 @@
+package dataset
+
+// Sparse synthetic documents: the workload behind the sparse /
+// high-dimensional fast path (internal/cf/sparse.go and the birchbench
+// sparse suite). Real document vectors are the motivating case for CSR
+// points — a tf-idf matrix over a 10⁴–10⁶ term vocabulary is typically
+// >99% zeros — and their term statistics are famously Zipfian: the
+// r-th most frequent term appears with probability ∝ 1/r^s, s ≈ 1.
+//
+// SparseDocs models that shape with a simple topic mixture:
+//
+//   - The vocabulary has dim terms. Each of the k topics owns a fixed
+//     pseudorandom permutation of the vocabulary, so its frequent-term
+//     set overlaps other topics' only incidentally (function words are
+//     shared by construction: rank 0..sharedTop-1 maps identically for
+//     every topic, the way "the"/"of" dominate every English corpus).
+//   - A document picks its topic's permutation and draws term *ranks*
+//     from a Zipf(s, dim) law until it holds nnz distinct terms.
+//   - The stored value is a log-damped term frequency (1 + ln tf), the
+//     standard tf weighting, so magnitudes are realistic for both the
+//     Euclidean metrics and cosine.
+//
+// Documents of one topic therefore share their head terms and cluster
+// under cosine distance, giving the benchmark ground truth, while every
+// point is honestly sparse with exactly nnz nonzeros.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"birch/internal/vec"
+)
+
+// sharedTop is the number of top Zipf ranks every topic maps to the
+// same term IDs — the "function word" head shared across topics.
+const sharedTop = 8
+
+// SparseDocs generates k·nPer synthetic sparse documents over a
+// dim-term vocabulary, nnz nonzeros each, with Zipf exponent s (values
+// ≤ 1 are clamped to 1.01; 1.1 is a good default). It returns the
+// documents (each Validate-clean: sorted indices, finite values) and
+// their ground-truth topic labels, deterministically from seed.
+func SparseDocs(dim, k, nPer, nnz int, s float64, seed int64) ([]vec.Sparse, []int) {
+	if dim <= 0 || k <= 0 || nPer <= 0 || nnz <= 0 || nnz > dim {
+		panic(fmt.Sprintf("dataset: bad SparseDocs args dim=%d k=%d nPer=%d nnz=%d", dim, k, nPer, nnz))
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, s, 1, uint64(dim-1))
+
+	// Per-topic rank→term permutations. Ranks below sharedTop map to the
+	// identical shared head; the tail is an independent shuffle per topic.
+	perms := make([][]int32, k)
+	for t := range perms {
+		p := make([]int32, dim)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		if dim > sharedTop {
+			tail := p[sharedTop:]
+			r.Shuffle(len(tail), func(a, b int) { tail[a], tail[b] = tail[b], tail[a] })
+		}
+		perms[t] = p
+	}
+
+	n := k * nPer
+	docs := make([]vec.Sparse, 0, n)
+	labels := make([]int, 0, n)
+	tf := make([]int, dim) // term frequency scratch, indexed by term ID
+	terms := make([]int32, 0, nnz)
+	for t := 0; t < k; t++ {
+		perm := perms[t]
+		for i := 0; i < nPer; i++ {
+			terms = terms[:0]
+			// Drawing until nnz distinct terms is a coupon-collector problem
+			// whose cost explodes when nnz approaches dim (the Zipf law
+			// rarely reaches tail ranks). Cap the draws at 50·nnz — ample for
+			// realistic densities — then deterministically fill the remainder
+			// in rank order, which is also the Zipf-plausible completion.
+			for draws := 0; len(terms) < nnz && draws < 50*nnz; draws++ {
+				term := perm[int(zipf.Uint64())]
+				if tf[term] == 0 {
+					terms = append(terms, term)
+				}
+				tf[term]++
+			}
+			for rank := 0; len(terms) < nnz; rank++ {
+				term := perm[rank]
+				if tf[term] == 0 {
+					terms = append(terms, term)
+				}
+				tf[term]++
+			}
+			// Sort the small distinct-term list (insertion sort: nnz is
+			// tens to hundreds) so the CSR index invariant holds.
+			for a := 1; a < len(terms); a++ {
+				for b := a; b > 0 && terms[b] < terms[b-1]; b-- {
+					terms[b], terms[b-1] = terms[b-1], terms[b]
+				}
+			}
+			idx := make([]int32, nnz)
+			val := make([]float64, nnz)
+			copy(idx, terms)
+			for j, term := range idx {
+				val[j] = 1 + math.Log(float64(tf[term]))
+				tf[term] = 0 // reset the scratch for the next document
+			}
+			docs = append(docs, vec.Sparse{D: dim, Idx: idx, Val: val})
+			labels = append(labels, t)
+		}
+	}
+	// Interleave topics (randomized order) — the harder streaming case,
+	// matching GaussianMixture.
+	r.Shuffle(len(docs), func(a, b int) {
+		docs[a], docs[b] = docs[b], docs[a]
+		labels[a], labels[b] = labels[b], labels[a]
+	})
+	return docs, labels
+}

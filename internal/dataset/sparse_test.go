@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSparseDocsShape pins the generator's contract: exact document
+// count, Validate-clean CSR form, exactly nnz nonzeros each, labels in
+// range, and topic-dependent supports (two topics must not share their
+// full vocabulary ordering).
+func TestSparseDocsShape(t *testing.T) {
+	const dim, k, nPer, nnz = 128, 5, 40, 10
+	docs, labels := SparseDocs(dim, k, nPer, nnz, 1.1, 7)
+	if len(docs) != k*nPer || len(labels) != k*nPer {
+		t.Fatalf("got %d docs / %d labels, want %d", len(docs), len(labels), k*nPer)
+	}
+	seen := make(map[int]int)
+	for i, sp := range docs {
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		if sp.Dim() != dim || sp.NNZ() != nnz {
+			t.Fatalf("doc %d shape (%d, %d), want (%d, %d)", i, sp.Dim(), sp.NNZ(), dim, nnz)
+		}
+		for _, v := range sp.Val {
+			if v < 1 {
+				t.Fatalf("doc %d: tf weight %v < 1 (want 1 + ln tf)", i, v)
+			}
+		}
+		if labels[i] < 0 || labels[i] >= k {
+			t.Fatalf("doc %d label %d out of range", i, labels[i])
+		}
+		seen[labels[i]]++
+	}
+	for topic := 0; topic < k; topic++ {
+		if seen[topic] != nPer {
+			t.Fatalf("topic %d has %d docs, want %d", topic, seen[topic], nPer)
+		}
+	}
+}
+
+// TestSparseDocsDeterministic: the same seed reproduces the workload
+// bit-for-bit; a different seed does not.
+func TestSparseDocsDeterministic(t *testing.T) {
+	a, la := SparseDocs(64, 3, 10, 6, 1.1, 42)
+	b, lb := SparseDocs(64, 3, 10, 6, 1.1, 42)
+	for i := range a {
+		if la[i] != lb[i] || a[i].NNZ() != b[i].NNZ() {
+			t.Fatalf("doc %d differs across same-seed runs", i)
+		}
+		for tt := range a[i].Idx {
+			if a[i].Idx[tt] != b[i].Idx[tt] ||
+				math.Float64bits(a[i].Val[tt]) != math.Float64bits(b[i].Val[tt]) {
+				t.Fatalf("doc %d entry %d differs across same-seed runs", i, tt)
+			}
+		}
+	}
+	c, _ := SparseDocs(64, 3, 10, 6, 1.1, 43)
+	same := true
+	for i := range a {
+		for tt := range a[i].Idx {
+			if a[i].Idx[tt] != c[i].Idx[tt] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical supports")
+	}
+}
+
+// TestSparseDocsHighDensity: the coupon-collector cap keeps generation
+// fast and exact even when nnz approaches dim (the crossover sweep's
+// regime), including the fully dense boundary.
+func TestSparseDocsHighDensity(t *testing.T) {
+	for _, nnz := range []int{52, 64} {
+		docs, _ := SparseDocs(64, 2, 5, nnz, 1.1, 9)
+		for i, sp := range docs {
+			if sp.NNZ() != nnz {
+				t.Fatalf("nnz=%d: doc %d has %d nonzeros", nnz, i, sp.NNZ())
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("nnz=%d: doc %d invalid: %v", nnz, i, err)
+			}
+		}
+	}
+}
+
+// TestSparseDocsPanicsOnBadArgs pins the argument guard.
+func TestSparseDocsPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero dim":  func() { SparseDocs(0, 1, 1, 1, 1.1, 1) },
+		"nnz > dim": func() { SparseDocs(4, 1, 1, 5, 1.1, 1) },
+		"zero k":    func() { SparseDocs(4, 0, 1, 1, 1.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -148,6 +148,10 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 	//   cf/scan32_test.go     TestScan32Allocs
 	//   stream/snapshot_test.go TestSnapshotClassifyAllocs
 	//   server/alloc_test.go  TestWireEncodeAllocs, TestWireDecodeAllocs
+	//   cftree/sparse_test.go TestInsertSparseAbsorbAllocs
+	//   cf/sparse_test.go     TestSetPointSparseMatchesSetPoint,
+	//                         TestBlockSetPointSparseBitIdentical
+	//   server/sparse_wire_test.go TestSparseWireAllocs
 	for _, want := range []string{
 		"birch/internal/cftree.Tree.Insert",
 		"birch/internal/cftree.Tree.InsertNoSplit",
@@ -172,6 +176,18 @@ func TestHotPathAnnotationCoverage(t *testing.T) {
 		"birch/internal/server.DecodeFrame",
 		"birch/internal/server.DecodePointsInto",
 		"birch/internal/server.DecodeClassifyResultInto",
+		"birch/internal/cftree.Tree.InsertSparse",
+		"birch/internal/cftree.Tree.InsertSparseNoSplit",
+		"birch/internal/cftree.Tree.insertSparse",
+		"birch/internal/cf.CF.SetPointSparse",
+		"birch/internal/cf.Block.SetPointSparse",
+		"birch/internal/cf.Block.AppendPointSparse",
+		"birch/internal/cf.Query.BindSparse",
+		"birch/internal/cf.scanCosSparse",
+		"birch/internal/cf.scanD2Sparse",
+		"birch/internal/cf.scanCos",
+		"birch/internal/server.AppendSparsePointsFrame",
+		"birch/internal/server.DecodeSparsePointsInto",
 	} {
 		if !annotated[want] {
 			t.Errorf("AllocsPerRun-gated function %s is missing //birchlint:hotpath", want)

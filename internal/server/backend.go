@@ -25,6 +25,10 @@ type Backend interface {
 	// all-or-nothing, and a nil return means the mass is owned by the
 	// engine (in a shard tree or its mailbox, which Close drains).
 	InsertBatch(ctx context.Context, pts []vec.Vector) error
+	// InsertSparseBatch is the sparse-point twin of InsertBatch, carrying
+	// CSR-form points down the engine's sparse fast path. Same
+	// all-or-nothing ownership contract.
+	InsertSparseBatch(ctx context.Context, sps []vec.Sparse) error
 	// Snapshot is the current immutable serving view (nil before the
 	// first publication).
 	Snapshot() *stream.Snapshot
@@ -56,6 +60,11 @@ func (b EngineBackend) CoreKind() cf.CoreKind { return b.Cfg.Core }
 // InsertBatch implements Backend.
 func (b EngineBackend) InsertBatch(ctx context.Context, pts []vec.Vector) error {
 	return b.Eng.InsertBatch(ctx, pts)
+}
+
+// InsertSparseBatch implements Backend.
+func (b EngineBackend) InsertSparseBatch(ctx context.Context, sps []vec.Sparse) error {
+	return b.Eng.InsertSparseBatch(ctx, sps)
 }
 
 // Snapshot implements Backend.

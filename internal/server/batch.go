@@ -14,11 +14,13 @@ import (
 var ErrNoSnapshot = errors.New("server: no snapshot published yet")
 
 // insertReq is one admitted insert request parked in the insert queue.
-// The collector folds pts into the backend and posts exactly one value
-// on reply. reply is buffered (capacity 1) by the handler, so the
+// Exactly one of pts/sps is non-empty (a request body is one wire tier).
+// The collector folds the points into the backend and posts exactly one
+// value on reply. reply is buffered (capacity 1) by the handler, so the
 // collector's send can never block on a handler that gave up.
 type insertReq struct {
 	pts   []vec.Vector
+	sps   []vec.Sparse
 	reply chan<- error
 }
 
@@ -61,23 +63,43 @@ func (s *Server) runInsertCollector() {
 	var pending []*insertReq
 	var points int
 	var scratch []vec.Vector
+	var spScratch []vec.Sparse
 
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		scratch = scratch[:0]
+		// Dense and sparse points coalesce into separate engine batches
+		// (one backend call per tier per flush). A sequential client still
+		// sees admission order: it waits for each ack before sending the
+		// next request, so two of its requests never share a flush.
+		scratch, spScratch = scratch[:0], spScratch[:0]
 		for _, r := range pending {
 			scratch = append(scratch, r.pts...)
+			spScratch = append(spScratch, r.sps...)
 		}
-		err := s.b.InsertBatch(context.Background(), scratch)
-		if err == nil {
-			s.acceptedPts.Add(int64(len(scratch)))
+		var denseErr, sparseErr error
+		if len(scratch) > 0 {
+			denseErr = s.b.InsertBatch(context.Background(), scratch)
+			if denseErr == nil {
+				s.acceptedPts.Add(int64(len(scratch)))
+			}
+		}
+		if len(spScratch) > 0 {
+			sparseErr = s.b.InsertSparseBatch(context.Background(), spScratch)
+			if sparseErr == nil {
+				s.acceptedPts.Add(int64(len(spScratch)))
+			}
 		}
 		s.insertFlushes.Add(1)
-		s.insertBatchedPts.Add(int64(len(scratch)))
+		s.insertBatchedPts.Add(int64(len(scratch) + len(spScratch)))
 		for i, r := range pending {
-			r.reply <- err
+			// Each request is one tier, so it gets its own tier's verdict.
+			if len(r.sps) > 0 {
+				r.reply <- sparseErr
+			} else {
+				r.reply <- denseErr
+			}
 			pending[i] = nil // drop the reference; the slice is reused
 		}
 		pending = pending[:0]
@@ -89,7 +111,7 @@ func (s *Server) runInsertCollector() {
 			select {
 			case r := <-s.insertQ:
 				pending = append(pending, r)
-				points += len(r.pts)
+				points += len(r.pts) + len(r.sps)
 				if points >= s.opts.MaxBatch {
 					flush()
 					continue
@@ -104,7 +126,7 @@ func (s *Server) runInsertCollector() {
 		select {
 		case r := <-s.insertQ:
 			pending = append(pending, r)
-			points += len(r.pts)
+			points += len(r.pts) + len(r.sps)
 			if points >= s.opts.MaxBatch {
 				flush()
 			}

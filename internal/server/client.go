@@ -124,6 +124,26 @@ func (c *Client) InsertBatch(ctx context.Context, pts []vec.Vector, dim int) (in
 	return DecodeAck(payload)
 }
 
+// InsertSparseBatch sends a sparse batch through the binary tier
+// (MsgSparsePoints) and returns the server's accepted count. For
+// mostly-zero high-dimensional points this moves a small fraction of
+// the dense frame's bytes and keeps the engine on its sparse fast path.
+func (c *Client) InsertSparseBatch(ctx context.Context, sps []vec.Sparse, dim int) (int64, error) {
+	frame, err := AppendSparsePointsFrame(nil, sps, dim)
+	if err != nil {
+		return 0, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/insert-batch", ContentTypeFrame, frame)
+	if err != nil {
+		return 0, err
+	}
+	typ, payload, err := DecodeFrame(data)
+	if err != nil || typ != MsgAck {
+		return 0, fmt.Errorf("server: bad ack frame (type %d): %w", typ, err)
+	}
+	return DecodeAck(payload)
+}
+
 // Classify classifies one point through the JSON tier.
 func (c *Client) Classify(ctx context.Context, p vec.Vector) (int, float64, error) {
 	body, err := json.Marshal(jsonPoints{Point: p})
@@ -164,6 +184,32 @@ func (c *Client) ClassifyBatch(ctx context.Context, pts []vec.Vector, dim int) (
 	}
 	if len(idx) != len(pts) {
 		return nil, nil, fmt.Errorf("server: %d results for %d points", len(idx), len(pts))
+	}
+	return idx, dist, nil
+}
+
+// ClassifySparseBatch classifies a sparse batch through the binary tier.
+// Results are identical to ClassifyBatch over the densified points
+// (which is how the server computes them).
+func (c *Client) ClassifySparseBatch(ctx context.Context, sps []vec.Sparse, dim int) ([]int, []float64, error) {
+	frame, err := AppendSparsePointsFrame(nil, sps, dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/classify-batch", ContentTypeFrame, frame)
+	if err != nil {
+		return nil, nil, err
+	}
+	typ, payload, err := DecodeFrame(data)
+	if err != nil || typ != MsgClassifyResult {
+		return nil, nil, fmt.Errorf("server: bad classify frame (type %d): %w", typ, err)
+	}
+	idx, dist, err := DecodeClassifyResultInto(payload, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idx) != len(sps) {
+		return nil, nil, fmt.Errorf("server: %d results for %d points", len(idx), len(sps))
 	}
 	return idx, dist, nil
 }

@@ -91,6 +91,23 @@ func (c *Coordinator) InsertBatch(ctx context.Context, pts []vec.Vector) error {
 	return nil
 }
 
+// InsertSparseBatch implements Backend: like InsertBatch, the whole
+// sparse batch goes to one round-robin peer over the sparse wire frame.
+// Dense and sparse batches share the one round-robin cursor, mirroring
+// the in-process engine's single pickShard counter.
+func (c *Coordinator) InsertSparseBatch(ctx context.Context, sps []vec.Sparse) error {
+	peer := c.peers[int((c.rr.Add(1)-1)%uint64(len(c.peers)))]
+	n, err := peer.InsertSparseBatch(ctx, sps, c.cfg.Dim)
+	if err != nil {
+		return err
+	}
+	if n != int64(len(sps)) {
+		return fmt.Errorf("server: peer acked %d of %d sparse points", n, len(sps))
+	}
+	c.insertN.Add(n)
+	return nil
+}
+
 // peerSummaries pulls every peer's summaries concurrently and
 // concatenates them in fixed peer order — the order is part of the
 // bit-equality contract with the in-process engine, whose syncShards

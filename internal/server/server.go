@@ -170,65 +170,77 @@ type jsonPoints struct {
 }
 
 // readPoints decodes the request body — binary frame or JSON by
-// Content-Type — into validated vectors. Returns (nil, true) after
-// writing an error response when the body is malformed.
-func (s *Server) readPoints(w http.ResponseWriter, r *http.Request) ([]vec.Vector, bool) {
+// Content-Type — into validated points: dense vectors, or (for a
+// MsgSparsePoints frame) sparse points. Exactly one of the two returned
+// slices is non-empty. Returns done = true after writing an error
+// response when the body is malformed.
+func (s *Server) readPoints(w http.ResponseWriter, r *http.Request) (pts []vec.Vector, sps []vec.Sparse, done bool) {
 	dim := s.b.Dim()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFramePayload+frameHeader))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
-		return nil, true
+		return nil, nil, true
 	}
 	if r.Header.Get("Content-Type") == ContentTypeFrame {
 		typ, payload, err := DecodeFrame(body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
-			return nil, true
+			return nil, nil, true
 		}
-		if typ != MsgPoints {
+		switch typ {
+		case MsgPoints:
+			_, pts, err := DecodePointsInto(payload, dim, nil, nil)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return nil, nil, true
+			}
+			return pts, nil, false
+		case MsgSparsePoints:
+			_, _, sps, err := DecodeSparsePointsInto(payload, dim, nil, nil, nil)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return nil, nil, true
+			}
+			return nil, sps, false
+		default:
 			httpError(w, http.StatusBadRequest, "expected a points frame")
-			return nil, true
+			return nil, nil, true
 		}
-		_, pts, err := DecodePointsInto(payload, dim, nil, nil)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return nil, true
-		}
-		return pts, false
 	}
 	var req jsonPoints
 	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding JSON: %v", err))
-		return nil, true
+		return nil, nil, true
 	}
 	raw := req.Points
 	if req.Point != nil {
 		if raw != nil {
 			httpError(w, http.StatusBadRequest, `set "point" or "points", not both`)
-			return nil, true
+			return nil, nil, true
 		}
 		raw = [][]float64{req.Point}
 	}
-	pts := make([]vec.Vector, len(raw))
+	pts = make([]vec.Vector, len(raw))
 	for i, p := range raw {
 		if len(p) != dim {
 			httpError(w, http.StatusBadRequest,
 				fmt.Sprintf("point %d has dim %d, want %d", i, len(p), dim))
-			return nil, true
+			return nil, nil, true
 		}
 		pts[i] = vec.Vector(p)
 	}
-	return pts, false
+	return pts, nil, false
 }
 
 // ---- handlers ---------------------------------------------------------
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	pts, done := s.readPoints(w, r)
+	pts, sps, done := s.readPoints(w, r)
 	if done {
 		return
 	}
-	if len(pts) == 0 {
+	n := len(pts) + len(sps)
+	if n == 0 {
 		s.writeAck(w, r, 0)
 		return
 	}
@@ -237,7 +249,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply := make(chan error, 1)
-	req := &insertReq{pts: pts, reply: reply}
+	req := &insertReq{pts: pts, sps: sps, reply: reply}
 	select {
 	case s.insertQ <- req:
 	default:
@@ -250,7 +262,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		s.writeAck(w, r, int64(len(pts)))
+		s.writeAck(w, r, int64(n))
 	case <-r.Context().Done():
 		// The client left; the collector still owns the batch and will
 		// fold it in (reply is buffered, so its send cannot block).
@@ -259,9 +271,23 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	pts, done := s.readPoints(w, r)
+	pts, sps, done := s.readPoints(w, r)
 	if done {
 		return
+	}
+	if len(sps) > 0 {
+		// Classification is a Euclidean nearest-centroid scan, which has no
+		// bit-identical sparse gather form (internal/cf/sparse.go), so
+		// sparse queries densify at the boundary into one backing array —
+		// the results are contractually identical to the dense request.
+		dim := s.b.Dim()
+		backing := make([]float64, len(sps)*dim)
+		pts = make([]vec.Vector, len(sps))
+		for i, sp := range sps {
+			row := vec.Vector(backing[i*dim : (i+1)*dim])
+			sp.DenseInto(row)
+			pts[i] = row
+		}
 	}
 	if len(pts) == 0 {
 		s.writeClassifyResult(w, r, nil, nil)

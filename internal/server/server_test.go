@@ -176,6 +176,13 @@ func (s *stubBackend) InsertBatch(ctx context.Context, pts []vec.Vector) error {
 	s.points.Add(int64(len(pts)))
 	return nil
 }
+func (s *stubBackend) InsertSparseBatch(ctx context.Context, sps []vec.Sparse) error {
+	pts := make([]vec.Vector, len(sps))
+	for i, sp := range sps {
+		pts[i] = sp.Dense()
+	}
+	return s.InsertBatch(ctx, pts)
+}
 func (s *stubBackend) Snapshot() *stream.Snapshot { return nil }
 func (s *stubBackend) Stats() stream.Stats        { return stream.Stats{Inserted: s.points.Load()} }
 func (s *stubBackend) Summaries(ctx context.Context) ([]core.Summary, error) {

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"birch/internal/vec"
+)
+
+func testSparsePoints(n, dim, nnz int) []vec.Sparse {
+	sps := make([]vec.Sparse, n)
+	for i := range sps {
+		k := 1 + (i+nnz)%nnz
+		idx := make([]int32, 0, k)
+		val := make([]float64, 0, k)
+		for t := 0; t < k; t++ {
+			ix := int32((i*7 + t*t + 3) % dim)
+			if len(idx) > 0 && ix <= idx[len(idx)-1] {
+				ix = idx[len(idx)-1] + 1
+			}
+			if int(ix) >= dim {
+				break
+			}
+			idx = append(idx, ix)
+			val = append(val, float64(i-t)*1e8+math.Sqrt(float64(i*3+t+2)))
+		}
+		sps[i] = vec.Sparse{D: dim, Idx: idx, Val: val}
+	}
+	return sps
+}
+
+func TestSparsePointsFrameRoundTrip(t *testing.T) {
+	for _, spec := range []struct{ n, dim, nnz int }{{0, 3, 1}, {1, 1, 1}, {17, 64, 5}, {256, 1024, 50}} {
+		sps := testSparsePoints(spec.n, spec.dim, spec.nnz)
+		frame, err := AppendSparsePointsFrame(nil, sps, spec.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("n=%d dim=%d: %v", spec.n, spec.dim, err)
+		}
+		if typ != MsgSparsePoints {
+			t.Fatalf("type %d, want MsgSparsePoints", typ)
+		}
+		_, _, got, err := DecodeSparsePointsInto(payload, spec.dim, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != spec.n {
+			t.Fatalf("decoded %d points, want %d", len(got), spec.n)
+		}
+		for i := range got {
+			if got[i].D != spec.dim || got[i].NNZ() != sps[i].NNZ() {
+				t.Fatalf("point %d: shape (%d, %d) want (%d, %d)",
+					i, got[i].D, got[i].NNZ(), spec.dim, sps[i].NNZ())
+			}
+			for tt := range got[i].Idx {
+				if got[i].Idx[tt] != sps[i].Idx[tt] ||
+					math.Float64bits(got[i].Val[tt]) != math.Float64bits(sps[i].Val[tt]) {
+					t.Fatalf("point %d entry %d: bits differ", i, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseFrameRejectsMalformed pins the decode trust boundary: frames
+// whose CSR payload violates the vec.Sparse invariants — or whose
+// framing lies about its own sizes — must be rejected, never handed to
+// an engine.
+func TestSparseFrameRejectsMalformed(t *testing.T) {
+	good := testSparsePoints(3, 16, 4)
+	frame, err := AppendSparsePointsFrame(nil, good, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong expected dimension.
+	if _, _, _, err := DecodeSparsePointsInto(payload, 17, nil, nil, nil); err == nil {
+		t.Fatal("accepted a frame with mismatched dimension")
+	}
+	// Truncated payload.
+	if _, _, _, err := DecodeSparsePointsInto(payload[:len(payload)-3], 16, nil, nil, nil); err == nil {
+		t.Fatal("accepted a truncated payload")
+	}
+	// Unsorted indices: encode by hand with a decreasing pair. The encoder
+	// refuses invalid points, so corrupt the decoded-valid payload bytes:
+	// the first point's first index word lives right after the per-point
+	// nnz header (count u32, dim u32, nnz u32).
+	bad := append([]byte(nil), payload...)
+	bad[12], bad[13], bad[14], bad[15] = 0xff, 0xff, 0xff, 0x7f // index 2^31-1: out of range
+	if _, _, _, err := DecodeSparsePointsInto(bad, 16, nil, nil, nil); err == nil {
+		t.Fatal("accepted an out-of-range index")
+	}
+
+	// Encoder refuses a point whose dimension disagrees with the frame's.
+	mixed := []vec.Sparse{{D: 8, Idx: []int32{1}, Val: []float64{1}}}
+	if _, err := AppendSparsePointsFrame(nil, mixed, 16); err == nil {
+		t.Fatal("encoder accepted a mixed-dimension batch")
+	}
+}
+
+// TestSparseWireAllocs is the alloc gate for the sparse codec pair:
+// against warm reused buffers both directions must be allocation-free,
+// matching the dense-frame gates in alloc_test.go.
+func TestSparseWireAllocs(t *testing.T) {
+	sps := testSparsePoints(64, 256, 13)
+	buf, err := AppendSparsePointsFrame(nil, sps, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendSparsePointsFrame(buf[:0], sps, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("AppendSparsePointsFrame: %v allocs/run against a warm buffer, want 0", got)
+	}
+
+	_, payload, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxB, valB, decoded, err := DecodeSparsePointsInto(payload, 256, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_, payload, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxB, valB, decoded, err = DecodeSparsePointsInto(payload, 256, idxB, valB, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("DecodeFrame+DecodeSparsePointsInto: %v allocs/run against warm buffers, want 0", got)
+	}
+}

@@ -473,6 +473,26 @@ func encodeBatch(dst []byte, pts []vec.Vector) []byte {
 	return dst
 }
 
+// encodeSparseBatch appends the WAL record for one sparse insert batch
+// to dst in the same dense record format encodeBatch produces: each
+// point is densified through scratch (len = dim) before its coordinates
+// are written. Replay therefore needs no sparse awareness, and the
+// replayed dense inserts rebuild a tree bit-identical to the live
+// sparse-inserted one (the sparse path's bit-identity contract).
+func encodeSparseBatch(dst []byte, sps []vec.Sparse, scratch vec.Vector) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(sps)))
+	dst = append(dst, b[:4]...)
+	for _, sp := range sps {
+		sp.DenseInto(scratch)
+		for _, v := range scratch {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			dst = append(dst, b[:]...)
+		}
+	}
+	return dst
+}
+
 // decodeBatchHeader validates a batch record's framing against dim and
 // returns the point count.
 func decodeBatchHeader(payload []byte, dim int) (int, error) {

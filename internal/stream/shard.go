@@ -14,7 +14,8 @@ import (
 // control operations (sync, check, ckpt, raiseT) with data operations
 // (pts) on the shard's single owner goroutine.
 type op struct {
-	pts    []vec.Vector       // points to insert
+	pts    []vec.Vector       // dense points to insert
+	sps    []vec.Sparse       // sparse points to insert
 	sync   chan<- shardReport // request an owner-built summary report
 	check  chan<- error       // request a tree invariant check
 	ckpt   chan<- error       // request a durable checkpoint (durable.go)
@@ -42,9 +43,11 @@ type shard struct {
 	// wal is the shard's write-ahead log (nil without a durable store).
 	// Like eng it is single-owner: only the worker goroutine — and, after
 	// wg.Wait, the closing goroutine — touches it. walBuf is the reusable
-	// record-encoding scratch buffer.
-	wal    *pager.WAL
-	walBuf []byte
+	// record-encoding scratch buffer; spDense is the reusable densification
+	// scratch for logging sparse batches in the dense WAL record format.
+	wal     *pager.WAL
+	walBuf  []byte
+	spDense vec.Vector
 }
 
 // runShard is the worker loop: drain the mailbox until Close closes it,
@@ -71,6 +74,28 @@ func (e *Engine) applyOp(s *shard, o op) {
 	for _, p := range o.pts {
 		if err := s.eng.Add(p); err != nil {
 			e.setErr(fmt.Errorf("stream: shard %d insert: %w", s.id, err))
+		}
+	}
+	if len(o.sps) > 0 {
+		if s.wal != nil {
+			// Sparse batches are logged in the dense record format (densified
+			// through the reusable scratch), so recovery replays them through
+			// the dense insert path with no format change. That is sound
+			// because the sparse insert path is bit-identical to the dense one
+			// by construction (internal/cf/sparse.go): the replayed tree
+			// matches the live tree exactly.
+			if s.spDense == nil {
+				s.spDense = vec.New(e.cfg.Dim)
+			}
+			s.walBuf = encodeSparseBatch(s.walBuf[:0], o.sps, s.spDense)
+			if _, err := s.wal.Append(s.walBuf); err != nil {
+				e.setErr(fmt.Errorf("stream: shard %d wal append: %w", s.id, err))
+			}
+		}
+		for _, sp := range o.sps {
+			if err := s.eng.AddSparse(sp); err != nil {
+				e.setErr(fmt.Errorf("stream: shard %d sparse insert: %w", s.id, err))
+			}
 		}
 	}
 	if o.raiseT > 0 {

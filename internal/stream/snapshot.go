@@ -64,6 +64,22 @@ func (e *Engine) ClassifyBatch(points []vec.Vector, workers int) (idx []int, dis
 	return e.snap.Load().ClassifyBatch(points, workers)
 }
 
+// ClassifySparse assigns a sparse point to the nearest cluster centroid
+// of the current snapshot — contractually identical to classifying its
+// densification, which is how it is computed (the Euclidean
+// nearest-centroid scan has no bit-identical gather form; see
+// internal/cf/sparse.go). Lock-free with respect to writers.
+func (e *Engine) ClassifySparse(sp vec.Sparse) (idx int, dist float64, ok bool) {
+	return e.snap.Load().ClassifySparse(sp)
+}
+
+// ClassifySparseBatch classifies many sparse points against the current
+// snapshot, the sparse analogue of ClassifyBatch. Lock-free with
+// respect to writers.
+func (e *Engine) ClassifySparseBatch(points []vec.Sparse, workers int) (idx []int, dist []float64, ok bool) {
+	return e.snap.Load().ClassifySparseBatch(points, workers)
+}
+
 // Centroids returns the cluster centroids of the current snapshot (nil
 // before the first publication). The slice is shared with the immutable
 // snapshot; callers must not modify it.
@@ -93,6 +109,39 @@ func (s *Snapshot) Classify(p vec.Vector) (idx int, dist float64, ok bool) {
 		}
 	}
 	return best, math.Sqrt(bestD), true
+}
+
+// ClassifySparse assigns a sparse point to the nearest centroid of this
+// snapshot, identical to Classify(sp.Dense()): the point is densified
+// into a per-call scratch (one allocation), keeping the snapshot's
+// any-number-of-readers concurrency contract. A nil receiver reports
+// ok = false.
+func (s *Snapshot) ClassifySparse(sp vec.Sparse) (idx int, dist float64, ok bool) {
+	if s == nil || len(s.Centroids) == 0 {
+		return -1, 0, false
+	}
+	return s.Classify(sp.Dense())
+}
+
+// ClassifySparseBatch classifies every sparse point against this
+// snapshot's centroids, identical to ClassifyBatch over their
+// densifications. The batch is densified into one backing array. A nil
+// receiver or a snapshot without centroids reports ok = false.
+func (s *Snapshot) ClassifySparseBatch(points []vec.Sparse, workers int) (idx []int, dist []float64, ok bool) {
+	if s == nil || len(s.Centroids) == 0 {
+		return nil, nil, false
+	}
+	dense := make([]vec.Vector, len(points))
+	if len(points) > 0 {
+		d := points[0].Dim()
+		backing := make([]float64, len(points)*d)
+		for i, sp := range points {
+			row := vec.Vector(backing[i*d : (i+1)*d])
+			sp.DenseInto(row)
+			dense[i] = row
+		}
+	}
+	return s.ClassifyBatch(dense, workers)
 }
 
 // ClassifyBatch classifies every point against this snapshot's

@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"birch/internal/core"
+	"birch/internal/dataset"
+	"birch/internal/faultfs"
+	"birch/internal/vec"
+)
+
+// sparseDocs draws a small deterministic Zipfian document workload.
+func sparseDocs(dim, n, nnz int, seed int64) []vec.Sparse {
+	docs, _ := dataset.SparseDocs(dim, 4, (n+3)/4, nnz, 1.1, seed)
+	return docs[:n]
+}
+
+// summariesEqualBitwise fails unless the two engines' shard summaries
+// carry bit-identical CF state in identical order.
+func summariesEqualBitwise(t *testing.T, label string, a, b *Engine) {
+	t.Helper()
+	ctx := context.Background()
+	sa, err := a.ShardSummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.ShardSummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: %d vs %d summaries", label, len(sa), len(sb))
+	}
+	for s := range sa {
+		if math.Float64bits(sa[s].Threshold) != math.Float64bits(sb[s].Threshold) {
+			t.Fatalf("%s: shard %d thresholds differ", label, s)
+		}
+		if len(sa[s].CFs) != len(sb[s].CFs) {
+			t.Fatalf("%s: shard %d has %d vs %d CFs", label, s, len(sa[s].CFs), len(sb[s].CFs))
+		}
+		for i := range sa[s].CFs {
+			ca, cb := &sa[s].CFs[i], &sb[s].CFs[i]
+			if ca.N != cb.N || math.Float64bits(ca.SS) != math.Float64bits(cb.SS) {
+				t.Fatalf("%s: shard %d CF %d differs (N %d/%d)", label, s, i, ca.N, cb.N)
+			}
+			for j := range ca.LS {
+				if math.Float64bits(ca.LS[j]) != math.Float64bits(cb.LS[j]) {
+					t.Fatalf("%s: shard %d CF %d LS[%d] differs", label, s, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSparseMatchesDenseBitwise: a stream engine fed sparse points
+// through InsertSparse/InsertSparseBatch holds shard state bit-identical
+// to one fed their densifications through the dense paths, and the
+// sparse classify surface agrees with the dense one on every probe.
+func TestStreamSparseMatchesDenseBitwise(t *testing.T) {
+	const dim, n = 32, 2000
+	ctx := context.Background()
+	docs := sparseDocs(dim, n, 5, 301)
+
+	cfg := core.DefaultConfig(dim, 8)
+	cfg.Refine = false
+	mk := func() *Engine {
+		e, err := New(cfg, Options{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	sparse, dense := mk(), mk()
+	defer sparse.Close()
+	defer dense.Close()
+
+	for i, sp := range docs {
+		switch i % 3 {
+		case 0:
+			if err := sparse.InsertSparse(ctx, sp); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := sparse.InsertSparseBatch(ctx, docs[i:i+1]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			// The dense path on the sparse engine too: interleaving tiers
+			// must not disturb bit-identity.
+			if err := sparse.Insert(ctx, sp.Dense()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dense.Insert(ctx, sp.Dense()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sparse.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	summariesEqualBitwise(t, "sparse-vs-dense", sparse, dense)
+
+	for _, sp := range docs[:64] {
+		si, sd, sok := sparse.ClassifySparse(sp)
+		di, dd, dok := dense.Classify(sp.Dense())
+		if si != di || sok != dok || math.Float64bits(sd) != math.Float64bits(dd) {
+			t.Fatalf("ClassifySparse (%d, %v, %v) != dense Classify (%d, %v, %v)", si, sd, sok, di, dd, dok)
+		}
+	}
+	idx, dist, ok := sparse.ClassifySparseBatch(docs[:64], 2)
+	if !ok {
+		t.Fatal("ClassifySparseBatch not ready")
+	}
+	for i, sp := range docs[:64] {
+		di, dd, _ := dense.Classify(sp.Dense())
+		if idx[i] != di || math.Float64bits(dist[i]) != math.Float64bits(dd) {
+			t.Fatalf("ClassifySparseBatch[%d] differs", i)
+		}
+	}
+}
+
+// TestStreamSparseValidationAndDim pins the public-boundary checks.
+func TestStreamSparseValidationAndDim(t *testing.T) {
+	ctx := context.Background()
+	cfg := core.DefaultConfig(4, 2)
+	cfg.Refine = false
+	e, err := New(cfg, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if err := e.InsertSparse(ctx, vec.Sparse{D: 3, Idx: []int32{0}, Val: []float64{1}}); err == nil {
+		t.Fatal("accepted a dimension mismatch")
+	}
+	if err := e.InsertSparse(ctx, vec.Sparse{D: 4, Idx: []int32{2, 1}, Val: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted unsorted indices")
+	}
+	if err := e.InsertSparseBatch(ctx, []vec.Sparse{
+		{D: 4, Idx: []int32{0}, Val: []float64{1}},
+		{D: 4, Idx: []int32{1, 1}, Val: []float64{1, 2}},
+	}); err == nil {
+		t.Fatal("accepted a batch with a duplicate index")
+	}
+	if err := e.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e.Snapshot() != nil && e.Snapshot().Points != 0 {
+		t.Fatal("rejected inserts leaked mass into the tree")
+	}
+}
+
+// TestDurableSparseWarmRestart: sparse batches logged through the WAL
+// (densified records) replay into the exact shard state on reopen —
+// the durability story needs no sparse-aware recovery path because the
+// live insert was bit-identical to the dense insert it logged.
+func TestDurableSparseWarmRestart(t *testing.T) {
+	const dim = 8
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(57))
+	docs := sparseDocs(dim, 600, 3, 302)
+
+	cfg := core.DefaultConfig(dim, 4)
+	cfg.Memory = 2 * 8 * 1024
+	cfg.Refine = false
+	disk := faultfs.NewDisk()
+	dur := &DurableOptions{FS: disk, SegmentBytes: 4096}
+
+	e1, rec, err := Open(cfg, Options{Shards: 2}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered {
+		t.Fatal("fresh store reported recovered")
+	}
+	for i := 0; i < len(docs); {
+		k := 1 + r.Intn(8)
+		if i+k > len(docs) {
+			k = len(docs) - i
+		}
+		if err := e1.InsertSparseBatch(ctx, docs[i:i+k]); err != nil {
+			t.Fatal(err)
+		}
+		i += k
+	}
+	if err := e1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	live, err := e1.ShardSummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, rec, err := Open(cfg, Options{Shards: 2}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if !rec.Recovered {
+		t.Fatal("reopen did not recover")
+	}
+	restored, err := e2.ShardSummaries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != len(restored) {
+		t.Fatalf("%d vs %d summaries", len(live), len(restored))
+	}
+	for s := range live {
+		if live[s].Points() != restored[s].Points() {
+			t.Fatalf("shard %d: %d vs %d points", s, live[s].Points(), restored[s].Points())
+		}
+		if len(live[s].CFs) != len(restored[s].CFs) {
+			t.Fatalf("shard %d: %d vs %d CFs", s, len(live[s].CFs), len(restored[s].CFs))
+		}
+		for i := range live[s].CFs {
+			ca, cb := &live[s].CFs[i], &restored[s].CFs[i]
+			if ca.N != cb.N || math.Float64bits(ca.SS) != math.Float64bits(cb.SS) {
+				t.Fatalf("shard %d CF %d differs after restart", s, i)
+			}
+			for j := range ca.LS {
+				if math.Float64bits(ca.LS[j]) != math.Float64bits(cb.LS[j]) {
+					t.Fatalf("shard %d CF %d LS[%d] differs after restart", s, i, j)
+				}
+			}
+		}
+	}
+}

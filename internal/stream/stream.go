@@ -181,6 +181,65 @@ func (e *Engine) InsertBatch(ctx context.Context, pts []vec.Vector) error {
 	return nil
 }
 
+// InsertSparse streams one sparse point into the engine. The point is
+// validated (Validate) and cloned, so the caller may reuse sp's index
+// and value slices immediately. Inside the shard the point rides the
+// sparse fast path (gather descent below the measured density
+// crossover), which is bit-identical to inserting the densified point.
+func (e *Engine) InsertSparse(ctx context.Context, sp vec.Sparse) error {
+	if sp.Dim() != e.cfg.Dim {
+		return fmt.Errorf("stream: sparse point dimension %d, config dimension %d", sp.Dim(), e.cfg.Dim)
+	}
+	if err := sp.Validate(); err != nil {
+		return fmt.Errorf("stream: sparse point: %w", err)
+	}
+	s := e.pickShard()
+	if err := e.send(ctx, s, op{sps: []vec.Sparse{sp.Clone()}}); err != nil {
+		return err
+	}
+	e.inserted.Add(1)
+	return nil
+}
+
+// InsertSparseBatch streams a batch of sparse points as one mailbox
+// message to one shard, the sparse analogue of InsertBatch: one
+// synchronization per batch, every point validated up front, and all
+// clones packed into a single pair of fresh backing arrays. An error
+// means the entire batch was rejected.
+func (e *Engine) InsertSparseBatch(ctx context.Context, sps []vec.Sparse) error {
+	if len(sps) == 0 {
+		return nil
+	}
+	dim := e.cfg.Dim
+	nnz := 0
+	for i, sp := range sps {
+		if sp.Dim() != dim {
+			return fmt.Errorf("stream: batch sparse point %d dimension %d, config dimension %d", i, sp.Dim(), dim)
+		}
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("stream: batch sparse point %d: %w", i, err)
+		}
+		nnz += sp.NNZ()
+	}
+	idxB := make([]int32, nnz)
+	valB := make([]float64, nnz)
+	clones := make([]vec.Sparse, len(sps))
+	off := 0
+	for i, sp := range sps {
+		n := sp.NNZ()
+		copy(idxB[off:off+n], sp.Idx)
+		copy(valB[off:off+n], sp.Val)
+		clones[i] = vec.Sparse{D: dim, Idx: idxB[off : off+n : off+n], Val: valB[off : off+n : off+n]}
+		off += n
+	}
+	s := e.pickShard()
+	if err := e.send(ctx, s, op{sps: clones}); err != nil {
+		return err
+	}
+	e.inserted.Add(int64(len(sps)))
+	return nil
+}
+
 func (e *Engine) pickShard() *shard {
 	return e.shards[int((e.rr.Add(1)-1)%uint64(len(e.shards)))]
 }
